@@ -1,0 +1,91 @@
+//! Criterion benches: one target per paper artifact (figure/table) plus the
+//! extension experiments. Each bench measures the wall time of regenerating
+//! the artifact from scratch, so `cargo bench` both re-derives every number
+//! and tracks simulator performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rss_bench::*;
+use rss_core::{run, Scenario};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("fig1_send_stalls", |b| {
+        b.iter(|| {
+            let r = run_fig1();
+            assert!(r.shape_holds());
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("headline_throughput", |b| {
+        b.iter(|| {
+            let r = run_headline();
+            assert!(r.improvement() > 0.2);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweeps");
+    g.sample_size(10);
+    g.bench_function("sweep_txqueuelen", |b| b.iter(run_txqueuelen_sweep));
+    g.bench_function("sweep_rtt", |b| b.iter(run_rtt_sweep));
+    g.bench_function("sweep_bandwidth", |b| b.iter(run_bandwidth_sweep));
+    g.finish();
+}
+
+fn bench_zn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control");
+    g.sample_size(10);
+    g.bench_function("zn_tuning", |b| {
+        b.iter(|| {
+            let r = run_zn();
+            assert_eq!(r.validation_stalls, 0);
+            r
+        })
+    });
+    g.bench_function("pid_ablation", |b| b.iter(run_ablation));
+    g.finish();
+}
+
+fn bench_comparisons(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comparisons");
+    g.sample_size(10);
+    g.bench_function("vs_limited_slow_start", |b| b.iter(run_lss));
+    g.bench_function("fairness", |b| b.iter(run_fairness));
+    g.bench_function("network_bottleneck_boundary", |b| b.iter(run_friendliness));
+    g.bench_function("parallel_streams", |b| b.iter(run_parallel_streams));
+    g.finish();
+}
+
+/// Raw simulator speed: events/second on the paper testbed (one 25 s run).
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("paper_run_standard_25s", |b| {
+        b.iter(|| run(&Scenario::paper_testbed_standard()))
+    });
+    g.bench_function("paper_run_restricted_25s", |b| {
+        b.iter(|| run(&Scenario::paper_testbed_restricted()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_headline,
+    bench_sweeps,
+    bench_zn,
+    bench_comparisons,
+    bench_simulator
+);
+criterion_main!(benches);

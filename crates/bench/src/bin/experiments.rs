@@ -1,0 +1,124 @@
+//! Regenerate every table and figure of the paper (and the extensions).
+//!
+//! ```text
+//! cargo run --release -p rss-bench --bin experiments -- all
+//! cargo run --release -p rss-bench --bin experiments -- fig1
+//! ```
+//!
+//! Each experiment prints its table/chart and writes a CSV under `results/`.
+
+use rss_bench::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>\n  ids: fig1 headline txqueuelen rtt bandwidth zn ablation lss fairness parallel all"
+    );
+    std::process::exit(2);
+}
+
+fn fig1() {
+    let r = run_fig1();
+    println!("{}", r.print());
+    let p = write_csv("e1_fig1_send_stalls.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn headline() {
+    let r = run_headline();
+    println!("{}", r.print());
+    let p = write_csv("e2_headline_throughput.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn txqueuelen() {
+    let r = run_txqueuelen_sweep();
+    println!(
+        "E3 — txqueuelen sweep (the paper's rejected 'bigger buffers' fix)\n{}",
+        r.print()
+    );
+    let p = write_csv("e3_txqueuelen_sweep.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn rtt() {
+    let r = run_rtt_sweep();
+    println!("E4 — RTT sweep\n{}", r.print());
+    let p = write_csv("e4_rtt_sweep.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn bandwidth() {
+    let r = run_bandwidth_sweep();
+    println!("E5 — bandwidth sweep (RSS retuned per rate)\n{}", r.print());
+    let p = write_csv("e5_bandwidth_sweep.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn zn() {
+    let r = run_zn();
+    println!("E6 — Ziegler–Nichols tuning trace\n{}", r.print());
+    let p = write_csv("e6_zn_tuning.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn ablation() {
+    let r = run_ablation();
+    println!("E7 — controller ablation\n{}", r.print());
+    let p = write_csv("e7_pid_ablation.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn lss() {
+    let r = run_lss();
+    println!("E8 — vs RFC 3742 Limited Slow-Start\n{}", r.print());
+    let p = write_csv("e8_vs_limited_slow_start.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn fairness() {
+    let r = run_fairness();
+    println!("E9a — fairness among flows sharing one host\n{}", r.print());
+    let p = write_csv("e9a_fairness.csv", &r.to_csv());
+    println!("wrote {}", p.display());
+    let r = run_friendliness();
+    println!("\nE9b — network-congestion boundary\n{}", r.print());
+    let p = write_csv("e9b_network_bottleneck.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn parallel() {
+    let r = run_parallel_streams();
+    println!("E10 — GridFTP-style parallel streams\n{}", r.print());
+    let p = write_csv("e10_parallel_streams.csv", &r.to_csv());
+    println!("wrote {}\n", p.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    match id {
+        "fig1" => fig1(),
+        "headline" => headline(),
+        "txqueuelen" => txqueuelen(),
+        "rtt" => rtt(),
+        "bandwidth" => bandwidth(),
+        "zn" => zn(),
+        "ablation" => ablation(),
+        "lss" => lss(),
+        "fairness" => fairness(),
+        "parallel" => parallel(),
+        "all" => {
+            fig1();
+            headline();
+            txqueuelen();
+            rtt();
+            bandwidth();
+            zn();
+            ablation();
+            lss();
+            fairness();
+            parallel();
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,130 @@
+//! Calibration probe (internal): sweep P-only gains for the restricted
+//! slow-start controller on the paper testbed and report IFQ oscillation,
+//! stall counts and goodput, to locate Kc/Tc for the Ziegler-Nichols rule.
+
+use rss_core::{run, CcAlgorithm, PidGains, RssConfig, Scenario};
+
+fn probe(gains: PidGains, label: &str) {
+    let sc = Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::with_gains(gains)));
+    let r = run(&sc);
+    let f = &r.flows[0];
+    // Measure IFQ oscillation in the steady tail (t > 10 s).
+    let tail: Vec<(f64, f64)> = r
+        .sender_ifq_series
+        .iter()
+        .copied()
+        .filter(|&(t, _)| t > 10.0)
+        .collect();
+    let mean: f64 = tail.iter().map(|&(_, v)| v).sum::<f64>() / tail.len().max(1) as f64;
+    let var: f64 = tail
+        .iter()
+        .map(|&(_, v)| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / tail.len().max(1) as f64;
+    // Count mean-crossings to estimate the oscillation period.
+    let mut crossings = Vec::new();
+    for w in tail.windows(2) {
+        if (w[0].1 - mean) <= 0.0 && (w[1].1 - mean) > 0.0 {
+            crossings.push(w[1].0);
+        }
+    }
+    let period = if crossings.len() > 2 {
+        (crossings.last().unwrap() - crossings.first().unwrap()) / (crossings.len() - 1) as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "{label:>28}: goodput {:6.2} Mbit/s stalls {:3} ifq mean {:6.1} sd {:6.2} period {:7.4}s crossings {}",
+        f.goodput_bps / 1e6,
+        f.vars.send_stall,
+        mean,
+        var.sqrt(),
+        period,
+        crossings.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() > 1 && args[1] == "p-sweep" {
+        for kp in [0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
+            probe(PidGains::p(kp), &format!("P kp={kp}"));
+        }
+    } else if args.len() > 1 && args[1] == "pid-sweep" {
+        // Small-signal plant: integrator K = ack_rate = 8333 pkt/s per unit
+        // output, dead time θ = one ACK interval = 120 µs.
+        // Kc = π/(2Kθ) ≈ 1.571, Tc = 4θ = 480 µs; paper rule 0.33/0.5/0.33.
+        probe(
+            PidGains::pid(0.52, 0.000_24, 0.000_158),
+            "paper-rule (θ=120µs)",
+        );
+        // θ = RTT variant (sluggish outer loop view).
+        probe(PidGains::pid(0.001, 0.12, 0.0792), "paper-rule (θ=60ms)");
+        probe(PidGains::pi(0.52, 0.000_24), "PI (θ=120µs)");
+        probe(PidGains::pi(0.05, 0.01), "PI mild");
+        probe(RssConfig::tuned().gains, "old default");
+    } else if args.len() > 1 && args[1] == "stall-response" {
+        for (label, resp) in [
+            ("cwr", rss_core::StallResponse::Cwr),
+            ("restart", rss_core::StallResponse::RestartFromOne),
+            ("ignore", rss_core::StallResponse::Ignore),
+        ] {
+            let mut sc = Scenario::paper_testbed_standard();
+            sc.tcp.stall_response = resp;
+            let r = run(&sc);
+            let f = &r.flows[0];
+            println!(
+                "{label:>8}: goodput {:.4} Mbit/s stalls {} ss_episodes {} ca_episodes {} timeouts {} max_cwnd {}",
+                f.goodput_bps / 1e6,
+                f.vars.send_stall,
+                f.vars.slow_start_episodes,
+                f.vars.cong_avoid_episodes,
+                f.vars.timeouts,
+                f.vars.max_cwnd
+            );
+        }
+    } else if args.len() > 1 && args[1] == "multiflow" {
+        use rss_core::{AppModel, FlowSpec, SimTime};
+        for n in [2usize, 4, 8] {
+            for (label, algo) in [
+                ("standard", CcAlgorithm::Reno),
+                ("default", CcAlgorithm::Restricted(RssConfig::tuned())),
+                ("per-flow", CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / n as u64, 1500))),
+                ("shared", CcAlgorithm::Restricted(RssConfig::tuned_shared(100_000_000, 1500, n as u32, 100))),
+            ] {
+                let mut sc = Scenario::paper_testbed(algo);
+                sc.flows = (0..n)
+                    .map(|_| FlowSpec {
+                        algo,
+                        app: AppModel::Bulk { bytes: None },
+                        start: SimTime::ZERO,
+                    })
+                    .collect();
+                sc.shared_sender_host = true;
+                sc.web100_stride = 8;
+                let r = run(&sc);
+                let mut stall_times: Vec<f64> = r
+                    .flows
+                    .iter()
+                    .flat_map(|f| f.stall_times_s.iter().copied())
+                    .collect();
+                stall_times.sort_by(f64::total_cmp);
+                let peak_ifq = r
+                    .sender_ifq_series
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .fold(0.0f64, f64::max);
+                println!(
+                    "n={n} {label:>9}: stalls {:2} aggregate {:6.2} Mbit/s jain {:.3} peak_ifq {:4.0} first stalls {:?}",
+                    r.total_stalls(),
+                    r.total_goodput_bps() / 1e6,
+                    r.fairness(),
+                    peak_ifq,
+                    &stall_times[..stall_times.len().min(6)]
+                );
+            }
+        }
+    } else {
+        probe(RssConfig::tuned().gains, "tuned default");
+    }
+}

@@ -1,0 +1,219 @@
+//! E7 — controller ablation: which parts of the scheme matter?
+//!
+//! §3 chose full PID with the "some overshoot" Ziegler–Nichols constants.
+//! This ablation runs the paper testbed under P, PI, PID (paper rule), PID
+//! (classic rule), the conservative "no overshoot" rule, deliberately bad
+//! tunings, and — most importantly — arms that *remove the restriction*
+//! (the ≤ 1-segment-per-ACK growth clamp), reporting stalls, goodput, IFQ
+//! tracking error and time-to-full-utilization.
+//!
+//! Headline finding: on the (integrator-like) IFQ plant the saturating ±1
+//! clamp does most of the stabilising work — wide ranges of gains behave
+//! identically — but lifting the clamp re-exposes the raw controller, where
+//! aggressive gains burst straight through the queue.
+
+use rss_core::plot::ascii_table;
+use rss_core::{run, CcAlgorithm, PidGains, RssConfig, RunReport, Scenario};
+
+/// One ablation arm.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Controller variant label.
+    pub label: String,
+    /// Gains used.
+    pub gains: PidGains,
+    /// Send-stalls.
+    pub stalls: u64,
+    /// Goodput, bits/s.
+    pub goodput_bps: f64,
+    /// RMS error of IFQ depth from the 90-packet set point (t > 5 s).
+    pub ifq_rmse: f64,
+    /// First time the flow's windowed goodput exceeds 90 % of line rate (s).
+    pub time_to_90pct_s: Option<f64>,
+}
+
+/// Result of E7.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// All arms.
+    pub rows: Vec<AblationRow>,
+}
+
+fn ifq_rmse(report: &RunReport, setpoint: f64) -> f64 {
+    let tail: Vec<f64> = report
+        .sender_ifq_series
+        .iter()
+        .filter(|&&(t, _)| t > 5.0)
+        .map(|&(_, v)| v)
+        .collect();
+    if tail.is_empty() {
+        return f64::NAN;
+    }
+    (tail.iter().map(|v| (v - setpoint) * (v - setpoint)).sum::<f64>() / tail.len() as f64)
+        .sqrt()
+}
+
+fn time_to_rate(report: &RunReport, target_bps: f64) -> Option<f64> {
+    let f = &report.flows[0];
+    let window = 0.5;
+    let mut t = window;
+    while t <= report.duration_s {
+        if f.goodput_in_window_bps(t - window, t) >= target_bps {
+            return Some(t);
+        }
+        t += window;
+    }
+    None
+}
+
+fn arm_cfg(label: &str, cfg: RssConfig) -> AblationRow {
+    let sc = Scenario::paper_testbed(CcAlgorithm::Restricted(cfg));
+    let r = run(&sc);
+    AblationRow {
+        label: label.to_string(),
+        gains: cfg.gains,
+        stalls: r.flows[0].vars.send_stall,
+        goodput_bps: r.flows[0].goodput_bps,
+        ifq_rmse: ifq_rmse(&r, 90.0),
+        time_to_90pct_s: time_to_rate(&r, 0.9 * 100e6),
+    }
+}
+
+fn arm(label: &str, gains: PidGains) -> AblationRow {
+    arm_cfg(label, RssConfig::with_gains(gains))
+}
+
+/// An arm with the growth clamp lifted to `max_inc` segments per ACK.
+fn unclamped_arm(label: &str, gains: PidGains, max_inc: f64) -> AblationRow {
+    let cfg = RssConfig {
+        max_increment_segments: max_inc,
+        ..RssConfig::with_gains(gains)
+    };
+    arm_cfg(label, cfg)
+}
+
+/// Run E7.
+pub fn run_ablation() -> AblationResult {
+    // Kc/Tc from the E6 small-signal experiment.
+    let kc = std::f64::consts::FRAC_PI_2;
+    let tc = 4.0 * 120e-6;
+    let paper = PidGains::pid(0.33 * kc, 0.5 * tc, 0.33 * tc);
+    let rows = vec![
+        arm("P (0.5 Kc)", PidGains::p(0.5 * kc)),
+        arm("PI (0.45 Kc, Tc/1.2)", PidGains::pi(0.45 * kc, tc / 1.2)),
+        arm("PID paper rule", paper),
+        arm(
+            "PID classic ZN",
+            PidGains::pid(0.6 * kc, 0.5 * tc, 0.125 * tc),
+        ),
+        arm(
+            "PID no-overshoot",
+            PidGains::pid(0.2 * kc, 0.5 * tc, 0.33 * tc),
+        ),
+        // Detuned gains: on this plant the ±1 clamp masks them entirely —
+        // that robustness is itself the finding.
+        arm("detuned: Kp 100x", PidGains::p(50.0 * kc)),
+        arm(
+            "detuned: Ti 500x (sluggish I)",
+            PidGains::pid(0.33 * kc, 250.0 * tc, 0.33 * tc),
+        ),
+        arm(
+            "detuned: Td 250x (noisy D)",
+            PidGains::pid(0.33 * kc, 0.5 * tc, 82.5 * tc),
+        ),
+        // Remove the restriction: growth may exceed standard slow-start.
+        unclamped_arm("unclamped x8, paper gains", paper, 8.0),
+        unclamped_arm("unclamped x64, paper gains", paper, 64.0),
+        unclamped_arm("unclamped x64, Kp 100x", PidGains::p(50.0 * kc), 64.0),
+    ];
+    AblationResult { rows }
+}
+
+impl AblationResult {
+    /// Render as a table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.stalls.to_string(),
+                    format!("{:.2}", r.goodput_bps / 1e6),
+                    format!("{:.2}", r.ifq_rmse),
+                    r.time_to_90pct_s
+                        .map(|t| format!("{t:.1}"))
+                        .unwrap_or_else(|| "never".into()),
+                ]
+            })
+            .collect();
+        ascii_table(
+            &[
+                "controller",
+                "stalls",
+                "goodput Mbit/s",
+                "IFQ RMSE (pkts)",
+                "t to 90% rate (s)",
+            ],
+            &rows,
+        )
+    }
+
+    /// CSV rows.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("controller,kp,ti,td,stalls,goodput_bps,ifq_rmse,time_to_90pct_s\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.8},{:.8},{},{:.0},{:.3},{}\n",
+                r.label.replace(',', ";"),
+                r.gains.kp,
+                r.gains.ti,
+                r.gains.td,
+                r.stalls,
+                r.goodput_bps,
+                r.ifq_rmse,
+                r.time_to_90pct_s
+                    .map(|t| format!("{t:.2}"))
+                    .unwrap_or_else(|| "never".into()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_is_load_bearing_and_tuned_arms_behave() {
+        let r = run_ablation();
+        let paper = r
+            .rows
+            .iter()
+            .find(|x| x.label == "PID paper rule")
+            .unwrap();
+        assert_eq!(paper.stalls, 0, "{paper:?}");
+        assert!(paper.goodput_bps > 90e6, "{paper:?}");
+        assert!(paper.time_to_90pct_s.is_some());
+        // Finding 1: with the clamp in place, even grossly detuned gains
+        // behave — the saturating actuator does the stabilising.
+        for label in ["P (0.5 Kc)", "detuned: Kp 100x", "detuned: Ti 500x (sluggish I)"] {
+            let a = r.rows.iter().find(|x| x.label == label).unwrap();
+            assert_eq!(a.stalls, 0, "clamped arm stalled: {a:?}");
+            assert!(a.goodput_bps > 90e6, "clamped arm slow: {a:?}");
+        }
+        // Finding 2: lift the clamp and the raw controller is exposed —
+        // aggressive gains burst through the queue and stall.
+        let wild = r
+            .rows
+            .iter()
+            .find(|x| x.label == "unclamped x64, Kp 100x")
+            .unwrap();
+        assert!(
+            wild.stalls > 0,
+            "unclamped aggressive arm should stall: {wild:?}"
+        );
+    }
+}

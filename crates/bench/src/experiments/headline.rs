@@ -1,0 +1,111 @@
+//! E2 — the §4 headline: "our scheme is able to achieve 40 % improvement in
+//! throughput compared to the standard TCP" on the 100 Mbit/s, 60 ms
+//! ANL↔LBNL path.
+
+use rss_core::plot::{ascii_table, fmt_bps};
+use rss_core::{run, RunReport, Scenario};
+
+/// Result of the headline-throughput experiment.
+#[derive(Debug, Clone)]
+pub struct HeadlineResult {
+    /// Standard TCP run.
+    pub standard: RunReport,
+    /// Restricted Slow-Start run.
+    pub restricted: RunReport,
+}
+
+/// Run E2 on the paper testbed.
+pub fn run_headline() -> HeadlineResult {
+    HeadlineResult {
+        standard: run(&Scenario::paper_testbed_standard()),
+        restricted: run(&Scenario::paper_testbed_restricted()),
+    }
+}
+
+impl HeadlineResult {
+    /// Throughput improvement of restricted over standard, as a fraction
+    /// (0.40 would exactly match the paper).
+    pub fn improvement(&self) -> f64 {
+        self.restricted.flows[0].goodput_bps / self.standard.flows[0].goodput_bps - 1.0
+    }
+
+    /// Render the headline table.
+    pub fn print(&self) -> String {
+        let s = &self.standard.flows[0];
+        let r = &self.restricted.flows[0];
+        let rows = vec![
+            vec![
+                "standard".to_string(),
+                fmt_bps(s.goodput_bps),
+                format!("{:.1}%", s.utilization * 100.0),
+                s.vars.send_stall.to_string(),
+                s.vars.congestion_signals.to_string(),
+                (s.vars.max_cwnd / 1448).to_string(),
+            ],
+            vec![
+                "restricted".to_string(),
+                fmt_bps(r.goodput_bps),
+                format!("{:.1}%", r.utilization * 100.0),
+                r.vars.send_stall.to_string(),
+                r.vars.congestion_signals.to_string(),
+                (r.vars.max_cwnd / 1448).to_string(),
+            ],
+        ];
+        let mut out = ascii_table(
+            &[
+                "algorithm",
+                "goodput",
+                "utilization",
+                "send-stalls",
+                "cong.signals",
+                "max cwnd (seg)",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "\nimprovement: {:+.1}%  (paper: ≈ +40%)\n",
+            self.improvement() * 100.0
+        ));
+        out
+    }
+
+    /// CSV row pair.
+    pub fn to_csv(&self) -> String {
+        let s = &self.standard.flows[0];
+        let r = &self.restricted.flows[0];
+        format!(
+            "algorithm,goodput_bps,utilization,send_stalls,congestion_signals,max_cwnd_bytes\n\
+             standard,{:.0},{:.4},{},{},{}\n\
+             restricted,{:.0},{:.4},{},{},{}\n",
+            s.goodput_bps,
+            s.utilization,
+            s.vars.send_stall,
+            s.vars.congestion_signals,
+            s.vars.max_cwnd,
+            r.goodput_bps,
+            r.utilization,
+            r.vars.send_stall,
+            r.vars.congestion_signals,
+            r.vars.max_cwnd,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_improvement_in_papers_ballpark() {
+        let r = run_headline();
+        let imp = r.improvement();
+        // The paper reports +40%; the simulated testbed gives the same
+        // direction and magnitude class. Accept anything from +20% up —
+        // the invariant is "restricted wins decisively", not the digit.
+        assert!(imp > 0.20, "improvement {imp} too small");
+        assert!(imp < 2.0, "improvement {imp} implausibly large");
+        // Mechanism check: the win comes from eliminating stalls.
+        assert_eq!(r.restricted.flows[0].vars.send_stall, 0);
+        assert!(r.standard.flows[0].vars.send_stall >= 1);
+    }
+}

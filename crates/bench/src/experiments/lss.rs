@@ -1,0 +1,181 @@
+//! E8 — Restricted Slow-Start vs RFC 3742 Limited Slow-Start.
+//!
+//! RFC 3742 (published the year before the paper) moderates slow-start
+//! open-loop: growth slows to at most `max_ssthresh/2` per RTT once the
+//! window passes `max_ssthresh`. The paper's scheme closes a feedback loop
+//! on the actual saturating resource instead. This experiment compares the
+//! three on the paper testbed across IFQ depths: the open-loop cap must be
+//! hand-matched to the queue to avoid stalls, while the closed loop adapts.
+
+use rss_core::plot::ascii_table;
+use rss_core::{run_many, CcAlgorithm, RssConfig, Scenario};
+
+/// One (algorithm, txqueuelen) cell.
+#[derive(Debug, Clone)]
+pub struct LssRow {
+    /// Algorithm label.
+    pub algo: String,
+    /// IFQ depth for this run.
+    pub txqueuelen: u32,
+    /// Goodput, bits/s.
+    pub goodput_bps: f64,
+    /// Send-stalls.
+    pub stalls: u64,
+    /// Time to fully utilize the path, if reached (s).
+    pub time_to_90pct_s: Option<f64>,
+}
+
+/// Result of E8.
+#[derive(Debug, Clone)]
+pub struct LssResult {
+    /// All cells, grouped by algorithm then queue depth.
+    pub rows: Vec<LssRow>,
+}
+
+/// Run E8.
+pub fn run_lss() -> LssResult {
+    let queue_depths = [50u32, 100, 200];
+    let algos: Vec<(&str, CcAlgorithm)> = vec![
+        ("standard", CcAlgorithm::Reno),
+        ("limited (RFC 3742)", CcAlgorithm::Limited { max_ssthresh: None }),
+        (
+            "restricted (paper)",
+            CcAlgorithm::Restricted(RssConfig::tuned()),
+        ),
+    ];
+    let mut scenarios = Vec::new();
+    let mut labels = Vec::new();
+    for &(name, algo) in &algos {
+        for &q in &queue_depths {
+            scenarios.push(Scenario::paper_testbed(algo).with_txqueuelen(q));
+            labels.push((name.to_string(), q));
+        }
+    }
+    let reports = run_many(&scenarios);
+    let rows = labels
+        .into_iter()
+        .zip(&reports)
+        .map(|((algo, q), rep)| {
+            let f = &rep.flows[0];
+            let window = 0.5;
+            let mut t90 = None;
+            let mut t = window;
+            while t <= rep.duration_s {
+                if f.goodput_in_window_bps(t - window, t) >= 0.9 * 100e6 {
+                    t90 = Some(t);
+                    break;
+                }
+                t += window;
+            }
+            LssRow {
+                algo,
+                txqueuelen: q,
+                goodput_bps: f.goodput_bps,
+                stalls: f.vars.send_stall,
+                time_to_90pct_s: t90,
+            }
+        })
+        .collect();
+    LssResult { rows }
+}
+
+impl LssResult {
+    /// Render as a table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algo.clone(),
+                    r.txqueuelen.to_string(),
+                    format!("{:.2}", r.goodput_bps / 1e6),
+                    r.stalls.to_string(),
+                    r.time_to_90pct_s
+                        .map(|t| format!("{t:.1}"))
+                        .unwrap_or_else(|| "never".into()),
+                ]
+            })
+            .collect();
+        ascii_table(
+            &[
+                "algorithm",
+                "txqueuelen",
+                "goodput Mbit/s",
+                "stalls",
+                "t to 90% (s)",
+            ],
+            &rows,
+        )
+    }
+
+    /// CSV rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("algorithm,txqueuelen,goodput_bps,stalls,time_to_90pct_s\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{:.0},{},{}\n",
+                r.algo.replace(',', ";"),
+                r.txqueuelen,
+                r.goodput_bps,
+                r.stalls,
+                r.time_to_90pct_s
+                    .map(|t| format!("{t:.2}"))
+                    .unwrap_or_else(|| "never".into()),
+            ));
+        }
+        out
+    }
+
+    /// Cells for one algorithm.
+    pub fn for_algo(&self, name: &str) -> Vec<&LssRow> {
+        self.rows.iter().filter(|r| r.algo.starts_with(name)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_beats_open_loop_cap() {
+        let r = run_lss();
+        // Restricted: stall-free at every queue depth.
+        assert!(r.for_algo("restricted").iter().all(|x| x.stalls == 0));
+        // At the shallow 50-packet IFQ the RFC 3742 default cap
+        // (100 segments) is too high — it still overflows the queue, while
+        // the feedback loop adapts.
+        let lss_50 = r
+            .for_algo("limited")
+            .into_iter()
+            .find(|x| x.txqueuelen == 50)
+            .unwrap()
+            .clone();
+        let rss_50 = r
+            .for_algo("restricted")
+            .into_iter()
+            .find(|x| x.txqueuelen == 50)
+            .unwrap()
+            .clone();
+        assert!(
+            lss_50.stalls > 0,
+            "open-loop cap unexpectedly avoided stalls: {lss_50:?}"
+        );
+        assert!(rss_50.goodput_bps > lss_50.goodput_bps, "{rss_50:?} vs {lss_50:?}");
+        // Everyone beats or matches standard.
+        for q in [50u32, 100, 200] {
+            let std = r
+                .rows
+                .iter()
+                .find(|x| x.algo == "standard" && x.txqueuelen == q)
+                .unwrap();
+            let rss = r
+                .for_algo("restricted")
+                .into_iter()
+                .find(|x| x.txqueuelen == q)
+                .unwrap()
+                .clone();
+            assert!(rss.goodput_bps > std.goodput_bps * 1.05, "q={q}");
+        }
+    }
+}

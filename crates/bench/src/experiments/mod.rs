@@ -1,0 +1,32 @@
+//! The experiment catalogue (DESIGN.md §5).
+//!
+//! | id  | artifact | module |
+//! |-----|----------|--------|
+//! | E1  | Figure 1: cumulative send-stalls vs time | [`fig1`] |
+//! | E2  | §4 headline: +40 % throughput | [`headline`] |
+//! | E3  | txqueuelen sweep (§2 discussion) | [`sweeps`] |
+//! | E4  | RTT sweep | [`sweeps`] |
+//! | E5  | bandwidth sweep | [`sweeps`] |
+//! | E6  | Ziegler–Nichols tuning trace (§3) | [`zn`] |
+//! | E7  | controller ablation (§3) | [`ablation`] |
+//! | E8  | vs RFC 3742 Limited Slow-Start | [`lss`] |
+//! | E9  | fairness & network-congestion boundary | [`fairness`] |
+//! | E10 | GridFTP-style parallel streams | [`parallel`] |
+
+pub mod ablation;
+pub mod fairness;
+pub mod fig1;
+pub mod headline;
+pub mod lss;
+pub mod parallel;
+pub mod sweeps;
+pub mod zn;
+
+pub use ablation::{run_ablation, AblationResult};
+pub use fairness::{run_fairness, run_friendliness, FairnessResult, FriendlinessResult};
+pub use fig1::{run_fig1, Fig1Result};
+pub use headline::{run_headline, HeadlineResult};
+pub use lss::{run_lss, LssResult};
+pub use parallel::{run_parallel_streams, ParallelResult};
+pub use sweeps::{run_bandwidth_sweep, run_rtt_sweep, run_txqueuelen_sweep, SweepResult};
+pub use zn::{run_zn, ZnExperimentResult};

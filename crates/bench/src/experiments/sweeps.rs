@@ -1,0 +1,206 @@
+//! E3/E4/E5 — parameter sweeps.
+//!
+//! * **E3 txqueuelen**: §2 discusses "increasing the size of the soft
+//!   components" as the rejected alternative fix — this sweep quantifies it:
+//!   standard TCP needs a very deep IFQ to avoid stalls (at the memory cost
+//!   the paper objects to), while RSS delivers full throughput at every
+//!   depth.
+//! * **E4 RTT**: the BDP scaling claim of §1 — the deficit grows with RTT.
+//! * **E5 bandwidth**: same, scaling the line rate; RSS gains are retuned
+//!   per rate exactly as §3's rule prescribes.
+
+use rss_core::plot::ascii_table;
+use rss_core::{run_many, CcAlgorithm, RssConfig, Scenario, SimDuration};
+
+/// One sweep point: the varied parameter plus both algorithms' outcomes.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The swept parameter value (meaning depends on the sweep).
+    pub param: f64,
+    /// Standard TCP goodput, bits/s.
+    pub std_goodput: f64,
+    /// Standard TCP send-stalls.
+    pub std_stalls: u64,
+    /// Restricted goodput, bits/s.
+    pub rss_goodput: f64,
+    /// Restricted send-stalls.
+    pub rss_stalls: u64,
+}
+
+impl SweepRow {
+    /// Restricted-over-standard improvement fraction.
+    pub fn improvement(&self) -> f64 {
+        self.rss_goodput / self.std_goodput - 1.0
+    }
+}
+
+/// A finished sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Human name of the swept parameter.
+    pub param_name: &'static str,
+    /// Unit suffix for display.
+    pub unit: &'static str,
+    /// The rows, in sweep order.
+    pub rows: Vec<SweepRow>,
+}
+
+fn sweep(
+    param_name: &'static str,
+    unit: &'static str,
+    scenarios: Vec<(f64, Scenario, Scenario)>,
+) -> SweepResult {
+    // Flatten for the parallel runner: std and rss runs interleaved.
+    let mut all = Vec::with_capacity(scenarios.len() * 2);
+    for (_, s, r) in &scenarios {
+        all.push(s.clone());
+        all.push(r.clone());
+    }
+    let reports = run_many(&all);
+    let rows = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, (param, _, _))| {
+            let s = &reports[2 * i].flows[0];
+            let r = &reports[2 * i + 1].flows[0];
+            SweepRow {
+                param: *param,
+                std_goodput: s.goodput_bps,
+                std_stalls: s.vars.send_stall,
+                rss_goodput: r.goodput_bps,
+                rss_stalls: r.vars.send_stall,
+            }
+        })
+        .collect();
+    SweepResult {
+        param_name,
+        unit,
+        rows,
+    }
+}
+
+/// E3: sweep the interface-queue depth.
+pub fn run_txqueuelen_sweep() -> SweepResult {
+    let points = [20u32, 50, 100, 200, 500, 1000];
+    let scenarios = points
+        .iter()
+        .map(|&q| {
+            let s = Scenario::paper_testbed_standard().with_txqueuelen(q);
+            let r = Scenario::paper_testbed_restricted().with_txqueuelen(q);
+            (q as f64, s, r)
+        })
+        .collect();
+    sweep("txqueuelen", "pkts", scenarios)
+}
+
+/// E4: sweep the path RTT.
+pub fn run_rtt_sweep() -> SweepResult {
+    let points_ms = [10u64, 20, 40, 60, 100, 150, 200];
+    let scenarios = points_ms
+        .iter()
+        .map(|&ms| {
+            let rtt = SimDuration::from_millis(ms);
+            let s = Scenario::paper_testbed_standard().with_rtt(rtt).with_auto_rwnd();
+            let r = Scenario::paper_testbed_restricted()
+                .with_rtt(rtt)
+                .with_auto_rwnd();
+            (ms as f64, s, r)
+        })
+        .collect();
+    sweep("RTT", "ms", scenarios)
+}
+
+/// E5: sweep the line rate (NIC = path), retuning RSS per rate.
+pub fn run_bandwidth_sweep() -> SweepResult {
+    let points_mbps = [10u64, 50, 100, 250, 500, 1000];
+    let scenarios = points_mbps
+        .iter()
+        .map(|&mbps| {
+            let bps = mbps * 1_000_000;
+            let s = Scenario::paper_testbed_standard().with_rate(bps).with_auto_rwnd();
+            let mut r = Scenario::paper_testbed(CcAlgorithm::Restricted(
+                RssConfig::tuned_for(bps, 1500),
+            ))
+            .with_rate(bps)
+            .with_auto_rwnd();
+            r.seed = s.seed;
+            (mbps as f64, s, r)
+        })
+        .collect();
+    sweep("line rate", "Mbit/s", scenarios)
+}
+
+impl SweepResult {
+    /// Render as a table.
+    pub fn print(&self) -> String {
+        let header = format!("{} ({})", self.param_name, self.unit);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.param),
+                    format!("{:.2}", r.std_goodput / 1e6),
+                    r.std_stalls.to_string(),
+                    format!("{:.2}", r.rss_goodput / 1e6),
+                    r.rss_stalls.to_string(),
+                    format!("{:+.1}%", r.improvement() * 100.0),
+                ]
+            })
+            .collect();
+        ascii_table(
+            &[
+                &header,
+                "std Mbit/s",
+                "std stalls",
+                "rss Mbit/s",
+                "rss stalls",
+                "improvement",
+            ],
+            &rows,
+        )
+    }
+
+    /// CSV rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!(
+            "{},std_goodput_bps,std_stalls,rss_goodput_bps,rss_stalls,improvement\n",
+            self.param_name.replace(' ', "_")
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.0},{},{:.0},{},{:.4}\n",
+                r.param,
+                r.std_goodput,
+                r.std_stalls,
+                r.rss_goodput,
+                r.rss_stalls,
+                r.improvement()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txqueuelen_sweep_shows_papers_tradeoff() {
+        let r = run_txqueuelen_sweep();
+        assert_eq!(r.rows.len(), 6);
+        // Restricted never stalls at any queue depth.
+        assert!(r.rows.iter().all(|row| row.rss_stalls == 0), "{r:?}");
+        // At the paper's txqueuelen = 100 the improvement is large.
+        let at_100 = r.rows.iter().find(|row| row.param == 100.0).unwrap();
+        assert!(at_100.improvement() > 0.2, "{at_100:?}");
+        // A very deep queue rescues standard TCP (the paper's rejected
+        // memory-for-throughput trade): the gap narrows.
+        let at_1000 = r.rows.iter().find(|row| row.param == 1000.0).unwrap();
+        assert!(
+            at_1000.improvement() < at_100.improvement(),
+            "deep IFQ should narrow the gap: {r:?}"
+        );
+    }
+}

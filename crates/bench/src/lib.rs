@@ -1,0 +1,34 @@
+//! # rss-bench — the experiment harness
+//!
+//! One module per experiment in DESIGN.md §5. Each experiment has a
+//! `run_*()` function returning a structured result with `print()` (ASCII
+//! tables/charts) and `to_csv()`; the `experiments` binary dispatches on an
+//! experiment id and writes CSVs under `results/`, and
+//! `benches/paper_benches.rs` wraps the same functions in criterion so
+//! `cargo bench` regenerates every figure and table.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;
+
+use std::path::{Path, PathBuf};
+
+/// Directory experiment CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a CSV artifact and report where it went.
+pub fn write_csv(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write csv");
+    path
+}

@@ -1,0 +1,211 @@
+//! Closed-loop simulation helpers and step-response quality metrics.
+//!
+//! Used by the PID-ablation experiment (E7) to quantify *why* the paper's
+//! "some overshoot" gains behave well on a queue-like plant, and by the test
+//! suite to validate tuned controllers against textbook expectations.
+
+use crate::pid::{PidConfig, PidController};
+use crate::plant::Plant;
+use rss_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Run `pid` against `plant` for `duration` seconds at a fixed `dt`,
+/// returning `(t, y, u)` samples.
+pub fn simulate_closed_loop<P: Plant>(
+    plant: &mut P,
+    cfg: PidConfig,
+    dt: f64,
+    duration: f64,
+) -> Vec<(f64, f64, f64)> {
+    assert!(dt > 0.0 && duration > 0.0);
+    let mut pid = PidController::new(cfg);
+    let steps = (duration / dt).ceil() as usize;
+    let mut out = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let t = i as f64 * dt;
+        let y = plant.output();
+        let u = pid.update(SimTime::from_secs_f64(t), y);
+        out.push((t, y, u));
+        plant.step(u, dt);
+    }
+    out
+}
+
+/// Quality metrics of a step response toward `setpoint`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// 10 % → 90 % rise time (s); `None` if the response never reaches 90 %.
+    pub rise_time: Option<f64>,
+    /// Peak overshoot as a percentage of the step size (0 if none).
+    pub overshoot_pct: f64,
+    /// Time after which the response stays within ±2 % of the setpoint;
+    /// `None` if it never settles.
+    pub settling_time: Option<f64>,
+    /// |setpoint − y| at the end of the window.
+    pub steady_state_error: f64,
+    /// Integral of absolute error over the window.
+    pub iae: f64,
+    /// Integral of squared error over the window.
+    pub ise: f64,
+}
+
+/// Compute [`StepMetrics`] from `(t, y)` samples of a response that starts at
+/// `y0` and targets `setpoint`.
+pub fn step_metrics(samples: &[(f64, f64)], y0: f64, setpoint: f64) -> StepMetrics {
+    assert!(!samples.is_empty(), "empty response");
+    let step = setpoint - y0;
+    assert!(step.abs() > 1e-12, "degenerate step");
+    let dir = step.signum();
+
+    let frac = |y: f64| (y - y0) / step;
+
+    let mut t10 = None;
+    let mut t90 = None;
+    let mut peak = f64::NEG_INFINITY;
+    let mut iae = 0.0;
+    let mut ise = 0.0;
+    for w in samples.windows(2) {
+        let (t, y) = w[0];
+        let dt = w[1].0 - t;
+        let e = setpoint - y;
+        iae += e.abs() * dt;
+        ise += e * e * dt;
+        let f = frac(y);
+        if t10.is_none() && f >= 0.1 {
+            t10 = Some(t);
+        }
+        if t90.is_none() && f >= 0.9 {
+            t90 = Some(t);
+        }
+        peak = peak.max(f * dir.signum());
+    }
+    // Include the last sample's value in the peak scan.
+    peak = peak.max(frac(samples[samples.len() - 1].1));
+
+    let rise_time = match (t10, t90) {
+        (Some(a), Some(b)) if b >= a => Some(b - a),
+        _ => None,
+    };
+    let overshoot_pct = ((peak - 1.0) * 100.0).max(0.0);
+
+    // Settling: last time the response was outside the ±2 % band.
+    let band = 0.02 * step.abs();
+    let mut settling_time = None;
+    for &(t, y) in samples.iter().rev() {
+        if (setpoint - y).abs() > band {
+            settling_time = Some(t);
+            break;
+        }
+    }
+    // If even the final sample is outside the band, it never settled.
+    let last = samples[samples.len() - 1];
+    let settling_time = if (setpoint - last.1).abs() > band {
+        None
+    } else {
+        settling_time.or(Some(0.0))
+    };
+
+    StepMetrics {
+        rise_time,
+        overshoot_pct,
+        settling_time,
+        steady_state_error: (setpoint - last.1).abs(),
+        iae,
+        ise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pid::PidGains;
+    use crate::plant::{DeadTimePlant, FirstOrderPlant};
+    use crate::ziegler_nichols::{find_ultimate_gain, ZnSearchConfig};
+
+    #[test]
+    fn pi_eliminates_steady_state_error_on_first_order() {
+        // P-only on a first-order plant leaves offset; PI removes it.
+        let mut plant = FirstOrderPlant::new(1.0, 0.5, 0.0);
+        let p_cfg = PidConfig::new(PidGains::p(2.0), 1.0);
+        let resp = simulate_closed_loop(&mut plant, p_cfg, 1e-3, 20.0);
+        let y_final_p = resp.last().unwrap().1;
+        // P-only steady state: y = Kp*K/(1+Kp*K) = 2/3.
+        assert!((y_final_p - 2.0 / 3.0).abs() < 0.01, "y {y_final_p}");
+
+        plant.reset();
+        let pi_cfg = PidConfig::new(PidGains::pi(2.0, 0.5), 1.0);
+        let resp = simulate_closed_loop(&mut plant, pi_cfg, 1e-3, 20.0);
+        let y_final_pi = resp.last().unwrap().1;
+        assert!((y_final_pi - 1.0).abs() < 0.01, "y {y_final_pi}");
+    }
+
+    #[test]
+    fn zn_paper_gains_stabilize_fopdt() {
+        // End-to-end: tune on the plant, then close the loop with the paper's
+        // rule and verify a sane, settled step response.
+        let mut plant = DeadTimePlant::new(FirstOrderPlant::new(1.0, 1.0, 0.0), 1.0);
+        let zcfg = ZnSearchConfig {
+            dt: 2e-3,
+            sim_time: 80.0,
+            ..Default::default()
+        };
+        let zn = find_ultimate_gain(&mut plant, &zcfg).unwrap();
+        plant.reset();
+        let cfg = PidConfig::new(zn.paper_gains(), 1.0);
+        let resp: Vec<(f64, f64)> = simulate_closed_loop(&mut plant, cfg, 2e-3, 60.0)
+            .into_iter()
+            .map(|(t, y, _)| (t, y))
+            .collect();
+        let m = step_metrics(&resp, 0.0, 1.0);
+        assert!(m.settling_time.is_some(), "loop did not settle: {m:?}");
+        assert!(m.steady_state_error < 0.02, "{m:?}");
+        assert!(m.overshoot_pct < 60.0, "{m:?}");
+    }
+
+    #[test]
+    fn metrics_on_ideal_first_order_response() {
+        // y(t) = 1 - e^{-t}: no overshoot, known rise time
+        // t10 = ln(10/9) ≈ 0.105, t90 = ln(10) ≈ 2.303 -> rise ≈ 2.197.
+        let samples: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                (t, 1.0 - (-t).exp())
+            })
+            .collect();
+        let m = step_metrics(&samples, 0.0, 1.0);
+        assert!((m.rise_time.unwrap() - 2.197).abs() < 0.01, "{m:?}");
+        assert!(m.overshoot_pct < 1e-9, "{m:?}");
+        // settles within 2%: t = ln(50) ≈ 3.912
+        assert!((m.settling_time.unwrap() - 3.912).abs() < 0.02, "{m:?}");
+        assert!(m.steady_state_error < 1e-3);
+        // IAE of e^{-t} over [0, 10] ≈ 1.0
+        assert!((m.iae - 1.0).abs() < 0.01, "{m:?}");
+        assert!((m.ise - 0.5).abs() < 0.01, "{m:?}");
+    }
+
+    #[test]
+    fn overshoot_measured() {
+        // Synthetic response peaking at 1.3 then settling at 1.0.
+        let samples: Vec<(f64, f64)> = (0..5000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                let y = 1.0 + 0.3 * (-t).exp() * (6.0 * t).sin();
+                (t, y)
+            })
+            .collect();
+        let m = step_metrics(&samples, 0.0, 1.0);
+        assert!(m.overshoot_pct > 10.0, "{m:?}");
+        assert!(m.overshoot_pct < 35.0, "{m:?}");
+    }
+
+    #[test]
+    fn never_settling_response() {
+        let samples: Vec<(f64, f64)> = (0..1000)
+            .map(|i| (i as f64 * 1e-3, 0.5))
+            .collect();
+        let m = step_metrics(&samples, 0.0, 1.0);
+        assert!(m.settling_time.is_none());
+        assert!(m.rise_time.is_none());
+        assert!((m.steady_state_error - 0.5).abs() < 1e-12);
+    }
+}

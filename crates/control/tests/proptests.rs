@@ -1,0 +1,97 @@
+//! Property-based tests for the PID controller and plants.
+
+use proptest::prelude::*;
+use rss_control::{
+    FirstOrderPlant, IntegratorPlant, PidConfig, PidController, PidGains, Plant,
+};
+use rss_sim::SimTime;
+
+proptest! {
+    /// The controller output always respects its configured clamps, for any
+    /// gain set and any measurement sequence.
+    #[test]
+    fn output_always_clamped(
+        kp in 0.0f64..100.0,
+        ti_exp in -4.0f64..4.0,
+        td_exp in -6.0f64..0.0,
+        lo in -10.0f64..0.0,
+        span in 0.1f64..20.0,
+        pvs in prop::collection::vec(-1000.0f64..1000.0, 1..200),
+    ) {
+        let gains = PidGains::pid(kp, 10f64.powf(ti_exp), 10f64.powf(td_exp));
+        let hi = lo + span;
+        let cfg = PidConfig::new(gains, 42.0).with_output_limits(lo, hi);
+        let mut c = PidController::new(cfg);
+        for (i, &pv) in pvs.iter().enumerate() {
+            let u = c.update(SimTime::from_micros(i as u64 * 100), pv);
+            prop_assert!(u >= lo && u <= hi, "output {u} outside [{lo}, {hi}]");
+            prop_assert!(u.is_finite());
+        }
+    }
+
+    /// Anti-windup: after arbitrarily long saturation, the stored integral
+    /// stays bounded by what the output limits can ever use.
+    #[test]
+    fn integral_never_winds_up_unbounded(
+        hold_steps in 10usize..2000,
+        err_mag in 1.0f64..1000.0,
+    ) {
+        let cfg = PidConfig::new(PidGains::pi(1.0, 0.1), err_mag)
+            .with_output_limits(-1.0, 1.0);
+        let mut c = PidController::new(cfg);
+        for i in 0..hold_steps {
+            // pv = 0 -> persistent positive error of err_mag.
+            c.update(SimTime::from_millis(i as u64), 0.0);
+        }
+        // If the integral were accumulating, it would be ~err_mag * t. The
+        // conditional-integration guard must keep it near zero.
+        prop_assert!(
+            c.integral().abs() <= err_mag * 0.01 + 1.0,
+            "integral wound up to {}",
+            c.integral()
+        );
+        // Recovery must be immediate once the error flips.
+        let u = c.update(SimTime::from_secs(10_000), 2.0 * err_mag);
+        prop_assert!(u <= 0.0, "controller stuck high after saturation: {u}");
+    }
+
+    /// A stable first-order closed loop settles for any reasonable
+    /// proportional gain (first-order lags have no finite ultimate gain).
+    #[test]
+    fn p_control_of_first_order_always_stable(
+        kp in 0.01f64..50.0,
+        gain in 0.1f64..5.0,
+        tau in 0.01f64..2.0,
+    ) {
+        let mut plant = FirstOrderPlant::new(gain, tau, 0.0);
+        let mut c = PidController::new(PidConfig::new(PidGains::p(kp), 1.0));
+        // The *continuous* loop is unconditionally stable; the sampled loop
+        // additionally needs the step to resolve the closed-loop time
+        // constant tau/(1 + KpK), or discretisation itself oscillates.
+        let closed_tau = tau / (1.0 + kp * gain);
+        let dt = (closed_tau / 10.0).min(1e-3);
+        let steps = (20.0 * tau / dt) as usize;
+        let mut y = 0.0;
+        for i in 0..steps {
+            let u = c.update(SimTime::from_secs_f64(i as f64 * dt), y);
+            y = plant.step(u, dt);
+            prop_assert!(y.is_finite() && y.abs() < 1e6, "diverged: {y}");
+        }
+        // Settles to the P-control fixed point y* = KpK/(1+KpK).
+        let expect = kp * gain / (1.0 + kp * gain);
+        prop_assert!((y - expect).abs() < 0.05 + 0.05 * expect, "y {y} vs {expect}");
+    }
+
+    /// Saturating integrator plants never exceed their bounds.
+    #[test]
+    fn saturating_integrator_bounded(
+        inputs in prop::collection::vec(-100.0f64..100.0, 1..500),
+        cap in 1.0f64..1000.0,
+    ) {
+        let mut p = IntegratorPlant::saturating(1.0, 0.0, 0.0, cap);
+        for &u in &inputs {
+            let y = p.step(u, 0.01);
+            prop_assert!((0.0..=cap).contains(&y));
+        }
+    }
+}

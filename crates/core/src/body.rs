@@ -1,0 +1,48 @@
+//! The concrete packet body flowing through the simulated network: TCP
+//! segments plus raw cross-traffic datagrams.
+
+use rss_net::Body;
+use rss_tcp::TcpSegment;
+
+/// Everything that can ride a packet in an experiment.
+#[derive(Debug, Clone, Copy)]
+pub enum WireBody {
+    /// A TCP segment (data or pure ACK).
+    Tcp(TcpSegment),
+    /// Opaque cross traffic of a given wire size.
+    Raw {
+        /// Bytes on the wire.
+        size: u32,
+    },
+}
+
+impl Body for WireBody {
+    fn wire_size(&self) -> u32 {
+        match self {
+            WireBody::Tcp(seg) => seg.wire_size(),
+            WireBody::Raw { size } => *size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss_tcp::{ConnId, SegKind};
+
+    #[test]
+    fn sizes_delegate() {
+        let raw = WireBody::Raw { size: 999 };
+        assert_eq!(raw.wire_size(), 999);
+        let tcp = WireBody::Tcp(TcpSegment {
+            conn: ConnId(0),
+            kind: SegKind::Data {
+                seq: 0,
+                len: 1448,
+                retransmit: false,
+            },
+            header_bytes: 52,
+        });
+        assert_eq!(tcp.wire_size(), 1500);
+    }
+}

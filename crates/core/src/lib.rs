@@ -1,0 +1,61 @@
+//! # rss-core — Restricted Slow-Start for TCP: the public API
+//!
+//! A full reproduction of *Restricted Slow-Start for TCP* (Allcock, Hegde,
+//! Kettimuthu; IEEE CLUSTER 2005). The paper replaces TCP's blind exponential
+//! slow-start with a PID controller that paces window growth off the sending
+//! host's interface-queue (IFQ) occupancy, eliminating the Linux
+//! **send-stall** pseudo-congestion events that collapse throughput on
+//! large bandwidth-delay paths.
+//!
+//! This crate assembles the substrates (`rss-sim`, `rss-net`, `rss-host`,
+//! `rss-tcp`, `rss-control`, `rss-web100`, `rss-workload`) into runnable
+//! experiments:
+//!
+//! * [`Scenario`] — a declarative experiment description;
+//!   [`Scenario::paper_testbed`] is §4 of the paper (100 Mbit/s, 60 ms RTT,
+//!   `txqueuelen` 100, 25 s);
+//! * [`run`] / [`run_many`] — deterministic execution, optionally parallel
+//!   across scenarios;
+//! * [`RunReport`] / [`FlowReport`] — Web100 snapshots, send-stall event
+//!   logs (Figure 1), cwnd/IFQ/goodput series;
+//! * [`plot`] — terminal rendering used by the benchmark harness.
+//!
+//! ```
+//! use rss_core::{run, Scenario, SimDuration};
+//!
+//! // A short run of the paper's testbed, standard TCP vs restricted.
+//! let quick = |sc: Scenario| run(&sc.with_duration(SimDuration::from_millis(800)));
+//! let std_report = quick(Scenario::paper_testbed_standard());
+//! let rss_report = quick(Scenario::paper_testbed_restricted());
+//! assert!(std_report.flows[0].vars.data_bytes_out > 0);
+//! assert!(rss_report.flows[0].vars.data_bytes_out > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod body;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod world;
+
+pub use body::WireBody;
+pub use report::{FlowReport, RunReport};
+pub use runner::{run, run_many};
+pub use scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
+pub use world::{Ev, World};
+
+// Re-export the pieces downstream users need to compose scenarios without
+// depending on every substrate crate directly.
+pub use rss_control::{
+    find_ultimate_gain, simulate_closed_loop, step_metrics, DeadTimePlant, FirstOrderPlant,
+    IntegratorPlant, PidConfig, PidController, PidGains, Plant, SecondOrderPlant, StepMetrics,
+    ZnResult, ZnSearchConfig,
+};
+pub use rss_host::{HostConfig, NicStats};
+pub use rss_net::{LinkParams, TrafficPattern};
+pub use rss_sim::{SimDuration, SimTime};
+pub use rss_tcp::{AckPolicy, CcAlgorithm, RssConfig, StallResponse, TcpConfig};
+pub use rss_web100::Web100Vars;
+pub use rss_workload::{stripe_bytes, AppModel};

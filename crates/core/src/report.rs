@@ -1,0 +1,187 @@
+//! Results extracted from a finished run: per-flow Web100 snapshots, event
+//! logs and series, plus world-level link/NIC accounting.
+
+use rss_host::NicStats;
+use rss_sim::jain_fairness;
+use rss_web100::Web100Vars;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured about one flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Connection index.
+    pub conn: u32,
+    /// Congestion-control label ("standard", "restricted", "limited").
+    pub algo: String,
+    /// Final Web100 counter snapshot.
+    pub vars: Web100Vars,
+    /// Mean goodput over the run, bits/s (acked bytes).
+    pub goodput_bps: f64,
+    /// Goodput as a fraction of the path rate.
+    pub utilization: f64,
+    /// When a bounded transfer finished, seconds.
+    pub completed_at_s: Option<f64>,
+    /// Timestamps of send-stall signals, seconds (Figure 1's x-values).
+    pub stall_times_s: Vec<f64>,
+    /// Timestamps of all congestion signals, seconds.
+    pub congestion_times_s: Vec<f64>,
+    /// Congestion-window samples `(t_s, cwnd_bytes)`.
+    pub cwnd_series: Vec<(f64, f64)>,
+    /// Cumulative acked bytes `(t_s, bytes)`.
+    pub acked_series: Vec<(f64, f64)>,
+    /// Bytes delivered in order to the receiving application.
+    pub receiver_delivered_bytes: u64,
+    /// Fully duplicate segments seen by the receiver (spurious retransmits).
+    pub receiver_dup_segments: u64,
+    /// Segments the receiver buffered out of order (reordering/loss marker).
+    pub receiver_ooo_segments: u64,
+}
+
+impl FlowReport {
+    /// The cumulative send-stall staircase sampled every `step_s` over
+    /// `[0, end_s]` — exactly the series Figure 1 plots.
+    pub fn stall_staircase(&self, end_s: f64, step_s: f64) -> Vec<(f64, u64)> {
+        assert!(step_s > 0.0);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= end_s + 1e-9 {
+            let count = self.stall_times_s.iter().filter(|&&x| x <= t).count() as u64;
+            out.push((t, count));
+            t += step_s;
+        }
+        out
+    }
+
+    /// Goodput over a window `[a_s, b_s]`, bits/s, from the acked series.
+    pub fn goodput_in_window_bps(&self, a_s: f64, b_s: f64) -> f64 {
+        assert!(b_s > a_s);
+        let at = |t: f64| -> f64 {
+            // Step function over cumulative acked bytes.
+            let mut v = 0.0;
+            for &(ts, bytes) in &self.acked_series {
+                if ts <= t {
+                    v = bytes;
+                } else {
+                    break;
+                }
+            }
+            v
+        };
+        (at(b_s) - at(a_s)) * 8.0 / (b_s - a_s)
+    }
+}
+
+/// Results of one complete run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Simulated run length, seconds.
+    pub duration_s: f64,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Path line rate, bits/s.
+    pub path_rate_bps: u64,
+    /// Per-flow results.
+    pub flows: Vec<FlowReport>,
+    /// IFQ-depth samples of the first sender host `(t_s, packets)`.
+    pub sender_ifq_series: Vec<(f64, f64)>,
+    /// NIC counters of the first sender host.
+    pub sender_nic: NicStats,
+    /// Fraction of the run the first sender's NIC was transmitting.
+    pub sender_nic_utilization: f64,
+    /// Packets dropped at router queues.
+    pub router_queue_drops: u64,
+    /// Cross-traffic bytes offered by the sources.
+    pub cross_offered_bytes: u64,
+    /// Cross-traffic bytes delivered to sinks.
+    pub cross_delivered_bytes: u64,
+}
+
+impl RunReport {
+    /// Combined goodput of all flows, bits/s.
+    pub fn total_goodput_bps(&self) -> f64 {
+        self.flows.iter().map(|f| f.goodput_bps).sum()
+    }
+
+    /// Jain fairness index over per-flow goodputs.
+    pub fn fairness(&self) -> f64 {
+        let allocs: Vec<f64> = self.flows.iter().map(|f| f.goodput_bps).collect();
+        jain_fairness(&allocs)
+    }
+
+    /// Total send-stalls across flows.
+    pub fn total_stalls(&self) -> u64 {
+        self.flows.iter().map(|f| f.vars.send_stall).sum()
+    }
+
+    /// Cross-traffic delivery ratio (1.0 when nothing was lost).
+    pub fn cross_delivery_ratio(&self) -> f64 {
+        if self.cross_offered_bytes == 0 {
+            1.0
+        } else {
+            self.cross_delivered_bytes as f64 / self.cross_offered_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(stalls: Vec<f64>, goodput: f64) -> FlowReport {
+        FlowReport {
+            conn: 0,
+            algo: "standard".into(),
+            vars: Web100Vars {
+                send_stall: stalls.len() as u64,
+                ..Default::default()
+            },
+            goodput_bps: goodput,
+            utilization: 0.5,
+            completed_at_s: None,
+            stall_times_s: stalls,
+            congestion_times_s: vec![],
+            cwnd_series: vec![],
+            acked_series: vec![(0.0, 0.0), (1.0, 125_000.0), (2.0, 375_000.0)],
+            receiver_delivered_bytes: 0,
+            receiver_dup_segments: 0,
+            receiver_ooo_segments: 0,
+        }
+    }
+
+    #[test]
+    fn staircase_counts_cumulatively() {
+        let f = flow(vec![0.5, 1.5, 1.6, 7.0], 1e6);
+        let st = f.stall_staircase(8.0, 1.0);
+        let counts: Vec<u64> = st.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![0, 1, 3, 3, 3, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn windowed_goodput() {
+        let f = flow(vec![], 1e6);
+        // Between t=1 and t=2: 250 kB = 2 Mbit/s.
+        let g = f.goodput_in_window_bps(1.0, 2.0);
+        assert!((g - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_report_aggregates() {
+        let r = RunReport {
+            duration_s: 10.0,
+            seed: 1,
+            path_rate_bps: 100_000_000,
+            flows: vec![flow(vec![1.0], 40e6), flow(vec![], 60e6)],
+            sender_ifq_series: vec![],
+            sender_nic: NicStats::default(),
+            sender_nic_utilization: 0.9,
+            router_queue_drops: 0,
+            cross_offered_bytes: 1000,
+            cross_delivered_bytes: 900,
+        };
+        assert!((r.total_goodput_bps() - 100e6).abs() < 1.0);
+        assert_eq!(r.total_stalls(), 1);
+        assert!((r.cross_delivery_ratio() - 0.9).abs() < 1e-12);
+        let fairness = r.fairness();
+        assert!(fairness > 0.9 && fairness < 1.0);
+    }
+}

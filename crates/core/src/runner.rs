@@ -1,0 +1,189 @@
+//! Run scenarios to completion and extract reports; parallel sweep support.
+
+use crate::report::{FlowReport, RunReport};
+use crate::scenario::Scenario;
+use crate::world::World;
+use rss_sim::{Engine, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execute one scenario and collect its report.
+pub fn run(sc: &Scenario) -> RunReport {
+    let world = World::build(sc);
+    let mut engine = Engine::new(world);
+    for (t, ev) in engine.model().initial_events(sc) {
+        engine.schedule_at(t, ev);
+    }
+    engine.run_until(SimTime::ZERO + sc.duration);
+    let end = engine.now();
+    let mut world = engine.into_model();
+
+    let mut flows = Vec::with_capacity(world.conn_count());
+    for i in 0..world.conn_count() {
+        world.sender_mut(i).finish(end);
+        let completed = world.completed_at(i).map(|t| t.as_secs_f64());
+        let rstats = world.receiver(i).stats();
+        let delivered = world.receiver(i).rcv_nxt();
+        let sender = world.sender(i);
+        let w = sender.web100();
+        let vars = w.snapshot();
+        let goodput = w.goodput_bps(end);
+        flows.push(FlowReport {
+            conn: i as u32,
+            algo: match sc.flows[i].algo {
+                rss_tcp::CcAlgorithm::Reno => "standard".into(),
+                rss_tcp::CcAlgorithm::Restricted(_) => "restricted".into(),
+                rss_tcp::CcAlgorithm::Limited { .. } => "limited".into(),
+            },
+            vars,
+            goodput_bps: goodput,
+            utilization: goodput / sc.path.rate_bps as f64,
+            completed_at_s: completed,
+            stall_times_s: w.send_stalls().times().map(|t| t.as_secs_f64()).collect(),
+            congestion_times_s: w
+                .congestion_events()
+                .times()
+                .map(|t| t.as_secs_f64())
+                .collect(),
+            cwnd_series: w
+                .cwnd_series()
+                .iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect(),
+            acked_series: w
+                .acked_series()
+                .iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect(),
+            receiver_delivered_bytes: delivered,
+            receiver_dup_segments: rstats.duplicate_segments,
+            receiver_ooo_segments: rstats.out_of_order_segments,
+        });
+    }
+
+    let sender_nic = world.sender_nic(0);
+    let nic_stats = sender_nic.stats();
+    let nic_util = sender_nic.utilization(end);
+    let sender_ifq_series = world
+        .sender_ifq_series(0)
+        .iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect();
+    let (offered_pkts, offered_bytes) = world
+        .cross_offered()
+        .iter()
+        .fold((0u64, 0u64), |acc, &(p, b)| (acc.0 + p, acc.1 + b));
+    let _ = offered_pkts;
+
+    RunReport {
+        duration_s: end.as_secs_f64(),
+        seed: sc.seed,
+        path_rate_bps: sc.path.rate_bps,
+        flows,
+        sender_ifq_series,
+        sender_nic: nic_stats,
+        sender_nic_utilization: nic_util,
+        router_queue_drops: world.fabric().queue_drops,
+        cross_offered_bytes: offered_bytes,
+        cross_delivered_bytes: world.cross_delivered_bytes,
+    }
+}
+
+/// Run a batch of scenarios across worker threads (order-preserving).
+///
+/// Each scenario is an independent deterministic simulation, so parallelism
+/// is embarrassingly safe; a shared atomic cursor hands out work.
+pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
+    if scenarios.len() <= 1 {
+        return scenarios.iter().map(run).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(scenarios.len());
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<RunReport>>> =
+        scenarios.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let report = run(&scenarios[i]);
+                *results[i].lock() = Some(report);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss_sim::SimDuration;
+    use rss_tcp::CcAlgorithm;
+    use rss_workload::AppModel;
+
+    /// A fast scenario for unit tests: short run, small path.
+    fn tiny(algo: CcAlgorithm) -> Scenario {
+        let mut sc = Scenario::paper_testbed(algo)
+            .with_rate(10_000_000)
+            .with_rtt(SimDuration::from_millis(10))
+            .with_duration(SimDuration::from_millis(1500));
+        sc.web100_stride = 4;
+        sc
+    }
+
+    #[test]
+    fn bulk_flow_moves_data() {
+        let r = run(&tiny(CcAlgorithm::Reno));
+        assert_eq!(r.flows.len(), 1);
+        let f = &r.flows[0];
+        assert!(f.vars.data_bytes_out > 0, "nothing sent");
+        assert!(f.vars.thru_bytes_acked > 0, "nothing acked");
+        assert!(f.goodput_bps > 1_000_000.0, "goodput {}", f.goodput_bps);
+        assert!(f.utilization <= 1.01);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(&tiny(CcAlgorithm::Reno));
+        let b = run(&tiny(CcAlgorithm::Reno));
+        assert_eq!(a.flows[0].vars.data_bytes_out, b.flows[0].vars.data_bytes_out);
+        assert_eq!(a.flows[0].vars.send_stall, b.flows[0].vars.send_stall);
+        assert_eq!(a.flows[0].cwnd_series, b.flows[0].cwnd_series);
+    }
+
+    #[test]
+    fn bounded_transfer_completes() {
+        let mut sc = tiny(CcAlgorithm::Reno);
+        sc.flows[0].app = AppModel::Bulk {
+            bytes: Some(200_000),
+        };
+        sc.stop_when_complete = true;
+        let r = run(&sc);
+        let f = &r.flows[0];
+        assert_eq!(f.vars.thru_bytes_acked, 200_000);
+        assert!(f.completed_at_s.is_some());
+    }
+
+    #[test]
+    fn run_many_matches_run() {
+        let scs = vec![tiny(CcAlgorithm::Reno), tiny(CcAlgorithm::Reno).with_seed(2)];
+        let batch = run_many(&scs);
+        let solo: Vec<_> = scs.iter().map(run).collect();
+        for (b, s) in batch.iter().zip(&solo) {
+            assert_eq!(
+                b.flows[0].vars.data_bytes_out,
+                s.flows[0].vars.data_bytes_out
+            );
+        }
+    }
+}

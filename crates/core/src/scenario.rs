@@ -1,0 +1,276 @@
+//! Experiment scenarios: everything needed to reproduce one run.
+//!
+//! [`Scenario::paper_testbed`] encodes §4 of the paper: a 100 Mbit/s path
+//! with 60 ms RTT, a Linux-2.4-style sending host (`txqueuelen` 100), one
+//! bulk flow, a 25-second horizon.
+
+use rss_host::HostConfig;
+use rss_net::TrafficPattern;
+use rss_sim::{SimDuration, SimTime};
+use rss_tcp::{CcAlgorithm, RssConfig, TcpConfig};
+use rss_workload::AppModel;
+
+/// The network path under test.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSpec {
+    /// Bottleneck/backbone line rate, bits per second.
+    pub rate_bps: u64,
+    /// Path round-trip propagation time.
+    pub rtt: SimDuration,
+    /// Router egress queue capacity, packets.
+    pub router_queue_pkts: u32,
+    /// Independent per-packet loss probability on the long-haul link.
+    pub loss_prob: f64,
+    /// Access-link rate for all hosts; `None` = same as `rate_bps`, which
+    /// makes the sender's own NIC the bottleneck (the paper's regime).
+    pub access_rate_bps: Option<u64>,
+}
+
+impl Default for PathSpec {
+    fn default() -> Self {
+        PathSpec {
+            rate_bps: 100_000_000,
+            rtt: SimDuration::from_millis(60),
+            router_queue_pkts: 200,
+            loss_prob: 0.0,
+            access_rate_bps: None,
+        }
+    }
+}
+
+impl PathSpec {
+    /// Effective access-link rate.
+    pub fn access_rate(&self) -> u64 {
+        self.access_rate_bps.unwrap_or(self.rate_bps)
+    }
+
+    /// Path bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.rate_bps as u128 * self.rtt.as_nanos() as u128 / 8 / 1_000_000_000) as u64
+    }
+}
+
+/// One TCP flow in the experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Congestion-control algorithm.
+    pub algo: CcAlgorithm,
+    /// Application driving the connection.
+    pub app: AppModel,
+    /// When the flow starts.
+    pub start: SimTime,
+}
+
+impl FlowSpec {
+    /// An unbounded bulk flow starting at t = 0.
+    pub fn bulk(algo: CcAlgorithm) -> Self {
+        FlowSpec {
+            algo,
+            app: AppModel::Bulk { bytes: None },
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// One open-loop cross-traffic stream sharing the bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossSpec {
+    /// Arrival process.
+    pub pattern: TrafficPattern,
+    /// Start time.
+    pub start: SimTime,
+    /// Stop time (`None` = until the run ends).
+    pub stop: Option<SimTime>,
+}
+
+/// A complete, reproducible experiment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Network path.
+    pub path: PathSpec,
+    /// Sending/receiving host transmit-path configuration.
+    pub host: HostConfig,
+    /// Transport configuration shared by all flows.
+    pub tcp: TcpConfig,
+    /// The TCP flows.
+    pub flows: Vec<FlowSpec>,
+    /// Cross traffic.
+    pub cross: Vec<CrossSpec>,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// RNG seed (loss, cross traffic).
+    pub seed: u64,
+    /// Put every flow on one sending host (parallel-stream experiments);
+    /// otherwise each flow gets its own host pair.
+    pub shared_sender_host: bool,
+    /// Periodic sampling interval for world-level series (IFQ depth).
+    pub sample_interval: SimDuration,
+    /// Thinning stride for dense per-connection series (1 = keep all).
+    pub web100_stride: u32,
+    /// Stop as soon as every bounded flow completes.
+    pub stop_when_complete: bool,
+    /// Use RED (instead of drop-tail) on the bottleneck router ports.
+    pub red_bottleneck: bool,
+}
+
+impl Scenario {
+    /// The paper's §4 testbed with a single bulk flow of the given
+    /// algorithm: 100 Mbit/s, 60 ms RTT, `txqueuelen` 100, MSS 1448,
+    /// 25-second horizon, per-segment ACKs (Linux 2.4 quickack).
+    pub fn paper_testbed(algo: CcAlgorithm) -> Scenario {
+        Scenario {
+            path: PathSpec::default(),
+            host: HostConfig {
+                nic_rate_bps: 100_000_000,
+                txqueuelen: 100,
+                mtu: 1500,
+            },
+            tcp: TcpConfig::default(),
+            flows: vec![FlowSpec::bulk(algo)],
+            cross: vec![],
+            duration: SimDuration::from_secs(25),
+            seed: 1,
+            shared_sender_host: false,
+            sample_interval: SimDuration::from_millis(10),
+            web100_stride: 1,
+            stop_when_complete: false,
+            red_bottleneck: false,
+        }
+    }
+
+    /// The paper's scheme with default tuned gains on the §4 testbed.
+    pub fn paper_testbed_restricted() -> Scenario {
+        Self::paper_testbed(CcAlgorithm::Restricted(RssConfig::tuned()))
+    }
+
+    /// The standard-TCP baseline on the §4 testbed.
+    pub fn paper_testbed_standard() -> Scenario {
+        Self::paper_testbed(CcAlgorithm::Reno)
+    }
+
+    /// Builder: replace the RTT.
+    pub fn with_rtt(mut self, rtt: SimDuration) -> Self {
+        self.path.rtt = rtt;
+        self
+    }
+
+    /// Builder: replace the line rate (path and NICs).
+    pub fn with_rate(mut self, bps: u64) -> Self {
+        self.path.rate_bps = bps;
+        self.host.nic_rate_bps = bps;
+        self
+    }
+
+    /// Builder: replace `txqueuelen`.
+    pub fn with_txqueuelen(mut self, pkts: u32) -> Self {
+        self.host.txqueuelen = pkts;
+        self
+    }
+
+    /// Builder: replace the run length.
+    pub fn with_duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Builder: replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: size the receive window to the path (4×BDP, floor 2 MB).
+    ///
+    /// The paper's hosts used a hand-tuned static window adequate for their
+    /// 750 kB-BDP path; sweeps that push the BDP beyond that need the same
+    /// tuning or the receive window silently becomes the bottleneck.
+    pub fn with_auto_rwnd(mut self) -> Self {
+        self.tcp.rwnd = (4 * self.path.bdp_bytes()).max(2 * 1024 * 1024);
+        self
+    }
+
+    /// Number of sender/receiver host pairs the topology needs.
+    pub fn host_pairs(&self) -> usize {
+        let flow_pairs = if self.shared_sender_host {
+            1
+        } else {
+            self.flows.len().max(1)
+        };
+        flow_pairs + self.cross.len()
+    }
+
+    /// The sender host-pair index used by flow `i`.
+    pub fn flow_pair(&self, i: usize) -> usize {
+        if self.shared_sender_host {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// The host-pair index used by cross stream `j`.
+    pub fn cross_pair(&self, j: usize) -> usize {
+        let flow_pairs = if self.shared_sender_host {
+            1
+        } else {
+            self.flows.len().max(1)
+        };
+        flow_pairs + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section4() {
+        let s = Scenario::paper_testbed_standard();
+        assert_eq!(s.path.rate_bps, 100_000_000);
+        assert_eq!(s.path.rtt, SimDuration::from_millis(60));
+        assert_eq!(s.host.txqueuelen, 100);
+        assert_eq!(s.duration, SimDuration::from_secs(25));
+        assert_eq!(s.flows.len(), 1);
+        // BDP: 100 Mbit/s * 60 ms = 750 kB ≈ 518 segments.
+        assert_eq!(s.path.bdp_bytes(), 750_000);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let s = Scenario::paper_testbed_standard()
+            .with_rtt(SimDuration::from_millis(120))
+            .with_rate(1_000_000_000)
+            .with_txqueuelen(500)
+            .with_duration(SimDuration::from_secs(5))
+            .with_seed(9);
+        assert_eq!(s.path.rtt, SimDuration::from_millis(120));
+        assert_eq!(s.path.rate_bps, 1_000_000_000);
+        assert_eq!(s.host.nic_rate_bps, 1_000_000_000);
+        assert_eq!(s.host.txqueuelen, 500);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn host_pair_layout() {
+        let mut s = Scenario::paper_testbed_standard();
+        s.flows = vec![
+            FlowSpec::bulk(CcAlgorithm::Reno),
+            FlowSpec::bulk(CcAlgorithm::Reno),
+        ];
+        s.cross = vec![CrossSpec {
+            pattern: TrafficPattern::Cbr {
+                rate_bps: 1_000_000,
+                pkt_size: 1500,
+            },
+            start: SimTime::ZERO,
+            stop: None,
+        }];
+        assert_eq!(s.host_pairs(), 3);
+        assert_eq!(s.flow_pair(1), 1);
+        assert_eq!(s.cross_pair(0), 2);
+        s.shared_sender_host = true;
+        assert_eq!(s.host_pairs(), 2);
+        assert_eq!(s.flow_pair(1), 0);
+        assert_eq!(s.cross_pair(0), 1);
+    }
+}

@@ -1,0 +1,541 @@
+//! The world model: hosts, network fabric and TCP connections wired into one
+//! deterministic event-driven system.
+//!
+//! Event flow for one data segment:
+//!
+//! ```text
+//! sender.can_transmit ─► HostNic.enqueue (IFQ) ──full──► send-stall ─► CC
+//!        │ ok                                              (Figure 1 event)
+//!        ▼
+//! NicTxDone ─► Fabric.start_flight ─► router queues ─► receiver host
+//!                                                          │
+//!            sender.on_ack ◄─ ACK path (receiver NIC) ◄─ TcpReceiver
+//! ```
+
+use crate::body::WireBody;
+use crate::scenario::Scenario;
+use rss_host::HostNic;
+use rss_net::{
+    dumbbell, Fabric, LinkId, LinkParams, NetEvent, NodeId, Packet, PacketIdGen, QueueConfig,
+    TrafficSource,
+};
+use rss_sim::{Model, Scheduler, SimDuration, SimRng, SimTime, TimeSeries};
+use rss_tcp::{
+    make_cc, AckToSend, ConnId, IfqSnapshot, SegKind, TcpReceiver, TcpSegment, TcpSender,
+};
+use rss_workload::AppDriver;
+use std::collections::BTreeMap;
+
+/// Events of the complete experiment world.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// Network-fabric internal event.
+    Net(NetEvent<WireBody>),
+    /// A host NIC finished serializing a packet.
+    NicTxDone {
+        /// Host node id (raw).
+        host: u32,
+    },
+    /// A flow begins.
+    FlowStart {
+        /// Connection index.
+        conn: u32,
+    },
+    /// RTO check for a connection (may be stale; the sender verifies).
+    RtoCheck {
+        /// Connection index.
+        conn: u32,
+    },
+    /// Delayed-ACK check for a connection.
+    DelackCheck {
+        /// Connection index.
+        conn: u32,
+    },
+    /// Retry transmission after a send-stall back-off.
+    StallRetry {
+        /// Connection index.
+        conn: u32,
+    },
+    /// Application writes more data into a connection.
+    AppWrite {
+        /// Connection index.
+        conn: u32,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A cross-traffic source emits its next packet.
+    CrossEmit {
+        /// Cross-stream index.
+        idx: u32,
+    },
+    /// Periodic world-level sampling.
+    Sample,
+}
+
+struct Conn {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    app: AppDriver,
+    src: NodeId,
+    dst: NodeId,
+    start: SimTime,
+    completed_at: Option<SimTime>,
+}
+
+struct Cross {
+    source: TrafficSource,
+    src: NodeId,
+    dst: NodeId,
+    stop: Option<SimTime>,
+    sent_pkts: u64,
+    sent_bytes: u64,
+}
+
+/// The complete experiment state; implements [`Model`] for the DES engine.
+pub struct World {
+    fabric: Fabric<WireBody>,
+    nics: BTreeMap<u32, HostNic<WireBody>>,
+    host_links: BTreeMap<u32, LinkId>,
+    host_conns: BTreeMap<u32, Vec<u32>>,
+    conns: Vec<Conn>,
+    cross: Vec<Cross>,
+    ids: PacketIdGen,
+    scheduled_rto: Vec<Option<SimTime>>,
+    /// IFQ-depth time series per sending host node.
+    ifq_series: BTreeMap<u32, TimeSeries>,
+    sample_interval: SimDuration,
+    duration: SimDuration,
+    stop_when_complete: bool,
+    /// The shared long-haul (bottleneck) link.
+    pub bottleneck: LinkId,
+    /// Cross-traffic packets delivered to their sinks.
+    pub cross_delivered_pkts: u64,
+    /// Cross-traffic bytes delivered to their sinks.
+    pub cross_delivered_bytes: u64,
+}
+
+impl World {
+    /// Build the world for a scenario. The returned engine events must be
+    /// seeded with [`World::initial_events`].
+    pub fn build(sc: &Scenario) -> World {
+        let pairs = sc.host_pairs();
+        let access_delay = SimDuration::from_micros(10);
+        let one_way = sc.path.rtt / 2;
+        let haul_delay = one_way.saturating_sub(access_delay * 2);
+        let access = LinkParams::new(sc.path.access_rate(), access_delay);
+        let haul =
+            LinkParams::new(sc.path.rate_bps, haul_delay).with_loss(sc.path.loss_prob);
+        let (topo, d) = dumbbell(pairs, access, haul);
+
+        let rng = SimRng::seed_from_u64(sc.seed);
+        let mut fabric = Fabric::new(
+            topo,
+            QueueConfig::packets(sc.path.router_queue_pkts),
+            rng.derive(0xFAB),
+        );
+        if sc.red_bottleneck {
+            // RED on both directions of the shared long-haul link, sized to
+            // the drop-tail capacity with ns-2-style thresholds.
+            let mean_pkt = rss_sim::SimDuration::for_bytes_at_rate(1500, sc.path.rate_bps);
+            let red = rss_net::RedConfig::for_capacity(sc.path.router_queue_pkts, mean_pkt);
+            fabric.set_red_port(d.left_router, d.bottleneck, red);
+            fabric.set_red_port(d.right_router, d.bottleneck, red);
+        }
+
+        let mut nics = BTreeMap::new();
+        let mut host_links = BTreeMap::new();
+        for (i, &h) in d.senders.iter().enumerate() {
+            nics.insert(h.0, HostNic::new(sc.host));
+            host_links.insert(h.0, d.sender_access[i]);
+        }
+        for (i, &h) in d.receivers.iter().enumerate() {
+            nics.insert(h.0, HostNic::new(sc.host));
+            host_links.insert(h.0, d.receiver_access[i]);
+        }
+
+        let mut conns = Vec::with_capacity(sc.flows.len());
+        let mut host_conns: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (i, f) in sc.flows.iter().enumerate() {
+            let pair = sc.flow_pair(i);
+            let src = d.senders[pair];
+            let dst = d.receivers[pair];
+            let cc = make_cc(f.algo, &sc.tcp);
+            let mut sender = TcpSender::new(ConnId(i as u32), sc.tcp, cc, f.app.initial_bytes());
+            sender.web100_mut().sample_stride = sc.web100_stride;
+            let receiver = TcpReceiver::new(ConnId(i as u32), sc.tcp);
+            host_conns.entry(src.0).or_default().push(i as u32);
+            conns.push(Conn {
+                sender,
+                receiver,
+                app: AppDriver::new(f.app),
+                src,
+                dst,
+                start: f.start,
+                completed_at: None,
+            });
+        }
+
+        let mut cross = Vec::with_capacity(sc.cross.len());
+        for (j, c) in sc.cross.iter().enumerate() {
+            let pair = sc.cross_pair(j);
+            cross.push(Cross {
+                source: TrafficSource::new(c.pattern, rng.derive(0x0C05 + j as u64)),
+                src: d.senders[pair],
+                dst: d.receivers[pair],
+                stop: c.stop,
+                sent_pkts: 0,
+                sent_bytes: 0,
+            });
+        }
+
+        let mut ifq_series = BTreeMap::new();
+        for &h in host_conns.keys() {
+            ifq_series.insert(h, TimeSeries::new(format!("ifq_host{h}")));
+        }
+
+        World {
+            fabric,
+            nics,
+            host_links,
+            host_conns,
+            scheduled_rto: vec![None; conns.len()],
+            conns,
+            cross,
+            ids: PacketIdGen::new(),
+            ifq_series,
+            sample_interval: sc.sample_interval,
+            duration: sc.duration,
+            stop_when_complete: sc.stop_when_complete,
+            bottleneck: d.bottleneck,
+            cross_delivered_pkts: 0,
+            cross_delivered_bytes: 0,
+        }
+    }
+
+    /// The events to seed the engine with before running.
+    pub fn initial_events(&self, sc: &Scenario) -> Vec<(SimTime, Ev)> {
+        let mut evs = Vec::new();
+        for (i, f) in sc.flows.iter().enumerate() {
+            evs.push((f.start, Ev::FlowStart { conn: i as u32 }));
+        }
+        for (j, c) in sc.cross.iter().enumerate() {
+            evs.push((c.start, Ev::CrossEmit { idx: j as u32 }));
+        }
+        evs.push((SimTime::ZERO, Ev::Sample));
+        evs
+    }
+
+    // --- accessors for reporting --------------------------------------------
+
+    /// Connection count.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The sender of connection `i`.
+    pub fn sender(&self, i: usize) -> &TcpSender {
+        &self.conns[i].sender
+    }
+
+    /// Mutable sender access (for end-of-run finalization).
+    pub fn sender_mut(&mut self, i: usize) -> &mut TcpSender {
+        &mut self.conns[i].sender
+    }
+
+    /// The receiver of connection `i`.
+    pub fn receiver(&self, i: usize) -> &TcpReceiver {
+        &self.conns[i].receiver
+    }
+
+    /// Completion time of connection `i`, if it finished.
+    pub fn completed_at(&self, i: usize) -> Option<SimTime> {
+        self.conns[i].completed_at
+    }
+
+    /// The NIC of the host `conn` sends from.
+    pub fn sender_nic(&self, i: usize) -> &HostNic<WireBody> {
+        &self.nics[&self.conns[i].src.0]
+    }
+
+    /// IFQ depth series for the host `conn` sends from.
+    pub fn sender_ifq_series(&self, i: usize) -> &TimeSeries {
+        &self.ifq_series[&self.conns[i].src.0]
+    }
+
+    /// The network fabric (router/link statistics).
+    pub fn fabric(&self) -> &Fabric<WireBody> {
+        &self.fabric
+    }
+
+    /// Bytes each cross stream has offered so far.
+    pub fn cross_offered(&self) -> Vec<(u64, u64)> {
+        self.cross.iter().map(|c| (c.sent_pkts, c.sent_bytes)).collect()
+    }
+
+    // --- internals -----------------------------------------------------------
+
+    fn ifq_snapshot(&self, host: u32) -> IfqSnapshot {
+        let nic = &self.nics[&host];
+        IfqSnapshot {
+            depth: nic.ifq_queued(),
+            max: nic.ifq_max(),
+        }
+    }
+
+    fn kick_nic(&mut self, host: u32, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let nic = self.nics.get_mut(&host).expect("unknown host nic");
+        if let Some(ser) = nic.start_tx_if_idle(now) {
+            sched.after(ser, Ev::NicTxDone { host });
+        }
+    }
+
+    /// Transmit as much as connection `ci` is allowed to right now.
+    fn pump(&mut self, ci: usize, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        loop {
+            let conn = &self.conns[ci];
+            if now < conn.start {
+                break;
+            }
+            let Some(plan) = conn.sender.can_transmit(now) else {
+                break;
+            };
+            let host = conn.src.0;
+            let header = conn.sender.config().header_bytes;
+            let seg = TcpSegment {
+                conn: ConnId(ci as u32),
+                kind: SegKind::Data {
+                    seq: plan.seq,
+                    len: plan.len,
+                    retransmit: plan.retransmit,
+                },
+                header_bytes: header,
+            };
+            let pkt = Packet {
+                id: self.ids.next_id(),
+                src: conn.src,
+                dst: conn.dst,
+                flow: ConnId(ci as u32).into(),
+                created: now,
+                body: WireBody::Tcp(seg),
+            };
+            let nic = self.nics.get_mut(&host).expect("sender nic");
+            match nic.enqueue(pkt) {
+                Ok(()) => {
+                    self.conns[ci].sender.commit_transmit(now, plan);
+                    self.kick_nic(host, now, sched);
+                }
+                Err(_) => {
+                    // Send-stall: the paper's central event.
+                    let snap = self.ifq_snapshot(host);
+                    let sender = &mut self.conns[ci].sender;
+                    sender.on_local_stall(now, snap);
+                    if let Some(at) = sender.stall_retry_at() {
+                        sched.at(at, Ev::StallRetry { conn: ci as u32 });
+                    }
+                    break;
+                }
+            }
+        }
+        // Post-pump bookkeeping: limitation state and RTO scheduling.
+        let sender = &mut self.conns[ci].sender;
+        sender.update_lim_state(now);
+        if let Some(d) = sender.rto_deadline() {
+            let needs = match self.scheduled_rto[ci] {
+                Some(at) => d < at,
+                None => true,
+            };
+            if needs {
+                sched.at(d.max(now), Ev::RtoCheck { conn: ci as u32 });
+                self.scheduled_rto[ci] = Some(d.max(now));
+            }
+        }
+    }
+
+    fn send_ack(&mut self, ci: usize, ack: AckToSend, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let conn = &self.conns[ci];
+        let host = conn.dst.0; // ACKs leave the receiver host
+        let seg = TcpSegment {
+            conn: ConnId(ci as u32),
+            kind: SegKind::Ack {
+                ack: ack.ack,
+                rwnd: ack.rwnd,
+            },
+            header_bytes: conn.sender.config().header_bytes,
+        };
+        let pkt = Packet {
+            id: self.ids.next_id(),
+            src: conn.dst,
+            dst: conn.src,
+            flow: ConnId(ci as u32).into(),
+            created: now,
+            body: WireBody::Tcp(seg),
+        };
+        let nic = self.nics.get_mut(&host).expect("receiver nic");
+        // A full receiver IFQ silently drops the ACK; cumulative ACKs make
+        // this safe.
+        if nic.enqueue(pkt).is_ok() {
+            self.kick_nic(host, now, sched);
+        }
+    }
+
+    fn deliver(&mut self, node: NodeId, pkt: Packet<WireBody>, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        match pkt.body {
+            WireBody::Raw { size } => {
+                self.cross_delivered_pkts += 1;
+                self.cross_delivered_bytes += size as u64;
+            }
+            WireBody::Tcp(seg) => {
+                let ci = seg.conn.0 as usize;
+                match seg.kind {
+                    SegKind::Data { seq, len, .. } => {
+                        debug_assert_eq!(node, self.conns[ci].dst, "data at wrong host");
+                        let maybe_ack = self.conns[ci].receiver.on_segment(now, seq, len);
+                        match maybe_ack {
+                            Some(a) => self.send_ack(ci, a, now, sched),
+                            None => {
+                                if let Some(d) = self.conns[ci].receiver.delack_deadline() {
+                                    sched.at(d, Ev::DelackCheck { conn: ci as u32 });
+                                }
+                            }
+                        }
+                    }
+                    SegKind::Ack { ack, rwnd } => {
+                        debug_assert_eq!(node, self.conns[ci].src, "ack at wrong host");
+                        let host = self.conns[ci].src.0;
+                        let snap = self.ifq_snapshot(host);
+                        let sender = &mut self.conns[ci].sender;
+                        sender.on_ack(now, ack, rwnd, snap);
+                        if sender.is_complete() && self.conns[ci].completed_at.is_none() {
+                            self.conns[ci].completed_at = Some(now);
+                            if self.stop_when_complete
+                                && self.conns.iter().all(|c| c.completed_at.is_some())
+                            {
+                                sched.request_stop();
+                                return;
+                            }
+                        }
+                        self.pump(ci, now, sched);
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_cross(&mut self, idx: usize, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let stop = self.cross[idx].stop;
+        if let Some(stop) = stop {
+            if now >= stop {
+                return;
+            }
+        }
+        let (gap, size) = self.cross[idx].source.next_packet();
+        let (src, dst) = (self.cross[idx].src, self.cross[idx].dst);
+        let pkt = Packet {
+            id: self.ids.next_id(),
+            src,
+            dst,
+            flow: rss_net::FlowId(u32::MAX - idx as u32),
+            created: now,
+            body: WireBody::Raw { size },
+        };
+        self.cross[idx].sent_pkts += 1;
+        self.cross[idx].sent_bytes += size as u64;
+        let host = src.0;
+        let nic = self.nics.get_mut(&host).expect("cross nic");
+        // Cross sources are open-loop: a full IFQ just drops the datagram.
+        if nic.enqueue(pkt).is_ok() {
+            self.kick_nic(host, now, sched);
+        }
+        sched.after(gap, Ev::CrossEmit { idx: idx as u32 });
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        match ev {
+            Ev::Net(nev) => {
+                let mut pending: Vec<(SimDuration, NetEvent<WireBody>)> = Vec::new();
+                let delivered = self
+                    .fabric
+                    .handle(nev, now, &mut |d, e| pending.push((d, e)));
+                for (d, e) in pending {
+                    sched.after(d, Ev::Net(e));
+                }
+                if let Some((node, pkt)) = delivered {
+                    self.deliver(node, pkt, now, sched);
+                }
+            }
+            Ev::NicTxDone { host } => {
+                let nic = self.nics.get_mut(&host).expect("nic");
+                let pkt = nic.on_tx_done(now);
+                let link = self.host_links[&host];
+                let mut pending: Vec<(SimDuration, NetEvent<WireBody>)> = Vec::new();
+                self.fabric
+                    .start_flight(NodeId(host), link, pkt, &mut |d, e| pending.push((d, e)));
+                for (d, e) in pending {
+                    sched.after(d, Ev::Net(e));
+                }
+                self.kick_nic(host, now, sched);
+                // A queue slot freed: stalled connections on this host may
+                // proceed.
+                if let Some(cis) = self.host_conns.get(&host).cloned() {
+                    for ci in cis {
+                        self.pump(ci as usize, now, sched);
+                    }
+                }
+            }
+            Ev::FlowStart { conn } => {
+                let ci = conn as usize;
+                let start = self.conns[ci].start;
+                if let Some((when, bytes)) = self.conns[ci].app.next_write(start) {
+                    sched.at(when.max(now), Ev::AppWrite { conn, bytes });
+                }
+                self.pump(ci, now, sched);
+            }
+            Ev::RtoCheck { conn } => {
+                let ci = conn as usize;
+                self.scheduled_rto[ci] = None;
+                let host = self.conns[ci].src.0;
+                let snap = self.ifq_snapshot(host);
+                self.conns[ci].sender.on_rto_check(now, snap);
+                self.pump(ci, now, sched);
+            }
+            Ev::DelackCheck { conn } => {
+                let ci = conn as usize;
+                if let Some(a) = self.conns[ci].receiver.on_delack_timer(now) {
+                    self.send_ack(ci, a, now, sched);
+                } else if let Some(d) = self.conns[ci].receiver.delack_deadline() {
+                    sched.at(d, Ev::DelackCheck { conn });
+                }
+            }
+            Ev::StallRetry { conn } => {
+                self.pump(conn as usize, now, sched);
+            }
+            Ev::AppWrite { conn, bytes } => {
+                let ci = conn as usize;
+                self.conns[ci].sender.app_extend(bytes);
+                let start = self.conns[ci].start;
+                if let Some((when, b)) = self.conns[ci].app.next_write(start) {
+                    sched.at(when.max(now), Ev::AppWrite { conn, bytes: b });
+                }
+                self.pump(ci, now, sched);
+            }
+            Ev::CrossEmit { idx } => {
+                self.emit_cross(idx as usize, now, sched);
+            }
+            Ev::Sample => {
+                for (&host, series) in self.ifq_series.iter_mut() {
+                    let depth = self.nics[&host].ifq_queued();
+                    series.push(now, depth as f64);
+                }
+                let next = now + self.sample_interval;
+                if next <= SimTime::ZERO + self.duration {
+                    sched.at(next, Ev::Sample);
+                }
+            }
+        }
+    }
+}

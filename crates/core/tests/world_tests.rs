@@ -1,0 +1,198 @@
+//! World-model integration tests: wiring details the end-to-end suite
+//! doesn't pin down (start offsets, shared hosts, RED bottlenecks, periodic
+//! apps, sampling series).
+
+use rss_core::{
+    run, AppModel, CcAlgorithm, CrossSpec, FlowSpec, RssConfig, Scenario, SimDuration, SimTime,
+    TrafficPattern,
+};
+
+fn base(algo: CcAlgorithm) -> Scenario {
+    let mut sc = Scenario::paper_testbed(algo)
+        .with_rate(20_000_000)
+        .with_rtt(SimDuration::from_millis(10))
+        .with_duration(SimDuration::from_secs(3));
+    sc.web100_stride = 4;
+    sc
+}
+
+#[test]
+fn flow_start_offset_is_respected() {
+    let mut sc = base(CcAlgorithm::Reno);
+    sc.flows[0].start = SimTime::from_millis(1500);
+    let r = run(&sc);
+    let f = &r.flows[0];
+    assert!(f.vars.data_bytes_out > 0);
+    // Nothing acked before the start time.
+    let first_ack_t = f.acked_series.first().map(|&(t, _)| t).unwrap();
+    assert!(first_ack_t >= 1.5, "data moved before flow start: {first_ack_t}");
+}
+
+#[test]
+fn staggered_flows_both_progress() {
+    let mut sc = base(CcAlgorithm::Reno);
+    sc.flows = vec![
+        FlowSpec::bulk(CcAlgorithm::Reno),
+        FlowSpec {
+            start: SimTime::from_millis(1000),
+            ..FlowSpec::bulk(CcAlgorithm::Reno)
+        },
+    ];
+    let r = run(&sc);
+    assert!(r.flows[0].vars.thru_bytes_acked > 0);
+    assert!(r.flows[1].vars.thru_bytes_acked > 0);
+    // The staggered flow's first activity is at/after its start time.
+    let f1_first = r.flows[1].acked_series.first().map(|&(t, _)| t).unwrap();
+    assert!(f1_first >= 1.0, "flow 1 moved before its start: {f1_first}");
+    // Flow 0 was alone for the first second and banked progress there.
+    let f0_at_1s = r.flows[0].goodput_in_window_bps(0.0, 1.0);
+    assert!(f0_at_1s > 1_000_000.0, "flow 0 idle in its solo window");
+}
+
+#[test]
+fn shared_host_flows_share_one_ifq() {
+    let mut sc = base(CcAlgorithm::Reno);
+    sc.flows = vec![
+        FlowSpec::bulk(CcAlgorithm::Reno),
+        FlowSpec::bulk(CcAlgorithm::Reno),
+    ];
+    sc.shared_sender_host = true;
+    let shared = run(&sc);
+    sc.shared_sender_host = false;
+    let separate = run(&sc);
+    // Shared host: both flows squeeze through one 20 Mbit/s NIC; separate
+    // hosts contend only at the bottleneck router. Both top out at the line
+    // rate overall.
+    assert!(shared.total_goodput_bps() <= 20_000_000.0 * 1.01);
+    assert!(separate.total_goodput_bps() <= 20_000_000.0 * 1.01);
+    // The shared-host run has exactly one sender NIC's worth of tx bytes
+    // equal to the sum of flows (plus headers).
+    let payload: u64 = shared.flows.iter().map(|f| f.vars.data_bytes_out).sum();
+    assert!(shared.sender_nic.tx_bytes >= payload);
+}
+
+#[test]
+fn red_bottleneck_run_works_and_differs_from_droptail() {
+    let mk = |red: bool| {
+        let mut sc = base(CcAlgorithm::Reno);
+        // Fast NICs so the router queue is the contention point.
+        sc.path.access_rate_bps = Some(200_000_000);
+        sc.host.nic_rate_bps = 200_000_000;
+        sc.path.router_queue_pkts = 50;
+        sc.red_bottleneck = red;
+        sc.duration = SimDuration::from_secs(5);
+        sc
+    };
+    let droptail = run(&mk(false));
+    let red = run(&mk(true));
+    assert!(droptail.flows[0].vars.thru_bytes_acked > 0);
+    assert!(red.flows[0].vars.thru_bytes_acked > 0);
+    // RED drops early: the flow sees loss events before the hard limit and
+    // the trajectory differs from drop-tail.
+    assert_ne!(
+        droptail.flows[0].vars.data_bytes_out,
+        red.flows[0].vars.data_bytes_out,
+        "RED had no effect on the run"
+    );
+    assert!(
+        red.flows[0].vars.fast_retran + red.flows[0].vars.timeouts > 0,
+        "RED produced no congestion signals"
+    );
+}
+
+#[test]
+fn periodic_app_writes_on_schedule() {
+    let mut sc = base(CcAlgorithm::Reno);
+    sc.flows[0].app = AppModel::Periodic {
+        burst_bytes: 10_000,
+        interval: SimDuration::from_millis(500),
+        count: Some(4),
+    };
+    let r = run(&sc);
+    let f = &r.flows[0];
+    assert_eq!(f.receiver_delivered_bytes, 40_000);
+    // Bursts at 0, 0.5, 1.0, 1.5 s: delivery of the last burst happens
+    // after 1.5 s.
+    let last_t = f.acked_series.last().map(|&(t, _)| t).unwrap();
+    assert!(last_t >= 1.5, "last burst acked too early: {last_t}");
+}
+
+#[test]
+fn ifq_series_covers_run_and_respects_capacity() {
+    let sc = base(CcAlgorithm::Restricted(RssConfig::tuned_for(
+        20_000_000, 1500,
+    )));
+    let r = run(&sc);
+    assert!(!r.sender_ifq_series.is_empty());
+    let last_t = r.sender_ifq_series.last().unwrap().0;
+    assert!(last_t > 2.9, "sampling stopped early: {last_t}");
+    assert!(r
+        .sender_ifq_series
+        .iter()
+        .all(|&(_, v)| (0.0..=100.0).contains(&v)));
+}
+
+#[test]
+fn cross_only_scenario_moves_cross_traffic() {
+    let mut sc = base(CcAlgorithm::Reno);
+    sc.flows[0].app = AppModel::Bulk { bytes: Some(0) };
+    sc.cross = vec![CrossSpec {
+        pattern: TrafficPattern::Cbr {
+            rate_bps: 4_000_000,
+            pkt_size: 1000,
+        },
+        start: SimTime::ZERO,
+        stop: None,
+    }];
+    let r = run(&sc);
+    assert_eq!(r.flows[0].vars.data_bytes_out, 0);
+    // ~4 Mbit/s for 3 s = 1.5 MB.
+    let expect = 4_000_000.0 / 8.0 * 3.0;
+    let got = r.cross_delivered_bytes as f64;
+    assert!(
+        (got - expect).abs() / expect < 0.05,
+        "cross delivery {got} vs {expect}"
+    );
+}
+
+#[test]
+fn open_loop_cross_overload_is_dropped_not_wedged() {
+    let mut sc = base(CcAlgorithm::Reno);
+    sc.flows[0].app = AppModel::Bulk { bytes: Some(0) };
+    // Offer 2x the line rate: the source's own NIC must shed the excess.
+    sc.cross = vec![CrossSpec {
+        pattern: TrafficPattern::Cbr {
+            rate_bps: 40_000_000,
+            pkt_size: 1000,
+        },
+        start: SimTime::ZERO,
+        stop: None,
+    }];
+    let r = run(&sc);
+    let ratio = r.cross_delivery_ratio();
+    assert!(
+        (0.4..0.6).contains(&ratio),
+        "expected ~half delivered at 2x overload, got {ratio}"
+    );
+}
+
+#[test]
+fn limited_slow_start_runs_through_world() {
+    let r = run(&base(CcAlgorithm::Limited { max_ssthresh: None }));
+    assert!(r.flows[0].vars.thru_bytes_acked > 0);
+    assert_eq!(r.flows[0].algo, "limited");
+}
+
+#[test]
+fn report_metadata_round_trips() {
+    let sc = base(CcAlgorithm::Reno).with_seed(77);
+    let r = run(&sc);
+    assert_eq!(r.seed, 77);
+    assert_eq!(r.path_rate_bps, 20_000_000);
+    assert!((r.duration_s - 3.0).abs() < 1e-9);
+    let r2 = r.clone();
+    assert_eq!(
+        format!("{:?}", r.flows[0].vars),
+        format!("{:?}", r2.flows[0].vars)
+    );
+}

@@ -1,0 +1,21 @@
+//! # rss-host — end-host soft components
+//!
+//! The paper's key observation (§2) is that "congestion events are not just
+//! pertained to congestion in the network": on Linux, saturating *soft
+//! components of the sending host* — chiefly the network-interface queue
+//! behind `txqueuelen` — produces **send-stall** events that Linux TCP treats
+//! exactly like network congestion. This crate models that transmit path:
+//!
+//! * [`HostNic`] — bounded IFQ (qdisc) feeding a line-rate device, with
+//!   send-stall generation on overflow and busy-time accounting;
+//! * [`HostConfig`] — NIC rate / `txqueuelen` / MTU, defaulting to the
+//!   paper's testbed (100 Mbit/s, txqueuelen 100, Ethernet MTU).
+//!
+//! The receiving direction needs no model: the paper's pathology is entirely
+//! on the transmit side, and ACK traffic is far below any queue limit.
+
+#![warn(missing_docs)]
+
+pub mod nic;
+
+pub use nic::{HostConfig, HostNic, NicStats};

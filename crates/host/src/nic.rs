@@ -1,0 +1,313 @@
+//! The sending host's soft components: interface queue (IFQ) and NIC.
+//!
+//! This is the subsystem the paper is actually about. On Linux 2.4, a TCP
+//! segment leaving the stack is enqueued on the device's qdisc — a FIFO of
+//! `txqueuelen` packets — and the NIC drains it at line rate. If the stack
+//! produces a burst larger than the qdisc can absorb (exactly what slow-start
+//! does on a big-BDP path), the enqueue *fails*: a **send-stall**. Linux 2.4
+//! fed that failure back into TCP as if it were network congestion, which is
+//! the pathology Restricted Slow-Start removes.
+//!
+//! [`HostNic`] models the qdisc + device pair: bounded FIFO, one packet being
+//! serialized at a time, busy-time accounting for utilization reports.
+
+use rss_net::{Body, DropTailQueue, EnqueueError, Packet, QueueConfig, QueueStats};
+use rss_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a host's transmit path.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// NIC line rate, bits per second. The paper's hosts had 100 Mbit/s NICs.
+    pub nic_rate_bps: u64,
+    /// Interface-queue capacity in packets (Linux `txqueuelen`; the 2.4-era
+    /// default was 100).
+    pub txqueuelen: u32,
+    /// MTU in bytes (1500 for Ethernet).
+    pub mtu: u32,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            nic_rate_bps: 100_000_000,
+            txqueuelen: 100,
+            mtu: 1500,
+        }
+    }
+}
+
+/// Counters for one host transmit path.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NicStats {
+    /// Packets fully serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Enqueue attempts rejected by a full IFQ (send-stalls seen by *all*
+    /// users of this NIC, not per-connection).
+    pub stalls: u64,
+    /// Cumulative time the NIC spent transmitting.
+    pub busy_time: SimDuration,
+}
+
+/// The qdisc + NIC pair of one host.
+#[derive(Debug, Clone)]
+pub struct HostNic<B> {
+    cfg: HostConfig,
+    ifq: DropTailQueue<B>,
+    /// Packet currently being serialized by the device.
+    transmitting: Option<Packet<B>>,
+    tx_started: SimTime,
+    stats: NicStats,
+}
+
+impl<B: Body> HostNic<B> {
+    /// Create an idle NIC with an empty IFQ.
+    pub fn new(cfg: HostConfig) -> Self {
+        HostNic {
+            ifq: DropTailQueue::new(QueueConfig::packets(cfg.txqueuelen)),
+            cfg,
+            transmitting: None,
+            tx_started: SimTime::ZERO,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> HostConfig {
+        self.cfg
+    }
+
+    /// Instantaneous IFQ depth in packets (the PID controller's process
+    /// variable). Includes the packet on the device, matching how the qdisc
+    /// backlog is read on Linux only loosely — the device slot is counted
+    /// because it is still host-side backlog.
+    pub fn ifq_depth(&self) -> u32 {
+        self.ifq.len() as u32 + u32::from(self.transmitting.is_some())
+    }
+
+    /// Queued packets excluding the device slot.
+    pub fn ifq_queued(&self) -> u32 {
+        self.ifq.len() as u32
+    }
+
+    /// Maximum IFQ depth (txqueuelen).
+    pub fn ifq_max(&self) -> u32 {
+        self.cfg.txqueuelen
+    }
+
+    /// IFQ occupancy in [0, 1].
+    pub fn fill_fraction(&self) -> f64 {
+        self.ifq_queued() as f64 / self.cfg.txqueuelen as f64
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Raw queue statistics.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.ifq.stats()
+    }
+
+    /// True while the device is serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.transmitting.is_some()
+    }
+
+    /// Offer a packet to the qdisc.
+    ///
+    /// On success the caller must invoke [`HostNic::start_tx_if_idle`] to
+    /// (possibly) begin serialization. On failure the packet is returned —
+    /// this is the **send-stall** the paper's Figure 1 counts; the caller
+    /// forwards it to the congestion-control module as a local congestion
+    /// signal.
+    pub fn enqueue(&mut self, pkt: Packet<B>) -> Result<(), (EnqueueError, Packet<B>)> {
+        match self.ifq.try_enqueue(pkt) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.stalls += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Non-mutating probe: would an MTU-sized packet be accepted right now?
+    pub fn has_room(&self) -> bool {
+        (self.ifq.len() as u32) < self.cfg.txqueuelen
+    }
+
+    /// If the device is idle and the IFQ is non-empty, move the head packet
+    /// onto the device and return its serialization time; the caller
+    /// schedules a tx-done event that far in the future.
+    pub fn start_tx_if_idle(&mut self, now: SimTime) -> Option<SimDuration> {
+        if self.transmitting.is_some() {
+            return None;
+        }
+        let pkt = self.ifq.dequeue()?;
+        let ser = SimDuration::for_bytes_at_rate(pkt.wire_size() as u64, self.cfg.nic_rate_bps);
+        self.transmitting = Some(pkt);
+        self.tx_started = now;
+        Some(ser)
+    }
+
+    /// The device finished serializing: returns the packet now on the wire.
+    /// The caller puts it in flight and calls [`HostNic::start_tx_if_idle`]
+    /// again for the next one.
+    pub fn on_tx_done(&mut self, now: SimTime) -> Packet<B> {
+        let pkt = self
+            .transmitting
+            .take()
+            .expect("tx-done with no packet on device");
+        self.stats.tx_pkts += 1;
+        self.stats.tx_bytes += pkt.wire_size() as u64;
+        self.stats.busy_time += now.saturating_since(self.tx_started);
+        pkt
+    }
+
+    /// Fraction of `[0, now]` the device spent transmitting.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let total = now.as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut busy = self.stats.busy_time;
+        if self.transmitting.is_some() {
+            busy += now.saturating_since(self.tx_started);
+        }
+        busy.as_nanos() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss_net::{FlowId, NodeId, RawBody};
+
+    fn pkt(id: u64, size: u32) -> Packet<RawBody> {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            flow: FlowId(0),
+            created: SimTime::ZERO,
+            body: RawBody { size },
+        }
+    }
+
+    fn nic(txqueuelen: u32) -> HostNic<RawBody> {
+        HostNic::new(HostConfig {
+            nic_rate_bps: 100_000_000,
+            txqueuelen,
+            mtu: 1500,
+        })
+    }
+
+    #[test]
+    fn serializes_at_line_rate() {
+        let mut n = nic(10);
+        n.enqueue(pkt(0, 1500)).unwrap();
+        let ser = n.start_tx_if_idle(SimTime::ZERO).unwrap();
+        // 1500 B at 100 Mbit/s = 120 us.
+        assert_eq!(ser, SimDuration::from_micros(120));
+        assert!(n.is_busy());
+        let done = SimTime::ZERO + ser;
+        let out = n.on_tx_done(done);
+        assert_eq!(out.id, 0);
+        assert!(!n.is_busy());
+        assert_eq!(n.stats().tx_pkts, 1);
+        assert_eq!(n.stats().tx_bytes, 1500);
+        assert_eq!(n.stats().busy_time, ser);
+    }
+
+    #[test]
+    fn full_ifq_generates_send_stall() {
+        let mut n = nic(2);
+        n.enqueue(pkt(0, 1500)).unwrap();
+        n.enqueue(pkt(1, 1500)).unwrap();
+        let err = n.enqueue(pkt(2, 1500));
+        assert!(err.is_err(), "third packet must stall");
+        let (_, returned) = err.unwrap_err();
+        assert_eq!(returned.id, 2);
+        assert_eq!(n.stats().stalls, 1);
+        // Starting transmission frees a queue slot.
+        n.start_tx_if_idle(SimTime::ZERO).unwrap();
+        n.enqueue(pkt(3, 1500)).unwrap();
+        assert_eq!(n.stats().stalls, 1);
+    }
+
+    #[test]
+    fn ifq_depth_counts_device_slot() {
+        let mut n = nic(10);
+        n.enqueue(pkt(0, 1500)).unwrap();
+        n.enqueue(pkt(1, 1500)).unwrap();
+        assert_eq!(n.ifq_depth(), 2);
+        assert_eq!(n.ifq_queued(), 2);
+        n.start_tx_if_idle(SimTime::ZERO).unwrap();
+        assert_eq!(n.ifq_depth(), 2, "device slot still backlog");
+        assert_eq!(n.ifq_queued(), 1);
+        n.on_tx_done(SimTime::from_micros(120));
+        assert_eq!(n.ifq_depth(), 1);
+    }
+
+    #[test]
+    fn device_busy_blocks_second_start() {
+        let mut n = nic(10);
+        n.enqueue(pkt(0, 1500)).unwrap();
+        n.enqueue(pkt(1, 1500)).unwrap();
+        assert!(n.start_tx_if_idle(SimTime::ZERO).is_some());
+        assert!(n.start_tx_if_idle(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn drain_order_is_fifo() {
+        let mut n = nic(10);
+        for i in 0..5 {
+            n.enqueue(pkt(i, 100)).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        for expect in 0..5 {
+            let ser = n.start_tx_if_idle(now).unwrap();
+            now += ser;
+            assert_eq!(n.on_tx_done(now).id, expect);
+        }
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let mut n = nic(10);
+        n.enqueue(pkt(0, 1500)).unwrap();
+        let ser = n.start_tx_if_idle(SimTime::ZERO).unwrap();
+        n.on_tx_done(SimTime::ZERO + ser);
+        // Busy 120 us out of 240 us = 50 %.
+        let u = n.utilization(SimTime::from_micros(240));
+        assert!((u - 0.5).abs() < 1e-9, "u = {u}");
+        // Mid-transmission time counts as busy.
+        n.enqueue(pkt(1, 1500)).unwrap();
+        n.start_tx_if_idle(SimTime::from_micros(240)).unwrap();
+        let u = n.utilization(SimTime::from_micros(300));
+        assert!((u - (120.0 + 60.0) / 300.0).abs() < 1e-9, "u = {u}");
+    }
+
+    #[test]
+    fn fill_fraction_against_txqueuelen() {
+        let mut n = nic(4);
+        assert_eq!(n.fill_fraction(), 0.0);
+        n.enqueue(pkt(0, 100)).unwrap();
+        n.enqueue(pkt(1, 100)).unwrap();
+        assert_eq!(n.fill_fraction(), 0.5);
+        assert!(n.has_room());
+        n.enqueue(pkt(2, 100)).unwrap();
+        n.enqueue(pkt(3, 100)).unwrap();
+        assert!(!n.has_room());
+    }
+
+    #[test]
+    #[should_panic(expected = "tx-done with no packet")]
+    fn tx_done_without_start_panics() {
+        let mut n = nic(1);
+        n.on_tx_done(SimTime::ZERO);
+    }
+}

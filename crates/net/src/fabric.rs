@@ -1,0 +1,494 @@
+//! The network fabric: packet motion through links and router queues.
+//!
+//! The fabric owns the *interior* of the network — router egress ports, their
+//! queues, and the links. End hosts are the edge: a host NIC (modelled in
+//! `rss-host`) serializes a packet and calls [`Fabric::start_flight`]; when a
+//! packet arrives back at a host edge, [`Fabric::handle`] returns it to the
+//! caller for delivery to the transport layer.
+//!
+//! The fabric is generic over the packet body and over the event-scheduling
+//! callback, so the embedding world model decides how fabric events are
+//! represented in its own event enum.
+
+use crate::packet::{Body, LinkId, NodeId, Packet};
+use crate::queue::{DropTailQueue, QueueConfig, QueueStats};
+use crate::red::{RedConfig, RedQueue};
+use crate::topology::{NodeKind, RoutingTable, Topology};
+use rss_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fabric-internal events. The embedding model stores these in its own event
+/// enum and feeds them back into [`Fabric::handle`].
+#[derive(Debug, Clone)]
+pub enum NetEvent<B> {
+    /// A packet finished propagating along `link` and reached `node`.
+    Arrival {
+        /// Node the packet arrived at.
+        node: NodeId,
+        /// Link it arrived on.
+        link: LinkId,
+        /// The packet.
+        pkt: Packet<B>,
+    },
+    /// A router egress port finished serializing its current packet.
+    PortTxDone {
+        /// Router owning the port.
+        node: NodeId,
+        /// Link the port feeds.
+        link: LinkId,
+    },
+}
+
+/// Queue discipline on a router egress port.
+pub enum PortQueue<B> {
+    /// Plain drop-tail FIFO.
+    DropTail(DropTailQueue<B>),
+    /// RED active queue management.
+    Red(RedQueue<B>),
+}
+
+impl<B: Body> PortQueue<B> {
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet<B>, rng: &mut SimRng) -> bool {
+        match self {
+            PortQueue::DropTail(q) => q.try_enqueue(pkt).is_ok(),
+            PortQueue::Red(q) => q.try_enqueue(now, pkt, rng).is_ok(),
+        }
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet<B>> {
+        match self {
+            PortQueue::DropTail(q) => q.dequeue(),
+            PortQueue::Red(q) => q.dequeue(now),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            PortQueue::DropTail(q) => q.len(),
+            PortQueue::Red(q) => q.len(),
+        }
+    }
+    /// Storage-layer statistics.
+    pub fn stats(&self) -> QueueStats {
+        match self {
+            PortQueue::DropTail(q) => q.stats(),
+            PortQueue::Red(q) => q.stats(),
+        }
+    }
+}
+
+struct Port<B> {
+    queue: PortQueue<B>,
+    /// The packet currently being serialized, if any.
+    transmitting: Option<Packet<B>>,
+}
+
+/// Per-link transfer statistics (one entry per direction of use).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets that completed the link.
+    pub delivered_pkts: u64,
+    /// Bytes that completed the link.
+    pub delivered_bytes: u64,
+    /// Packets lost to random link loss.
+    pub lost_pkts: u64,
+}
+
+/// The interior packet-forwarding machine.
+pub struct Fabric<B> {
+    topo: Topology,
+    routes: RoutingTable,
+    ports: BTreeMap<(u32, u32), Port<B>>,
+    rng: SimRng,
+    link_stats: BTreeMap<u32, LinkStats>,
+    /// Packets dropped at routers because no route existed.
+    pub unroutable_drops: u64,
+    /// Packets dropped at router queues.
+    pub queue_drops: u64,
+}
+
+impl<B: Body> Fabric<B> {
+    /// Build a fabric over `topo` with drop-tail queues of `router_queue`
+    /// capacity on every router egress port.
+    pub fn new(topo: Topology, router_queue: QueueConfig, rng: SimRng) -> Self {
+        let routes = topo.compute_routes();
+        let mut ports = BTreeMap::new();
+        for node in topo.nodes() {
+            if topo.kind(node) == NodeKind::Router {
+                for &(link, _) in topo.neighbors(node) {
+                    ports.insert(
+                        (node.0, link.0),
+                        Port {
+                            queue: PortQueue::DropTail(DropTailQueue::new(router_queue)),
+                            transmitting: None,
+                        },
+                    );
+                }
+            }
+        }
+        Fabric {
+            topo,
+            routes,
+            ports,
+            rng,
+            link_stats: BTreeMap::new(),
+            unroutable_drops: 0,
+            queue_drops: 0,
+        }
+    }
+
+    /// Replace the queue on one router egress port with RED.
+    pub fn set_red_port(&mut self, node: NodeId, link: LinkId, cfg: RedConfig) {
+        let port = self
+            .ports
+            .get_mut(&(node.0, link.0))
+            .expect("not a router egress port");
+        port.queue = PortQueue::Red(RedQueue::new(cfg));
+    }
+
+    /// The topology the fabric runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing table (mutable, for override experiments).
+    pub fn routes_mut(&mut self) -> &mut RoutingTable {
+        &mut self.routes
+    }
+
+    /// Statistics for a link (zeroed default if unused).
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.link_stats.get(&link.0).copied().unwrap_or_default()
+    }
+
+    /// Queue statistics of a router egress port.
+    pub fn port_stats(&self, node: NodeId, link: LinkId) -> Option<QueueStats> {
+        self.ports.get(&(node.0, link.0)).map(|p| p.queue.stats())
+    }
+
+    /// Instantaneous queue length of a router egress port.
+    pub fn port_queue_len(&self, node: NodeId, link: LinkId) -> Option<usize> {
+        self.ports.get(&(node.0, link.0)).map(|p| p.queue.len())
+    }
+
+    /// Put a fully serialized packet onto `link` leaving `from`: applies the
+    /// link loss model and schedules the far-end arrival.
+    ///
+    /// Host NICs call this directly (their serialization time is the NIC's
+    /// business); router ports call it internally when serialization ends.
+    pub fn start_flight(
+        &mut self,
+        from: NodeId,
+        link: LinkId,
+        pkt: Packet<B>,
+        sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
+    ) {
+        let spec = *self.topo.link(link);
+        let stats = self.link_stats.entry(link.0).or_default();
+        if spec.params.loss_prob > 0.0 && self.rng.chance(spec.params.loss_prob) {
+            stats.lost_pkts += 1;
+            return;
+        }
+        stats.delivered_pkts += 1;
+        stats.delivered_bytes += pkt.wire_size() as u64;
+        let to = spec.other_end(from);
+        sched(
+            spec.params.prop_delay,
+            NetEvent::Arrival {
+                node: to,
+                link,
+                pkt,
+            },
+        );
+    }
+
+    /// If `port` is idle and has queued work, begin serializing the next
+    /// packet.
+    fn kick_port(
+        &mut self,
+        node: NodeId,
+        link: LinkId,
+        now: SimTime,
+        sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
+    ) {
+        let port = self.ports.get_mut(&(node.0, link.0)).expect("missing port");
+        if port.transmitting.is_some() {
+            return;
+        }
+        let Some(pkt) = port.queue.dequeue(now) else {
+            return;
+        };
+        let ser = self.topo.link(link).params.serialize_time(pkt.wire_size());
+        port.transmitting = Some(pkt);
+        sched(ser, NetEvent::PortTxDone { node, link });
+    }
+
+    /// Process one fabric event. Returns `Some((host, packet))` when a packet
+    /// reaches an end host — the caller delivers it to the transport layer.
+    pub fn handle(
+        &mut self,
+        ev: NetEvent<B>,
+        now: SimTime,
+        sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
+    ) -> Option<(NodeId, Packet<B>)> {
+        match ev {
+            NetEvent::Arrival { node, pkt, .. } => {
+                if self.topo.kind(node) == NodeKind::Host {
+                    return Some((node, pkt));
+                }
+                // Router: forward.
+                let Some(out_link) = self.routes.next_link(node, pkt.dst) else {
+                    self.unroutable_drops += 1;
+                    return None;
+                };
+                let port = self
+                    .ports
+                    .get_mut(&(node.0, out_link.0))
+                    .expect("router port missing");
+                if port.queue.try_enqueue(now, pkt, &mut self.rng) {
+                    self.kick_port(node, out_link, now, sched);
+                } else {
+                    self.queue_drops += 1;
+                }
+                None
+            }
+            NetEvent::PortTxDone { node, link } => {
+                let port = self.ports.get_mut(&(node.0, link.0)).expect("missing port");
+                let pkt = port
+                    .transmitting
+                    .take()
+                    .expect("PortTxDone with no packet in flight");
+                self.start_flight(node, link, pkt, sched);
+                self.kick_port(node, link, now, sched);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketIdGen, RawBody};
+    use crate::topology::{dumbbell, LinkParams};
+    use rss_sim::{Engine, Model, Scheduler};
+
+    /// Minimal world: raw packets pumped through a fabric, arrivals counted.
+    struct RawWorld {
+        fabric: Fabric<RawBody>,
+        delivered: Vec<(SimTime, NodeId, u64)>,
+    }
+
+    impl Model for RawWorld {
+        type Event = NetEvent<RawBody>;
+        fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<'_, Self::Event>) {
+            let now = sched.now();
+            let mut pending = Vec::new();
+            let out = self
+                .fabric
+                .handle(ev, now, &mut |d, e| pending.push((d, e)));
+            for (d, e) in pending {
+                sched.after(d, e);
+            }
+            if let Some((node, pkt)) = out {
+                self.delivered.push((now, node, pkt.id));
+            }
+        }
+    }
+
+    fn mk_world(n: usize, bn_rate: u64, queue: QueueConfig) -> (RawWorld, crate::topology::Dumbbell) {
+        let access = LinkParams::new(1_000_000_000, SimDuration::from_micros(100));
+        let bottleneck = LinkParams::new(bn_rate, SimDuration::from_millis(10));
+        let (topo, d) = dumbbell(n, access, bottleneck);
+        let fabric = Fabric::new(topo, queue, SimRng::seed_from_u64(99));
+        (
+            RawWorld {
+                fabric,
+                delivered: vec![],
+            },
+            d,
+        )
+    }
+
+    fn send(
+        eng: &mut Engine<RawWorld>,
+        ids: &mut PacketIdGen,
+        from: NodeId,
+        link: LinkId,
+        dst: NodeId,
+        size: u32,
+        at: SimTime,
+    ) {
+        let pkt = Packet {
+            id: ids.next_id(),
+            src: from,
+            dst,
+            flow: FlowId(0),
+            created: at,
+            body: RawBody { size },
+        };
+        // Emulate a host NIC that has already serialized the packet.
+        let mut pending = Vec::new();
+        eng.model_mut()
+            .fabric
+            .start_flight(from, link, pkt, &mut |d, e| pending.push((d, e)));
+        for (d, e) in pending {
+            eng.schedule_at(at + d, e);
+        }
+    }
+
+    #[test]
+    fn packet_crosses_dumbbell_with_correct_latency() {
+        let (world, d) = mk_world(1, 100_000_000, QueueConfig::packets(100));
+        let mut eng = Engine::new(world);
+        let mut ids = PacketIdGen::new();
+        send(
+            &mut eng,
+            &mut ids,
+            d.senders[0],
+            d.sender_access[0],
+            d.receivers[0],
+            1500,
+            SimTime::ZERO,
+        );
+        eng.run_to_completion();
+        let delivered = &eng.model().delivered;
+        assert_eq!(delivered.len(), 1);
+        let (t, node, _) = delivered[0];
+        assert_eq!(node, d.receivers[0]);
+        // Latency: prop 100us + (ser 120us + prop 10ms) + (ser 12us + prop 100us)
+        let expect = SimDuration::from_micros(100)
+            + SimDuration::for_bytes_at_rate(1500, 100_000_000)
+            + SimDuration::from_millis(10)
+            + SimDuration::for_bytes_at_rate(1500, 1_000_000_000)
+            + SimDuration::from_micros(100);
+        assert_eq!(t, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn bottleneck_serializes_back_to_back_packets() {
+        let (world, d) = mk_world(1, 100_000_000, QueueConfig::packets(100));
+        let mut eng = Engine::new(world);
+        let mut ids = PacketIdGen::new();
+        // Two packets injected at the same instant: the second must leave the
+        // bottleneck one serialization time after the first.
+        for _ in 0..2 {
+            send(
+                &mut eng,
+                &mut ids,
+                d.senders[0],
+                d.sender_access[0],
+                d.receivers[0],
+                1500,
+                SimTime::ZERO,
+            );
+        }
+        eng.run_to_completion();
+        let delivered = &eng.model().delivered;
+        assert_eq!(delivered.len(), 2);
+        let gap = delivered[1].0 - delivered[0].0;
+        assert_eq!(gap, SimDuration::for_bytes_at_rate(1500, 100_000_000));
+    }
+
+    #[test]
+    fn router_queue_overflow_drops() {
+        // 2-packet router queue, 10 packets at once: expect drops.
+        let (world, d) = mk_world(1, 10_000_000, QueueConfig::packets(2));
+        let mut eng = Engine::new(world);
+        let mut ids = PacketIdGen::new();
+        for _ in 0..10 {
+            send(
+                &mut eng,
+                &mut ids,
+                d.senders[0],
+                d.sender_access[0],
+                d.receivers[0],
+                1500,
+                SimTime::ZERO,
+            );
+        }
+        eng.run_to_completion();
+        let world = eng.model();
+        // 1 transmitting + 2 queued survive at the left router.
+        assert_eq!(world.delivered.len(), 3);
+        assert_eq!(world.fabric.queue_drops, 7);
+    }
+
+    #[test]
+    fn fifo_order_end_to_end() {
+        let (world, d) = mk_world(1, 50_000_000, QueueConfig::packets(100));
+        let mut eng = Engine::new(world);
+        let mut ids = PacketIdGen::new();
+        for i in 0..20u64 {
+            send(
+                &mut eng,
+                &mut ids,
+                d.senders[0],
+                d.sender_access[0],
+                d.receivers[0],
+                1000,
+                SimTime::from_micros(i * 5),
+            );
+        }
+        eng.run_to_completion();
+        let ids_seen: Vec<u64> = eng.model().delivered.iter().map(|&(_, _, id)| id).collect();
+        let mut sorted = ids_seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids_seen, sorted, "packets reordered");
+        assert_eq!(ids_seen.len(), 20);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let access = LinkParams::new(1_000_000_000, SimDuration::from_micros(100));
+        let bottleneck =
+            LinkParams::new(100_000_000, SimDuration::from_millis(10)).with_loss(0.5);
+        let (topo, d) = dumbbell(1, access, bottleneck);
+        let run = |seed: u64| {
+            let fabric = Fabric::new(topo.clone(), QueueConfig::packets(100), SimRng::seed_from_u64(seed));
+            let mut eng = Engine::new(RawWorld {
+                fabric,
+                delivered: vec![],
+            });
+            let mut ids = PacketIdGen::new();
+            for i in 0..100u64 {
+                send(
+                    &mut eng,
+                    &mut ids,
+                    d.senders[0],
+                    d.sender_access[0],
+                    d.receivers[0],
+                    1000,
+                    SimTime::from_micros(i * 200),
+                );
+            }
+            eng.run_to_completion();
+            eng.model().delivered.len()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b, "same seed must give identical loss pattern");
+        assert!(a > 20 && a < 80, "loss rate wildly off: {a}/100 delivered");
+    }
+
+    #[test]
+    fn link_stats_account_bytes() {
+        let (world, d) = mk_world(1, 100_000_000, QueueConfig::packets(100));
+        let mut eng = Engine::new(world);
+        let mut ids = PacketIdGen::new();
+        for _ in 0..5 {
+            send(
+                &mut eng,
+                &mut ids,
+                d.senders[0],
+                d.sender_access[0],
+                d.receivers[0],
+                1500,
+                SimTime::ZERO,
+            );
+        }
+        eng.run_to_completion();
+        let s = eng.model().fabric.link_stats(d.bottleneck);
+        assert_eq!(s.delivered_pkts, 5);
+        assert_eq!(s.delivered_bytes, 7500);
+    }
+}

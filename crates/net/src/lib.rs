@@ -1,0 +1,27 @@
+//! # rss-net — network substrate
+//!
+//! Links, queues, routers and topologies for the *Restricted Slow-Start for
+//! TCP* reproduction. The paper's evaluation ran over a real 100 Mbit/s,
+//! 60 ms-RTT WAN between ANL and LBNL; this crate provides the simulated
+//! equivalent: store-and-forward routers with drop-tail (or RED) egress
+//! queues connected by rate/delay/loss links, plus the cross-traffic sources
+//! used in the friendliness experiments.
+//!
+//! The crate is generic over the packet body (see [`Body`]) so the TCP layer
+//! can send full segment metadata through the fabric without a dependency
+//! cycle.
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod packet;
+pub mod queue;
+pub mod red;
+pub mod topology;
+pub mod traffic;
+
+pub use fabric::{Fabric, LinkStats, NetEvent, PortQueue};
+pub use packet::{Body, FlowId, LinkId, NodeId, Packet, PacketIdGen, RawBody};
+pub use queue::{DropTailQueue, EnqueueError, QueueConfig, QueueStats};
+pub use red::{RedConfig, RedQueue};
+pub use topology::{dumbbell, single_path, Dumbbell, LinkParams, LinkSpec, NodeKind, RoutingTable, Topology};
+pub use traffic::{TrafficPattern, TrafficSource};

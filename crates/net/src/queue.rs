@@ -1,0 +1,268 @@
+//! Drop-tail FIFO queue — the building block of both router ports and the
+//! host interface queue (IFQ) whose overflow generates the paper's
+//! send-stall events.
+
+use crate::packet::{Body, Packet};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Capacity limits for a queue. Either or both of the limits may be set;
+/// an unset limit is unbounded. Linux's `txqueuelen` is a packet limit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Maximum number of queued packets.
+    pub max_packets: Option<u32>,
+    /// Maximum number of queued bytes.
+    pub max_bytes: Option<u64>,
+}
+
+impl QueueConfig {
+    /// Packet-count-limited queue (the `txqueuelen` model).
+    pub fn packets(max: u32) -> Self {
+        QueueConfig {
+            max_packets: Some(max),
+            max_bytes: None,
+        }
+    }
+
+    /// Byte-limited queue.
+    pub fn bytes(max: u64) -> Self {
+        QueueConfig {
+            max_packets: None,
+            max_bytes: Some(max),
+        }
+    }
+
+    /// Unbounded queue (for test fixtures).
+    pub fn unbounded() -> Self {
+        QueueConfig {
+            max_packets: None,
+            max_bytes: None,
+        }
+    }
+}
+
+/// Counters exposed by every queue.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Packets accepted.
+    pub enqueued: u64,
+    /// Packets handed to the transmitter.
+    pub dequeued: u64,
+    /// Packets rejected because the queue was full.
+    pub dropped: u64,
+    /// Bytes rejected.
+    pub dropped_bytes: u64,
+    /// High-water mark, packets.
+    pub peak_packets: u32,
+    /// High-water mark, bytes.
+    pub peak_bytes: u64,
+}
+
+/// Why a packet was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The packet-count limit was reached.
+    PacketLimit,
+    /// The byte limit was reached.
+    ByteLimit,
+}
+
+/// A bounded FIFO with drop-tail semantics.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<B> {
+    cfg: QueueConfig,
+    q: VecDeque<Packet<B>>,
+    bytes: u64,
+    stats: QueueStats,
+}
+
+impl<B: Body> DropTailQueue<B> {
+    /// Create an empty queue with the given limits.
+    pub fn new(cfg: QueueConfig) -> Self {
+        DropTailQueue {
+            cfg,
+            q: VecDeque::new(),
+            bytes: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> QueueConfig {
+        self.cfg
+    }
+
+    /// Check whether `pkt` would be accepted right now, without mutating.
+    pub fn would_accept(&self, pkt: &Packet<B>) -> Result<(), EnqueueError> {
+        if let Some(maxp) = self.cfg.max_packets {
+            if self.q.len() as u32 >= maxp {
+                return Err(EnqueueError::PacketLimit);
+            }
+        }
+        if let Some(maxb) = self.cfg.max_bytes {
+            if self.bytes + pkt.wire_size() as u64 > maxb {
+                return Err(EnqueueError::ByteLimit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enqueue, or return the packet unchanged if the queue is full.
+    pub fn try_enqueue(&mut self, pkt: Packet<B>) -> Result<(), (EnqueueError, Packet<B>)> {
+        match self.would_accept(&pkt) {
+            Ok(()) => {
+                self.bytes += pkt.wire_size() as u64;
+                self.q.push_back(pkt);
+                self.stats.enqueued += 1;
+                self.stats.peak_packets = self.stats.peak_packets.max(self.q.len() as u32);
+                self.stats.peak_bytes = self.stats.peak_bytes.max(self.bytes);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += pkt.wire_size() as u64;
+                Err((e, pkt))
+            }
+        }
+    }
+
+    /// Pop the head-of-line packet.
+    pub fn dequeue(&mut self) -> Option<Packet<B>> {
+        let pkt = self.q.pop_front()?;
+        self.bytes -= pkt.wire_size() as u64;
+        self.stats.dequeued += 1;
+        Some(pkt)
+    }
+
+    /// Current packet count.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Current byte occupancy.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Occupancy as a fraction of the packet limit (None if unbounded).
+    pub fn fill_fraction(&self) -> Option<f64> {
+        self.cfg
+            .max_packets
+            .map(|maxp| self.q.len() as f64 / maxp as f64)
+            .or_else(|| {
+                self.cfg
+                    .max_bytes
+                    .map(|maxb| self.bytes as f64 / maxb as f64)
+            })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, RawBody};
+    use rss_sim::SimTime;
+
+    fn pkt(id: u64, size: u32) -> Packet<RawBody> {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            flow: FlowId(0),
+            created: SimTime::ZERO,
+            body: RawBody { size },
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTailQueue::new(QueueConfig::unbounded());
+        for i in 0..10 {
+            q.try_enqueue(pkt(i, 100)).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue().unwrap().id, i);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn packet_limit_enforced() {
+        let mut q = DropTailQueue::new(QueueConfig::packets(2));
+        q.try_enqueue(pkt(0, 100)).unwrap();
+        q.try_enqueue(pkt(1, 100)).unwrap();
+        let err = q.try_enqueue(pkt(2, 100)).unwrap_err();
+        assert_eq!(err.0, EnqueueError::PacketLimit);
+        assert_eq!(err.1.id, 2, "rejected packet returned intact");
+        assert_eq!(q.stats().dropped, 1);
+        // Space frees after a dequeue.
+        q.dequeue().unwrap();
+        q.try_enqueue(pkt(3, 100)).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn byte_limit_enforced() {
+        let mut q = DropTailQueue::new(QueueConfig::bytes(250));
+        q.try_enqueue(pkt(0, 100)).unwrap();
+        q.try_enqueue(pkt(1, 100)).unwrap();
+        let err = q.try_enqueue(pkt(2, 100)).unwrap_err();
+        assert_eq!(err.0, EnqueueError::ByteLimit);
+        // A smaller packet still fits.
+        q.try_enqueue(pkt(3, 50)).unwrap();
+        assert_eq!(q.bytes(), 250);
+    }
+
+    #[test]
+    fn byte_accounting_conserved() {
+        let mut q = DropTailQueue::new(QueueConfig::unbounded());
+        q.try_enqueue(pkt(0, 100)).unwrap();
+        q.try_enqueue(pkt(1, 200)).unwrap();
+        assert_eq!(q.bytes(), 300);
+        q.dequeue().unwrap();
+        assert_eq!(q.bytes(), 200);
+        q.dequeue().unwrap();
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn fill_fraction_packet_based() {
+        let mut q = DropTailQueue::new(QueueConfig::packets(4));
+        assert_eq!(q.fill_fraction(), Some(0.0));
+        q.try_enqueue(pkt(0, 1)).unwrap();
+        q.try_enqueue(pkt(1, 1)).unwrap();
+        assert_eq!(q.fill_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn peak_watermarks() {
+        let mut q = DropTailQueue::new(QueueConfig::unbounded());
+        q.try_enqueue(pkt(0, 500)).unwrap();
+        q.try_enqueue(pkt(1, 500)).unwrap();
+        q.dequeue().unwrap();
+        q.try_enqueue(pkt(2, 100)).unwrap();
+        let s = q.stats();
+        assert_eq!(s.peak_packets, 2);
+        assert_eq!(s.peak_bytes, 1000);
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.dequeued, 1);
+    }
+
+    #[test]
+    fn would_accept_is_pure() {
+        let q: DropTailQueue<RawBody> = DropTailQueue::new(QueueConfig::packets(1));
+        assert!(q.would_accept(&pkt(0, 1)).is_ok());
+        assert_eq!(q.len(), 0);
+    }
+}

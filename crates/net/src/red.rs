@@ -1,0 +1,264 @@
+//! Random Early Detection (RED) queue.
+//!
+//! The paper's testbed used drop-tail queues, but §1 argues slow-start bursts
+//! are "hard on the rest of the traffic sharing the congested link" — the
+//! friendliness experiments (E9) compare behaviour under both drop-tail and
+//! RED bottlenecks, so an AQM variant is part of the substrate.
+//!
+//! Implementation follows Floyd & Jacobson 1993: EWMA average queue length,
+//! linear drop probability between `min_th` and `max_th`, count-based spacing
+//! of drops, and idle-time compensation.
+
+use crate::packet::{Body, Packet};
+use crate::queue::{DropTailQueue, EnqueueError, QueueConfig, QueueStats};
+use rss_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// RED parameters (thresholds in packets).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// Average-queue threshold below which no packet is dropped.
+    pub min_th: f64,
+    /// Average-queue threshold above which every packet is dropped.
+    pub max_th: f64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub wq: f64,
+    /// Hard capacity backing the RED logic.
+    pub capacity: QueueConfig,
+    /// Assumed transmission time of a small packet, for idle compensation.
+    pub mean_pkt_time: SimDuration,
+}
+
+impl RedConfig {
+    /// The ns-2 style defaults for a queue of `cap` packets.
+    pub fn for_capacity(cap: u32, mean_pkt_time: SimDuration) -> Self {
+        RedConfig {
+            min_th: cap as f64 * 0.25,
+            max_th: cap as f64 * 0.75,
+            max_p: 0.1,
+            wq: 0.002,
+            capacity: QueueConfig::packets(cap),
+            mean_pkt_time,
+        }
+    }
+}
+
+/// A RED-managed queue; wraps a [`DropTailQueue`] for storage.
+#[derive(Debug, Clone)]
+pub struct RedQueue<B> {
+    cfg: RedConfig,
+    inner: DropTailQueue<B>,
+    avg: f64,
+    count_since_drop: i64,
+    idle_since: Option<SimTime>,
+    early_drops: u64,
+    forced_drops: u64,
+}
+
+impl<B: Body> RedQueue<B> {
+    /// Create an empty RED queue.
+    pub fn new(cfg: RedConfig) -> Self {
+        assert!(cfg.min_th < cfg.max_th, "min_th must be below max_th");
+        assert!(cfg.max_p > 0.0 && cfg.max_p <= 1.0);
+        assert!(cfg.wq > 0.0 && cfg.wq <= 1.0);
+        RedQueue {
+            inner: DropTailQueue::new(cfg.capacity),
+            cfg,
+            avg: 0.0,
+            count_since_drop: -1,
+            idle_since: Some(SimTime::ZERO),
+            early_drops: 0,
+            forced_drops: 0,
+        }
+    }
+
+    /// Current EWMA average queue length (packets).
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+
+    /// Packets dropped by the early-detection mechanism.
+    pub fn early_drops(&self) -> u64 {
+        self.early_drops
+    }
+
+    /// Packets dropped because the hard capacity was exhausted.
+    pub fn forced_drops(&self) -> u64 {
+        self.forced_drops
+    }
+
+    /// Storage-layer statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.inner.stats()
+    }
+
+    /// Current instantaneous length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn update_avg(&mut self, now: SimTime) {
+        if let Some(idle_start) = self.idle_since {
+            // Idle compensation: pretend `m` small packets drained while idle.
+            let idle = now.saturating_since(idle_start);
+            let m = idle.as_nanos() as f64 / self.cfg.mean_pkt_time.as_nanos().max(1) as f64;
+            self.avg *= (1.0 - self.cfg.wq).powf(m);
+            self.idle_since = None;
+        }
+        self.avg = (1.0 - self.cfg.wq) * self.avg + self.cfg.wq * self.inner.len() as f64;
+    }
+
+    /// Offer a packet at time `now`. Returns the packet back if RED (or the
+    /// hard limit) drops it.
+    pub fn try_enqueue(
+        &mut self,
+        now: SimTime,
+        pkt: Packet<B>,
+        rng: &mut SimRng,
+    ) -> Result<(), (EnqueueError, Packet<B>)> {
+        self.update_avg(now);
+        if self.avg >= self.cfg.max_th {
+            self.early_drops += 1;
+            self.count_since_drop = 0;
+            return Err((EnqueueError::PacketLimit, pkt));
+        }
+        if self.avg > self.cfg.min_th {
+            self.count_since_drop += 1;
+            let pb = self.cfg.max_p * (self.avg - self.cfg.min_th)
+                / (self.cfg.max_th - self.cfg.min_th);
+            let pa = pb / (1.0 - (self.count_since_drop as f64 * pb).min(0.999));
+            if rng.chance(pa) {
+                self.early_drops += 1;
+                self.count_since_drop = 0;
+                return Err((EnqueueError::PacketLimit, pkt));
+            }
+        } else {
+            self.count_since_drop = -1;
+        }
+        match self.inner.try_enqueue(pkt) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.forced_drops += 1;
+                self.count_since_drop = 0;
+                Err(e)
+            }
+        }
+    }
+
+    /// Pop the head-of-line packet at `now`.
+    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet<B>> {
+        let pkt = self.inner.dequeue();
+        if self.inner.is_empty() {
+            self.idle_since = Some(now);
+        }
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, RawBody};
+
+    fn pkt(id: u64) -> Packet<RawBody> {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            flow: FlowId(0),
+            created: SimTime::ZERO,
+            body: RawBody { size: 1000 },
+        }
+    }
+
+    fn cfg(cap: u32) -> RedConfig {
+        RedConfig::for_capacity(cap, SimDuration::from_micros(100))
+    }
+
+    #[test]
+    fn below_min_th_never_drops() {
+        let mut q = RedQueue::new(cfg(100));
+        let mut rng = SimRng::seed_from_u64(1);
+        // Keep instantaneous length at ~10 (min_th = 25): no early drops.
+        for i in 0..1000u64 {
+            let now = SimTime::from_micros(i * 100);
+            q.try_enqueue(now, pkt(i), &mut rng).unwrap();
+            if q.len() > 10 {
+                q.dequeue(now);
+            }
+        }
+        assert_eq!(q.early_drops(), 0);
+    }
+
+    #[test]
+    fn sustained_overload_triggers_early_drops() {
+        let mut q = RedQueue::new(cfg(100));
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut accepted = 0u32;
+        // Fill without draining: avg climbs through min_th toward max_th.
+        for i in 0..5000u64 {
+            let now = SimTime::from_micros(i);
+            if q.try_enqueue(now, pkt(i), &mut rng).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert!(q.early_drops() > 0, "no early drops under overload");
+        assert!(accepted <= 100, "hard capacity respected");
+    }
+
+    #[test]
+    fn average_tracks_instantaneous_slowly() {
+        let mut q = RedQueue::new(cfg(100));
+        let mut rng = SimRng::seed_from_u64(3);
+        for i in 0..20u64 {
+            q.try_enqueue(SimTime::from_micros(i), pkt(i), &mut rng)
+                .unwrap();
+        }
+        // 20 packets queued but wq = 0.002: average far below instantaneous.
+        assert!(q.avg() < 2.0, "avg {}", q.avg());
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn idle_period_decays_average() {
+        let mut q = RedQueue::new(cfg(100));
+        let mut rng = SimRng::seed_from_u64(4);
+        for i in 0..2000u64 {
+            let _ = q.try_enqueue(SimTime::from_micros(i), pkt(i), &mut rng);
+        }
+        while q.dequeue(SimTime::from_millis(2)).is_some() {}
+        let avg_before = q.avg();
+        assert!(avg_before > 0.5);
+        // Long idle: offering a packet much later sees a decayed average.
+        q.try_enqueue(SimTime::from_secs(10), pkt(99_999), &mut rng)
+            .unwrap();
+        assert!(q.avg() < 0.1, "avg after idle {}", q.avg());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed: u64| {
+            let mut q = RedQueue::new(cfg(50));
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut drops = 0;
+            for i in 0..3000u64 {
+                let now = SimTime::from_micros(i * 3);
+                if q.try_enqueue(now, pkt(i), &mut rng).is_err() {
+                    drops += 1;
+                }
+                if i % 4 == 0 {
+                    q.dequeue(now);
+                }
+            }
+            drops
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,389 @@
+//! Topology graph: hosts, routers, links and static routing.
+//!
+//! The paper's testbed is a single WAN path (ANL ↔ LBNL); the reproduction
+//! models it — and the multi-flow extension experiments — as an explicit
+//! graph with BFS-computed static routes, the standard dumbbell being the
+//! canonical instance.
+
+use crate::packet::{LinkId, NodeId};
+use rss_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host: runs a transport stack; terminates flows.
+    Host,
+    /// A router: forwards packets between links.
+    Router,
+}
+
+/// Physical characteristics of a (bidirectional, symmetric) link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Line rate, bits per second (used for serialization delay).
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// Independent per-packet loss probability (0 disables).
+    pub loss_prob: f64,
+}
+
+impl LinkParams {
+    /// A loss-free link.
+    pub fn new(rate_bps: u64, prop_delay: SimDuration) -> Self {
+        LinkParams {
+            rate_bps,
+            prop_delay,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Builder: set random loss.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.loss_prob = p;
+        self
+    }
+
+    /// Serialization time of `bytes` on this link.
+    pub fn serialize_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::for_bytes_at_rate(bytes as u64, self.rate_bps)
+    }
+}
+
+/// A link instance between two nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Link identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Physical parameters (symmetric in both directions).
+    pub params: LinkParams,
+}
+
+impl LinkSpec {
+    /// The endpoint that is not `n`. Panics if `n` is not attached.
+    pub fn other_end(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {n:?} not on link {:?}", self.id)
+        }
+    }
+}
+
+/// The network graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<NodeKind>,
+    links: Vec<LinkSpec>,
+    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(kind);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an end host.
+    pub fn add_host(&mut self) -> NodeId {
+        self.add_node(NodeKind::Host)
+    }
+
+    /// Add a router.
+    pub fn add_router(&mut self) -> NodeId {
+        self.add_node(NodeKind::Router)
+    }
+
+    /// Connect two nodes with a symmetric link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> LinkId {
+        assert!(a != b, "self-loops not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkSpec { id, a, b, params });
+        self.adjacency[a.0 as usize].push((id, b));
+        self.adjacency[b.0 as usize].push((id, a));
+        id
+    }
+
+    /// Node kind lookup.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Link lookup.
+    pub fn link(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id.0 as usize]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Links incident to `n` as `(link, neighbor)` pairs.
+    pub fn neighbors(&self, n: NodeId) -> &[(LinkId, NodeId)] {
+        &self.adjacency[n.0 as usize]
+    }
+
+    /// The unique link between `a` and `b`, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency[a.0 as usize]
+            .iter()
+            .find(|&&(_, nb)| nb == b)
+            .map(|&(l, _)| l)
+    }
+
+    /// Compute shortest-path (hop count) static routes for every
+    /// (location, destination) pair via per-destination BFS.
+    pub fn compute_routes(&self) -> RoutingTable {
+        let mut table = BTreeMap::new();
+        for dst in self.nodes() {
+            // BFS outward from the destination; first-discovered edges give
+            // the next hop *toward* dst from every other node.
+            let mut visited = vec![false; self.node_count()];
+            let mut q = VecDeque::new();
+            visited[dst.0 as usize] = true;
+            q.push_back(dst);
+            while let Some(n) = q.pop_front() {
+                for &(link, nb) in self.neighbors(n) {
+                    if !visited[nb.0 as usize] {
+                        visited[nb.0 as usize] = true;
+                        table.insert((nb, dst), link);
+                        q.push_back(nb);
+                    }
+                }
+            }
+        }
+        RoutingTable { next_hop: table }
+    }
+}
+
+/// Static next-hop routing: `(at, dst) → link to forward on`.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    next_hop: BTreeMap<(NodeId, NodeId), LinkId>,
+}
+
+impl RoutingTable {
+    /// The link to use at `at` toward `dst` (None if unreachable).
+    pub fn next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next_hop.get(&(at, dst)).copied()
+    }
+
+    /// Override a route (for asymmetric-path experiments).
+    pub fn set(&mut self, at: NodeId, dst: NodeId, link: LinkId) {
+        self.next_hop.insert((at, dst), link);
+    }
+}
+
+/// Handles to the canonical dumbbell topology.
+///
+/// ```text
+/// s0 ─┐                      ┌─ r0
+/// s1 ─┼─ left ══ bottleneck ══ right ─┼─ r1
+/// sN ─┘                      └─ rN
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dumbbell {
+    /// Sender hosts, one per flow pair.
+    pub senders: Vec<NodeId>,
+    /// Receiver hosts, one per flow pair.
+    pub receivers: Vec<NodeId>,
+    /// Router on the sender side.
+    pub left_router: NodeId,
+    /// Router on the receiver side.
+    pub right_router: NodeId,
+    /// The shared bottleneck link.
+    pub bottleneck: LinkId,
+    /// Access links `senders[i] ↔ left_router`.
+    pub sender_access: Vec<LinkId>,
+    /// Access links `right_router ↔ receivers[i]`.
+    pub receiver_access: Vec<LinkId>,
+}
+
+/// Build an `n`-pair dumbbell.
+pub fn dumbbell(
+    n: usize,
+    access: LinkParams,
+    bottleneck: LinkParams,
+) -> (Topology, Dumbbell) {
+    assert!(n > 0);
+    let mut topo = Topology::new();
+    let left = topo.add_router();
+    let right = topo.add_router();
+    let bn = topo.connect(left, right, bottleneck);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    let mut sender_access = Vec::with_capacity(n);
+    let mut receiver_access = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = topo.add_host();
+        let r = topo.add_host();
+        sender_access.push(topo.connect(s, left, access));
+        receiver_access.push(topo.connect(right, r, access));
+        senders.push(s);
+        receivers.push(r);
+    }
+    (
+        topo,
+        Dumbbell {
+            senders,
+            receivers,
+            left_router: left,
+            right_router: right,
+            bottleneck: bn,
+            sender_access,
+            receiver_access,
+        },
+    )
+}
+
+/// Build the paper's single-path testbed: sender ↔ router ↔ receiver with a
+/// uniform line rate and a configurable one-way delay split across the two
+/// hops. The sender's access link is its 100 Mbit/s NIC; the path adds no
+/// extra bottleneck, exactly like the ANL↔LBNL circuit of §4.
+pub fn single_path(rate_bps: u64, rtt: SimDuration) -> (Topology, Dumbbell) {
+    let one_way = rtt / 2;
+    // Split the one-way delay: two short access hops and a long haul.
+    let access_delay = SimDuration::from_micros(10);
+    let haul_delay = one_way.saturating_sub(access_delay * 2);
+    let access = LinkParams::new(rate_bps, access_delay);
+    let haul = LinkParams::new(rate_bps, haul_delay);
+    dumbbell(1, access, haul)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LinkParams {
+        LinkParams::new(100_000_000, SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        let h1 = t.add_host();
+        let r = t.add_router();
+        let h2 = t.add_host();
+        let l1 = t.connect(h1, r, params());
+        let l2 = t.connect(r, h2, params());
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.kind(h1), NodeKind::Host);
+        assert_eq!(t.kind(r), NodeKind::Router);
+        assert_eq!(t.link(l1).other_end(h1), r);
+        assert_eq!(t.link_between(r, h2), Some(l2));
+        assert_eq!(t.link_between(h1, h2), None);
+        assert_eq!(t.neighbors(r).len(), 2);
+    }
+
+    #[test]
+    fn bfs_routes_follow_shortest_path() {
+        // h1 - r1 - r2 - h2, plus a direct shortcut r1 - h2.
+        let mut t = Topology::new();
+        let h1 = t.add_host();
+        let r1 = t.add_router();
+        let r2 = t.add_router();
+        let h2 = t.add_host();
+        let l_h1r1 = t.connect(h1, r1, params());
+        let _l_r1r2 = t.connect(r1, r2, params());
+        let _l_r2h2 = t.connect(r2, h2, params());
+        let shortcut = t.connect(r1, h2, params());
+        let routes = t.compute_routes();
+        // r1 should use the shortcut, not go through r2.
+        assert_eq!(routes.next_link(r1, h2), Some(shortcut));
+        assert_eq!(routes.next_link(h1, h2), Some(l_h1r1));
+    }
+
+    #[test]
+    fn route_override() {
+        let mut t = Topology::new();
+        let h1 = t.add_host();
+        let r1 = t.add_router();
+        let r2 = t.add_router();
+        let h2 = t.add_host();
+        t.connect(h1, r1, params());
+        let long1 = t.connect(r1, r2, params());
+        t.connect(r2, h2, params());
+        let direct = t.connect(r1, h2, params());
+        let mut routes = t.compute_routes();
+        assert_eq!(routes.next_link(r1, h2), Some(direct));
+        routes.set(r1, h2, long1);
+        assert_eq!(routes.next_link(r1, h2), Some(long1));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let h1 = t.add_host();
+        let h2 = t.add_host(); // not connected
+        let routes = t.compute_routes();
+        assert_eq!(routes.next_link(h1, h2), None);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let (t, d) = dumbbell(3, params(), params());
+        assert_eq!(d.senders.len(), 3);
+        assert_eq!(d.receivers.len(), 3);
+        assert_eq!(t.node_count(), 8); // 2 routers + 6 hosts
+        let routes = t.compute_routes();
+        // Every sender reaches every receiver through the bottleneck.
+        for &s in &d.senders {
+            for &r in &d.receivers {
+                assert!(routes.next_link(s, r).is_some());
+                assert_eq!(routes.next_link(d.left_router, r), Some(d.bottleneck));
+            }
+        }
+    }
+
+    #[test]
+    fn single_path_rtt_adds_up() {
+        let rtt = SimDuration::from_millis(60);
+        let (t, d) = single_path(100_000_000, rtt);
+        // Sum of propagation delays along sender -> receiver, both ways.
+        let routes = t.compute_routes();
+        let mut delay = SimDuration::ZERO;
+        let mut at = d.senders[0];
+        let dst = d.receivers[0];
+        while at != dst {
+            let l = routes.next_link(at, dst).unwrap();
+            delay += t.link(l).params.prop_delay;
+            at = t.link(l).other_end(at);
+        }
+        assert_eq!(delay * 2, rtt);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut t = Topology::new();
+        let h = t.add_host();
+        t.connect(h, h, params());
+    }
+}

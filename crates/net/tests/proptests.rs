@@ -1,0 +1,107 @@
+//! Property-based tests for queues and topology routing.
+
+use proptest::prelude::*;
+use rss_net::{
+    DropTailQueue, FlowId, LinkParams, NodeId, Packet, QueueConfig, RawBody, Topology,
+};
+use rss_sim::{SimDuration, SimTime};
+
+fn pkt(id: u64, size: u32) -> Packet<RawBody> {
+    Packet {
+        id,
+        src: NodeId(0),
+        dst: NodeId(1),
+        flow: FlowId(0),
+        created: SimTime::ZERO,
+        body: RawBody { size: size.max(1) },
+    }
+}
+
+proptest! {
+    /// Conservation: every packet offered is either queued, dequeued or
+    /// dropped — never duplicated, never lost.
+    #[test]
+    fn drop_tail_conserves_packets(
+        cap in 1u32..64,
+        ops in prop::collection::vec((any::<bool>(), 1u32..3000), 1..400),
+    ) {
+        let mut q = DropTailQueue::new(QueueConfig::packets(cap));
+        let mut offered = 0u64;
+        let mut dequeued = 0u64;
+        let mut dropped = 0u64;
+        for (i, &(is_enq, size)) in ops.iter().enumerate() {
+            if is_enq {
+                offered += 1;
+                if q.try_enqueue(pkt(i as u64, size)).is_err() {
+                    dropped += 1;
+                }
+            } else if q.dequeue().is_some() {
+                dequeued += 1;
+            }
+            prop_assert!(q.len() as u32 <= cap, "capacity exceeded");
+        }
+        prop_assert_eq!(offered, dequeued + dropped + q.len() as u64);
+        let st = q.stats();
+        prop_assert_eq!(st.enqueued, offered - dropped);
+        prop_assert_eq!(st.dropped, dropped);
+        prop_assert_eq!(st.dequeued, dequeued);
+    }
+
+    /// Byte accounting matches the sum of queued packet sizes.
+    #[test]
+    fn drop_tail_byte_accounting(
+        sizes in prop::collection::vec(1u32..2000, 1..100),
+    ) {
+        let mut q = DropTailQueue::new(QueueConfig::unbounded());
+        let mut expect = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            q.try_enqueue(pkt(i as u64, s)).unwrap();
+            expect += s as u64;
+        }
+        prop_assert_eq!(q.bytes(), expect);
+        // Drain half and re-check.
+        for _ in 0..sizes.len() / 2 {
+            let p = q.dequeue().unwrap();
+            expect -= p.wire_size() as u64;
+        }
+        prop_assert_eq!(q.bytes(), expect);
+    }
+
+    /// On random linear ("chain") topologies, BFS routing reaches every node
+    /// and following next-hops converges without loops.
+    #[test]
+    fn routes_converge_on_chains(hosts in 2usize..8, routers in 1usize..6) {
+        let mut t = Topology::new();
+        let params = LinkParams::new(1_000_000, SimDuration::from_millis(1));
+        // chain of routers with one host hanging off each end and each router.
+        let rs: Vec<_> = (0..routers).map(|_| t.add_router()).collect();
+        for w in rs.windows(2) {
+            t.connect(w[0], w[1], params);
+        }
+        let hs: Vec<_> = (0..hosts)
+            .map(|i| {
+                let h = t.add_host();
+                t.connect(h, rs[i % routers], params);
+                h
+            })
+            .collect();
+        let routes = t.compute_routes();
+        for &a in &hs {
+            for &b in &hs {
+                if a == b {
+                    continue;
+                }
+                // Walk the route; must terminate within node_count hops.
+                let mut at = a;
+                let mut hops = 0;
+                while at != b {
+                    let link = routes.next_link(at, b);
+                    prop_assert!(link.is_some(), "no route {a:?}->{b:?}");
+                    at = t.link(link.unwrap()).other_end(at);
+                    hops += 1;
+                    prop_assert!(hops <= t.node_count(), "routing loop {a:?}->{b:?}");
+                }
+            }
+        }
+    }
+}

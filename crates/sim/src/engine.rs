@@ -1,0 +1,341 @@
+//! The discrete-event engine: a model, a clock and the pending-event queue.
+//!
+//! The engine follows the classic ns-2 style: the model owns *all* simulation
+//! state, and handling an event may schedule further events through the
+//! [`Scheduler`] handle. The engine never inspects event payloads; it only
+//! guarantees causal, deterministic ordering.
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling interface handed to the model while it processes an event.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulation time (the timestamp of the event being handled).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event at an absolute time. Must not be in the past.
+    pub fn at(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={:?} requested={:?}",
+            self.now,
+            time
+        );
+        self.queue.schedule_at(time, event)
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedule an event at the current instant (fires after already-pending
+    /// same-instant events, preserving insertion order).
+    pub fn immediately(&mut self, event: E) -> EventId {
+        self.queue.schedule_at(self.now, event)
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Ask the engine to stop after the current event completes.
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// A simulation model: the closed world of state that events act upon.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at its scheduled time.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Statistics about an engine run, for sanity checks and perf reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events dispatched to the model.
+    pub events_processed: u64,
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// True if the run ended because the event queue drained.
+    pub drained: bool,
+    /// True if the model requested an early stop.
+    pub stopped_by_model: bool,
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    events_processed: u64,
+    /// Hard cap on dispatched events; guards against runaway schedules in
+    /// experiments (a full 25 s paper run is ~10^6 events).
+    pub event_limit: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine at t = 0 around `model`.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for pre-run configuration and post-run
+    /// inspection; mutating mid-run between `step` calls is allowed and is how
+    /// external drivers inject work).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedule an initial event before (or between) runs.
+    pub fn schedule_at(&mut self, time: SimTime, event: M::Event) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.schedule_at(time, event)
+    }
+
+    /// Number of live pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch the single earliest event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue violated causality");
+        self.now = time;
+        self.events_processed += 1;
+        let mut stop = false;
+        let mut sched = Scheduler {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut stop,
+        };
+        self.model.handle(event, &mut sched);
+        !stop
+    }
+
+    /// Run until the queue drains, the model requests a stop, or the horizon
+    /// is passed. Events scheduled exactly at `horizon` still fire.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
+        let start_events = self.events_processed;
+        let mut drained = false;
+        let mut stopped_by_model = false;
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    drained = true;
+                    break;
+                }
+                Some(t) if t > horizon => break,
+                Some(_) => {}
+            }
+            if self.events_processed - start_events >= self.event_limit {
+                panic!(
+                    "event limit {} exceeded at t={:?}; runaway schedule?",
+                    self.event_limit, self.now
+                );
+            }
+            if !self.step() {
+                stopped_by_model = true;
+                break;
+            }
+        }
+        // Advance the clock to the horizon so rate computations over the whole
+        // window are well-defined even if the last event fired earlier.
+        if !stopped_by_model && self.now < horizon && horizon != SimTime::MAX {
+            self.now = horizon;
+        }
+        RunStats {
+            events_processed: self.events_processed - start_events,
+            end_time: self.now,
+            drained,
+            stopped_by_model,
+        }
+    }
+
+    /// Run until the queue drains or the model stops.
+    pub fn run_to_completion(&mut self) -> RunStats {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that re-schedules itself `remaining` times at a fixed period.
+    struct Ticker {
+        period: SimDuration,
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+        fn handle(&mut self, _ev: (), sched: &mut Scheduler<'_, ()>) {
+            self.fired_at.push(sched.now());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.after(self.period, ());
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_self_scheduling() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::from_millis(10),
+            remaining: 4,
+            fired_at: vec![],
+        });
+        eng.schedule_at(SimTime::ZERO, ());
+        let stats = eng.run_to_completion();
+        assert!(stats.drained);
+        assert_eq!(stats.events_processed, 5);
+        let times: Vec<u64> = eng
+            .model()
+            .fired_at
+            .iter()
+            .map(|t| t.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn horizon_cuts_run_and_advances_clock() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::from_millis(10),
+            remaining: 1000,
+            fired_at: vec![],
+        });
+        eng.schedule_at(SimTime::ZERO, ());
+        let stats = eng.run_until(SimTime::from_millis(35));
+        assert!(!stats.drained);
+        // Events at 0, 10, 20, 30 fire; 40 is beyond the horizon.
+        assert_eq!(stats.events_processed, 4);
+        assert_eq!(eng.now(), SimTime::from_millis(35));
+        // Continuing picks up where we left off.
+        let stats2 = eng.run_until(SimTime::from_millis(55));
+        assert_eq!(stats2.events_processed, 2); // 40, 50
+    }
+
+    struct Stopper {
+        stop_on: u32,
+        count: u32,
+    }
+    impl Model for Stopper {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.count += 1;
+            if ev == self.stop_on {
+                sched.request_stop();
+            } else {
+                sched.after(SimDuration::from_nanos(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_stop_the_run() {
+        let mut eng = Engine::new(Stopper { stop_on: 5, count: 0 });
+        eng.schedule_at(SimTime::ZERO, 0);
+        let stats = eng.run_to_completion();
+        assert!(stats.stopped_by_model);
+        assert_eq!(eng.model().count, 6);
+    }
+
+    struct Canceller {
+        cancelled_fired: bool,
+    }
+    enum CEv {
+        Arm,
+        ShouldNotFire,
+    }
+    impl Model for Canceller {
+        type Event = CEv;
+        fn handle(&mut self, ev: CEv, sched: &mut Scheduler<'_, CEv>) {
+            match ev {
+                CEv::Arm => {
+                    let id = sched.after(SimDuration::from_secs(1), CEv::ShouldNotFire);
+                    assert!(sched.cancel(id));
+                }
+                CEv::ShouldNotFire => self.cancelled_fired = true,
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng = Engine::new(Canceller {
+            cancelled_fired: false,
+        });
+        eng.schedule_at(SimTime::ZERO, CEv::Arm);
+        eng.run_to_completion();
+        assert!(!eng.model().cancelled_fired);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _: (), sched: &mut Scheduler<'_, ()>) {
+                sched.at(SimTime::ZERO, ());
+            }
+        }
+        let mut eng = Engine::new(Bad);
+        eng.schedule_at(SimTime::from_secs(1), ());
+        eng.run_to_completion();
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaway() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::ZERO,
+            remaining: u32::MAX,
+            fired_at: vec![],
+        });
+        eng.event_limit = 1000;
+        eng.schedule_at(SimTime::ZERO, ());
+        eng.run_to_completion();
+    }
+}

@@ -1,0 +1,214 @@
+//! The pending-event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`. The sequence number is a strictly
+//! increasing insertion counter, so events scheduled for the same instant fire
+//! in insertion order. That tie-break rule is what makes whole-simulation runs
+//! bit-exact reproducible, which the experiment harness depends on.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+// Manual impls: ordering must ignore the payload (E need not be Ord), and the
+// heap is a max-heap so comparisons are reversed to pop the earliest first.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// Cancellation is lazy: [`EventQueue::cancel`] marks the id dead and the slot
+/// is discarded when it reaches the head, keeping both operations `O(log n)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        let id = EventId(seq);
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            id,
+            event,
+        });
+        id
+    }
+
+    /// Schedule `event` to fire `after` past the given current time.
+    pub fn schedule_after(&mut self, now: SimTime, after: SimDuration, event: E) -> EventId {
+        self.schedule_at(now + after, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the id was still
+    /// pending (not yet fired and not already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // An id can only be cancelled if it has been handed out and not fired;
+        // we cannot check "fired" cheaply, so popping skips dead ids instead.
+        let fresh = self.cancelled.insert(id.0);
+        if fresh {
+            self.cancelled_total += 1;
+        }
+        fresh
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.id.0) {
+                continue;
+            }
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.id.0) {
+                let s = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&s.id.0);
+                continue;
+            }
+            return Some(s.time);
+        }
+        None
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events cancelled before firing.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), "x");
+        q.schedule_at(SimTime::from_secs(2), "y");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double-cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "y")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), "x");
+        q.schedule_at(SimTime::from_secs(3), "y");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn schedule_after_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimTime::from_secs(5), SimDuration::from_secs(2), "z");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(7), "z")));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::ZERO, 1);
+        q.schedule_at(SimTime::ZERO, 2);
+        q.cancel(a);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! Time-series recording for figures and experiment post-processing.
+//!
+//! Figure 1 of the paper is a *cumulative event count over time*; the
+//! throughput plots are *windowed rates*. [`TimeSeries`] covers both: it
+//! stores raw `(time, value)` samples and offers cumulative, binned and
+//! integrated views.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A named sequence of timestamped samples, append-only in time order.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    name: String,
+    times_ns: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times_ns: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a sample. Timestamps must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&last) = self.times_ns.last() {
+            assert!(
+                t.as_nanos() >= last,
+                "samples must be time-ordered ({} < {last})",
+                t.as_nanos()
+            );
+        }
+        self.times_ns.push(t.as_nanos());
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    /// True if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+
+    /// Iterate `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times_ns
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| (SimTime::from_nanos(t), v))
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        match (self.times_ns.last(), self.values.last()) {
+            (Some(&t), Some(&v)) => Some((SimTime::from_nanos(t), v)),
+            _ => None,
+        }
+    }
+
+    /// Maximum value (NaN-free series assumed).
+    pub fn max_value(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Minimum value.
+    pub fn min_value(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Arithmetic mean of the sample values (unweighted).
+    pub fn mean_value(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Time-weighted mean, treating the series as a step function that holds
+    /// each value until the next sample, evaluated over `[start, end]`.
+    pub fn time_weighted_mean(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        if self.is_empty() || end <= start {
+            return None;
+        }
+        let (s, e) = (start.as_nanos(), end.as_nanos());
+        let mut acc = 0.0f64;
+        let mut covered = 0u64;
+        for i in 0..self.len() {
+            let t0 = self.times_ns[i].max(s);
+            let t1 = if i + 1 < self.len() {
+                self.times_ns[i + 1].min(e)
+            } else {
+                e
+            };
+            if t1 > t0 {
+                acc += self.values[i] * (t1 - t0) as f64;
+                covered += t1 - t0;
+            }
+        }
+        if covered == 0 {
+            None
+        } else {
+            Some(acc / covered as f64)
+        }
+    }
+
+    /// Step-function value at time `t` (value of the latest sample ≤ t).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let tn = t.as_nanos();
+        match self.times_ns.partition_point(|&x| x <= tn) {
+            0 => None,
+            i => Some(self.values[i - 1]),
+        }
+    }
+
+    /// Resample onto fixed bins of width `bin`: returns, for each bin,
+    /// `(bin_end_time, sum of values of samples inside the bin)`.
+    /// Useful for event-count series (each sample value 1.0).
+    pub fn binned_sums(&self, start: SimTime, end: SimTime, bin: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(bin > SimDuration::ZERO, "zero bin width");
+        let mut out = Vec::new();
+        let mut bin_start = start;
+        let mut idx = 0;
+        while bin_start < end {
+            let bin_end = (bin_start + bin).min(end);
+            let mut sum = 0.0;
+            while idx < self.len() && self.times_ns[idx] < bin_end.as_nanos() {
+                if self.times_ns[idx] >= bin_start.as_nanos() {
+                    sum += self.values[idx];
+                }
+                idx += 1;
+            }
+            out.push((bin_end, sum));
+            bin_start = bin_end;
+        }
+        out
+    }
+
+    /// Cumulative sum view: `(time, running total)` for each sample.
+    pub fn cumulative(&self) -> Vec<(SimTime, f64)> {
+        let mut total = 0.0;
+        self.iter()
+            .map(|(t, v)| {
+                total += v;
+                (t, total)
+            })
+            .collect()
+    }
+
+    /// Render as CSV with a header; times in seconds.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.len() * 24 + 32);
+        s.push_str("time_s,");
+        s.push_str(&self.name);
+        s.push('\n');
+        for (t, v) in self.iter() {
+            s.push_str(&format!("{:.9},{v}\n", t.as_secs_f64()));
+        }
+        s
+    }
+}
+
+/// Counts discrete events and exposes both the total and the event-time log.
+/// This is exactly the shape of the paper's Figure 1 (cumulative send-stalls).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventCounter {
+    times_ns: Vec<u64>,
+}
+
+impl EventCounter {
+    /// Create an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        if let Some(&last) = self.times_ns.last() {
+            debug_assert!(t.as_nanos() >= last, "events must be time-ordered");
+        }
+        self.times_ns.push(t.as_nanos());
+    }
+
+    /// Total number of events.
+    pub fn count(&self) -> u64 {
+        self.times_ns.len() as u64
+    }
+
+    /// Number of events at or before `t`.
+    pub fn count_at(&self, t: SimTime) -> u64 {
+        self.times_ns.partition_point(|&x| x <= t.as_nanos()) as u64
+    }
+
+    /// Event timestamps.
+    pub fn times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.times_ns.iter().map(|&t| SimTime::from_nanos(t))
+    }
+
+    /// The cumulative staircase sampled at fixed intervals over `[0, end]`:
+    /// `(sample_time, cumulative_count)`.
+    pub fn staircase(&self, end: SimTime, step: SimDuration) -> Vec<(SimTime, u64)> {
+        assert!(step > SimDuration::ZERO);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            out.push((t, self.count_at(t)));
+            if t >= end {
+                break;
+            }
+            t = (t + step).min(end);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new("cwnd");
+        s.push(ms(0), 2.0);
+        s.push(ms(10), 4.0);
+        s.push(ms(20), 8.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), Some(8.0));
+        assert_eq!(s.min_value(), Some(2.0));
+        assert_eq!(s.mean_value(), Some(14.0 / 3.0));
+        assert_eq!(s.last(), Some((ms(20), 8.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_out_of_order() {
+        let mut s = TimeSeries::new("x");
+        s.push(ms(10), 1.0);
+        s.push(ms(5), 2.0);
+    }
+
+    #[test]
+    fn value_at_is_step_function() {
+        let mut s = TimeSeries::new("x");
+        s.push(ms(10), 1.0);
+        s.push(ms(20), 2.0);
+        assert_eq!(s.value_at(ms(5)), None);
+        assert_eq!(s.value_at(ms(10)), Some(1.0));
+        assert_eq!(s.value_at(ms(15)), Some(1.0));
+        assert_eq!(s.value_at(ms(20)), Some(2.0));
+        assert_eq!(s.value_at(ms(999)), Some(2.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_weighs_durations() {
+        let mut s = TimeSeries::new("x");
+        s.push(ms(0), 0.0);
+        s.push(ms(10), 10.0); // holds 10.0 for the rest
+        // Over [0, 20]: 0.0 for 10ms, 10.0 for 10ms -> 5.0.
+        let m = s.time_weighted_mean(ms(0), ms(20)).unwrap();
+        assert!((m - 5.0).abs() < 1e-9);
+        // Over [10, 20]: all 10.0.
+        let m = s.time_weighted_mean(ms(10), ms(20)).unwrap();
+        assert!((m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_sums_partition_events() {
+        let mut s = TimeSeries::new("ev");
+        for t in [1u64, 2, 3, 12, 13, 25] {
+            s.push(ms(t), 1.0);
+        }
+        let bins = s.binned_sums(ms(0), ms(30), SimDuration::from_millis(10));
+        let sums: Vec<f64> = bins.iter().map(|&(_, v)| v).collect();
+        assert_eq!(sums, vec![3.0, 2.0, 1.0]);
+        let total: f64 = sums.iter().sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn cumulative_monotone() {
+        let mut s = TimeSeries::new("ev");
+        s.push(ms(1), 1.0);
+        s.push(ms(2), 1.0);
+        s.push(ms(3), 1.0);
+        let c = s.cumulative();
+        assert_eq!(c[2].1, 3.0);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut s = TimeSeries::new("v");
+        s.push(ms(1), 2.5);
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_s,v"));
+        assert_eq!(lines.next(), Some("0.001000000,2.5"));
+    }
+
+    #[test]
+    fn event_counter_staircase() {
+        let mut c = EventCounter::new();
+        c.record(ms(500));
+        c.record(ms(1500));
+        c.record(ms(1500));
+        c.record(ms(7000));
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.count_at(ms(499)), 0);
+        assert_eq!(c.count_at(ms(500)), 1);
+        assert_eq!(c.count_at(ms(1500)), 3);
+        assert_eq!(c.count_at(ms(9999)), 4);
+        let st = c.staircase(SimTime::from_secs(8), SimDuration::from_secs(1));
+        assert_eq!(st.len(), 9);
+        assert_eq!(st[0], (SimTime::ZERO, 0));
+        assert_eq!(st[2].1, 3);
+        assert_eq!(st[8].1, 4);
+    }
+}

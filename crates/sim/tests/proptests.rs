@@ -1,0 +1,114 @@
+//! Property-based tests for the simulation engine primitives.
+
+use proptest::prelude::*;
+use rss_sim::{EventQueue, SimDuration, SimTime, TimeSeries, Welford};
+
+proptest! {
+    /// The event queue pops events in non-decreasing time order, and equal
+    /// timestamps preserve insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t.as_nanos(), id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "insertion order violated at equal time");
+            }
+        }
+    }
+
+    /// Cancelling a subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation(times in prop::collection::vec(0u64..1_000, 1..100),
+                                cancel_mask in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule_at(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, id) in &ids {
+            if *cancel_mask.get(*i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+                cancelled.insert(*i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, id)) = q.pop() {
+            seen.insert(id);
+        }
+        prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+        for c in &cancelled {
+            prop_assert!(!seen.contains(c), "cancelled event fired");
+        }
+    }
+
+    /// Binned sums conserve the total of in-range samples.
+    #[test]
+    fn binned_sums_conserve_mass(samples in prop::collection::vec((0u64..10_000, -100.0f64..100.0), 0..200)) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut ts = TimeSeries::new("x");
+        for &(t, v) in &sorted {
+            ts.push(SimTime::from_micros(t), v);
+        }
+        let end = SimTime::from_micros(10_000);
+        let bins = ts.binned_sums(SimTime::ZERO, end, SimDuration::from_micros(37));
+        let total: f64 = bins.iter().map(|&(_, v)| v).sum();
+        let expect: f64 = sorted
+            .iter()
+            .filter(|&&(t, _)| t < 10_000)
+            .map(|&(_, v)| v)
+            .sum();
+        prop_assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
+    }
+
+    /// Welford merge is equivalent to sequential accumulation for any split.
+    #[test]
+    fn welford_merge_any_split(xs in prop::collection::vec(-1e6f64..1e6, 1..300), split in 0usize..300) {
+        let split = split.min(xs.len());
+        let mut seq = Welford::new();
+        for &x in &xs {
+            seq.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.add(x);
+        }
+        for &x in &xs[split..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        let scale = seq.mean().abs().max(1.0);
+        prop_assert!((a.mean() - seq.mean()).abs() / scale < 1e-9);
+        let vscale = seq.variance().abs().max(1.0);
+        prop_assert!((a.variance() - seq.variance()).abs() / vscale < 1e-6);
+    }
+
+    /// Time-weighted mean lies within the sample range.
+    #[test]
+    fn time_weighted_mean_within_bounds(samples in prop::collection::vec((0u64..1_000, 0.0f64..50.0), 2..100)) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut ts = TimeSeries::new("x");
+        for &(t, v) in &sorted {
+            ts.push(SimTime::from_millis(t), v);
+        }
+        if let Some(m) = ts.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(2)) {
+            let lo = sorted.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+            let hi = sorted.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "mean {m} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Pluggable congestion control.
+//!
+//! The sender owns loss detection and retransmission; the congestion-control
+//! module owns the window. The three implementations are the paper's
+//! comparison set:
+//!
+//! * [`Reno`] — standard slow-start + AIMD congestion avoidance, the
+//!   Linux 2.4.19 baseline the paper measures against;
+//! * [`RestrictedSlowStart`] — the paper's contribution: slow-start growth
+//!   paced by a PID controller on IFQ occupancy;
+//! * [`LimitedSlowStart`] — RFC 3742, the era's other slow-start moderation
+//!   proposal, as an extension baseline.
+
+pub mod limited;
+pub mod reno;
+pub mod restricted;
+
+pub use limited::LimitedSlowStart;
+pub use reno::Reno;
+pub use restricted::{RestrictedSlowStart, RssConfig};
+
+use rss_sim::SimTime;
+
+/// Sender state exposed to the congestion controller at decision points.
+#[derive(Debug, Clone, Copy)]
+pub struct CcView {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Maximum segment size, bytes.
+    pub mss: u32,
+    /// Bytes currently in flight (`snd_nxt − snd_una`).
+    pub flight: u64,
+    /// Current depth of the host's interface queue, packets.
+    pub ifq_depth: u32,
+    /// Capacity of the host's interface queue, packets.
+    pub ifq_max: u32,
+}
+
+/// Congestion signals delivered by the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionEvent {
+    /// Third duplicate ACK — fast retransmit (network congestion).
+    FastRetransmit,
+    /// Retransmission timeout (severe network congestion).
+    Timeout,
+    /// Local send-stall: the IFQ rejected a segment (host congestion).
+    LocalStall,
+}
+
+/// The window-management interface.
+///
+/// All quantities are in bytes. The sender calls exactly one of the `on_*`
+/// hooks per event; it does not call [`CongestionControl::on_ack`] while in
+/// fast recovery (recovery has its own hooks).
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Current congestion window, bytes.
+    fn cwnd(&self) -> u64;
+
+    /// Current slow-start threshold, bytes.
+    fn ssthresh(&self) -> u64;
+
+    /// True while `cwnd < ssthresh` (the slow-start phase).
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+
+    /// A cumulative ACK advanced `snd_una` by `newly_acked` bytes.
+    fn on_ack(&mut self, view: &CcView, newly_acked: u64);
+
+    /// A congestion signal fired (at most once per window per kind; the
+    /// sender throttles).
+    fn on_congestion(&mut self, view: &CcView, ev: CongestionEvent);
+
+    /// A duplicate ACK arrived while in fast recovery (Reno window
+    /// inflation).
+    fn on_recovery_dupack(&mut self, view: &CcView);
+
+    /// A partial ACK arrived during fast recovery (NewReno deflation).
+    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64);
+
+    /// Fast recovery completed (the full outstanding window was ACKed).
+    fn on_recovery_exit(&mut self, view: &CcView);
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) fn test_view(now_ms: u64, mss: u32, flight: u64) -> CcView {
+    CcView {
+        now: SimTime::from_millis(now_ms),
+        mss,
+        flight,
+        ifq_depth: 0,
+        ifq_max: 100,
+    }
+}

@@ -1,0 +1,123 @@
+//! # rss-tcp — a TCP data-transfer engine with pluggable congestion control
+//!
+//! The transport substrate of the *Restricted Slow-Start for TCP*
+//! reproduction. It implements the sender/receiver machinery a congestion
+//! control study needs — cumulative ACKs, delayed ACKs, RFC 6298 RTT
+//! estimation and retransmission timeouts, NewReno fast retransmit/recovery,
+//! go-back-N timeout recovery — plus the paper's local-congestion pathway:
+//! when the host interface queue rejects a segment, the sender receives a
+//! **send-stall** signal and (configurably, like Linux 2.4) treats it as
+//! congestion.
+//!
+//! Congestion control is a trait ([`CongestionControl`]) with three
+//! implementations:
+//!
+//! * [`Reno`] — the standard baseline (RFC 5681);
+//! * [`RestrictedSlowStart`] — the paper's PID-paced slow-start;
+//! * [`LimitedSlowStart`] — RFC 3742, an era-appropriate comparator.
+//!
+//! The sender and receiver are sans-IO state machines: an embedding world
+//! model (see `rss-core`) moves segments between them through the simulated
+//! host NIC and network fabric.
+
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+pub mod types;
+
+pub use cc::{
+    CcView, CongestionControl, CongestionEvent, LimitedSlowStart, Reno, RestrictedSlowStart,
+    RssConfig,
+};
+pub use receiver::{AckToSend, ReceiverStats, TcpReceiver};
+pub use rtt::RttEstimator;
+pub use sender::{IfqSnapshot, TcpSender, TxPlan};
+pub use types::{AckPolicy, ConnId, SegKind, StallResponse, TcpConfig, TcpSegment};
+
+/// Construct a boxed congestion controller by algorithm selection — the
+/// convenience entry point the scenario builder uses.
+pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> Box<dyn CongestionControl> {
+    let iw = cfg.initial_cwnd();
+    let ssthresh = cfg.effective_initial_ssthresh();
+    match algo {
+        CcAlgorithm::Reno => Box::new(Reno::new(iw, ssthresh, cfg.mss, cfg.stall_response)),
+        CcAlgorithm::Restricted(rss) => Box::new(RestrictedSlowStart::new(
+            iw,
+            ssthresh,
+            cfg.mss,
+            cfg.stall_response,
+            rss,
+        )),
+        CcAlgorithm::Limited { max_ssthresh } => Box::new(LimitedSlowStart::with_max_ssthresh(
+            iw,
+            ssthresh,
+            cfg.mss,
+            cfg.stall_response,
+            max_ssthresh.unwrap_or(100 * cfg.mss as u64),
+        )),
+    }
+}
+
+/// Which congestion-control algorithm a flow runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcAlgorithm {
+    /// Standard TCP (the paper's baseline).
+    Reno,
+    /// The paper's Restricted Slow-Start.
+    Restricted(RssConfig),
+    /// RFC 3742 Limited Slow-Start with optional `max_ssthresh` (bytes).
+    Limited {
+        /// `max_ssthresh` in bytes; `None` = RFC default of 100 segments.
+        max_ssthresh: Option<u64>,
+    },
+}
+
+impl CcAlgorithm {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CcAlgorithm::Reno => "standard",
+            CcAlgorithm::Restricted(_) => "restricted",
+            CcAlgorithm::Limited { .. } => "limited",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_each_algorithm() {
+        let cfg = TcpConfig::default();
+        assert_eq!(make_cc(CcAlgorithm::Reno, &cfg).name(), "reno");
+        assert_eq!(
+            make_cc(CcAlgorithm::Restricted(RssConfig::tuned()), &cfg).name(),
+            "restricted-slow-start"
+        );
+        assert_eq!(
+            make_cc(CcAlgorithm::Limited { max_ssthresh: None }, &cfg).name(),
+            "limited-slow-start"
+        );
+    }
+
+    #[test]
+    fn factory_uses_config_initial_window() {
+        let cfg = TcpConfig::default();
+        let cc = make_cc(CcAlgorithm::Reno, &cfg);
+        assert_eq!(cc.cwnd(), cfg.initial_cwnd());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CcAlgorithm::Reno.label(), "standard");
+        assert_eq!(
+            CcAlgorithm::Restricted(RssConfig::tuned()).label(),
+            "restricted"
+        );
+        assert_eq!(CcAlgorithm::Limited { max_ssthresh: None }.label(), "limited");
+    }
+}

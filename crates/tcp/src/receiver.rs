@@ -1,0 +1,303 @@
+//! The receive side: cumulative ACK generation with configurable delayed-ACK
+//! behaviour and out-of-order reassembly.
+//!
+//! Receive-window dynamics are not modelled (the application drains
+//! instantly, as iperf-style sinks do); the advertised window is the
+//! configured static `rwnd`, matching the hand-tuned hosts of the paper's
+//! testbed.
+
+use crate::types::{AckPolicy, ConnId, TcpConfig};
+use rss_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// An acknowledgment the receiver wants transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckToSend {
+    /// Cumulative ACK (next expected byte).
+    pub ack: u64,
+    /// Advertised receive window, bytes.
+    pub rwnd: u64,
+}
+
+/// Statistics kept by the receiver (for delivery-invariant checks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReceiverStats {
+    /// Data segments received, including duplicates.
+    pub segments_in: u64,
+    /// Segments that were entirely duplicate data.
+    pub duplicate_segments: u64,
+    /// Segments buffered out of order.
+    pub out_of_order_segments: u64,
+    /// ACKs generated.
+    pub acks_out: u64,
+}
+
+/// One connection's receive state.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    conn: ConnId,
+    cfg: TcpConfig,
+    rcv_nxt: u64,
+    /// Out-of-order segments: start → end (coalesced on insert).
+    ooo: BTreeMap<u64, u64>,
+    segs_since_ack: u32,
+    delack_deadline: Option<SimTime>,
+    stats: ReceiverStats,
+}
+
+impl TcpReceiver {
+    /// Fresh receiver expecting byte 0.
+    pub fn new(conn: ConnId, cfg: TcpConfig) -> Self {
+        TcpReceiver {
+            conn,
+            cfg,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            segs_since_ack: 0,
+            delack_deadline: None,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// The connection this receiver belongs to.
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// Next expected byte = bytes delivered in order to the application.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Bytes currently buffered out of order.
+    pub fn ooo_bytes(&self) -> u64 {
+        self.ooo.iter().map(|(&s, &e)| e - s).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Deadline of the pending delayed ACK, if armed.
+    pub fn delack_deadline(&self) -> Option<SimTime> {
+        self.delack_deadline
+    }
+
+    fn make_ack(&mut self) -> AckToSend {
+        self.segs_since_ack = 0;
+        self.delack_deadline = None;
+        self.stats.acks_out += 1;
+        AckToSend {
+            ack: self.rcv_nxt,
+            rwnd: self.cfg.rwnd,
+        }
+    }
+
+    /// Process an arriving data segment `[seq, seq+len)`. Returns an ACK to
+    /// transmit immediately, if policy calls for one.
+    pub fn on_segment(&mut self, now: SimTime, seq: u64, len: u32) -> Option<AckToSend> {
+        assert!(len > 0, "zero-length data segment");
+        self.stats.segments_in += 1;
+        let end = seq + len as u64;
+
+        if end <= self.rcv_nxt {
+            // Entirely duplicate: immediate ACK restates rcv_nxt (RFC 5681).
+            self.stats.duplicate_segments += 1;
+            return Some(self.make_ack());
+        }
+
+        if seq > self.rcv_nxt {
+            // Out of order: buffer and send an immediate duplicate ACK.
+            self.stats.out_of_order_segments += 1;
+            self.insert_ooo(seq, end);
+            return Some(self.make_ack());
+        }
+
+        // In-order (possibly partially duplicate) delivery.
+        let filled_gap = !self.ooo.is_empty();
+        self.rcv_nxt = self.rcv_nxt.max(end);
+        self.drain_ooo();
+
+        match self.cfg.ack_policy {
+            AckPolicy::EverySegment => Some(self.make_ack()),
+            AckPolicy::Delayed { timeout } => {
+                if filled_gap && self.rcv_nxt > end {
+                    // We advanced past buffered data: ack immediately so the
+                    // sender learns about the jump.
+                    return Some(self.make_ack());
+                }
+                self.segs_since_ack += 1;
+                if self.segs_since_ack >= 2 {
+                    Some(self.make_ack())
+                } else {
+                    self.delack_deadline = Some(now + timeout);
+                    None
+                }
+            }
+        }
+    }
+
+    /// The delayed-ACK timer fired. Returns the ACK to send if one is still
+    /// owed (the driver may race with a just-sent ACK; stale fires are safe).
+    pub fn on_delack_timer(&mut self, now: SimTime) -> Option<AckToSend> {
+        match self.delack_deadline {
+            Some(d) if d <= now => Some(self.make_ack()),
+            _ => None,
+        }
+    }
+
+    fn insert_ooo(&mut self, seq: u64, end: u64) {
+        // Coalesce with overlapping/adjacent intervals.
+        let mut start = seq;
+        let mut stop = end;
+        // Absorb any interval that begins before `stop` and ends after `start`.
+        let overlapping: Vec<u64> = self
+            .ooo
+            .range(..=stop)
+            .filter(|&(&s, &e)| e >= start && s <= stop)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ooo.remove(&s).expect("key just seen");
+            start = start.min(s);
+            stop = stop.max(e);
+        }
+        self.ooo.insert(start, stop);
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s > self.rcv_nxt {
+                break;
+            }
+            self.ooo.remove(&s);
+            self.rcv_nxt = self.rcv_nxt.max(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss_sim::SimDuration;
+
+    fn cfg_every() -> TcpConfig {
+        TcpConfig {
+            ack_policy: AckPolicy::EverySegment,
+            ..TcpConfig::default()
+        }
+    }
+
+    fn cfg_delayed() -> TcpConfig {
+        TcpConfig {
+            ack_policy: AckPolicy::Delayed {
+                timeout: SimDuration::from_millis(200),
+            },
+            ..TcpConfig::default()
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn in_order_acks_every_segment() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        let a = r.on_segment(t(0), 0, 1000).unwrap();
+        assert_eq!(a.ack, 1000);
+        let a = r.on_segment(t(1), 1000, 1000).unwrap();
+        assert_eq!(a.ack, 2000);
+        assert_eq!(r.rcv_nxt(), 2000);
+        assert_eq!(r.stats().acks_out, 2);
+    }
+
+    #[test]
+    fn delayed_ack_every_second_segment() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_delayed());
+        assert!(r.on_segment(t(0), 0, 1000).is_none());
+        assert!(r.delack_deadline().is_some());
+        let a = r.on_segment(t(1), 1000, 1000).unwrap();
+        assert_eq!(a.ack, 2000);
+        assert!(r.delack_deadline().is_none(), "ack cleared the timer");
+    }
+
+    #[test]
+    fn delack_timer_flushes_pending_ack() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_delayed());
+        assert!(r.on_segment(t(0), 0, 1000).is_none());
+        // Timer not yet due.
+        assert!(r.on_delack_timer(t(100)).is_none());
+        let a = r.on_delack_timer(t(200)).unwrap();
+        assert_eq!(a.ack, 1000);
+        // Stale second fire does nothing.
+        assert!(r.on_delack_timer(t(201)).is_none());
+    }
+
+    #[test]
+    fn out_of_order_triggers_immediate_dupack() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_delayed());
+        let a = r.on_segment(t(0), 1000, 1000).unwrap();
+        assert_eq!(a.ack, 0, "dup ack restates rcv_nxt");
+        assert_eq!(r.ooo_bytes(), 1000);
+        // Filling the gap delivers everything and acks immediately.
+        let a = r.on_segment(t(1), 0, 1000).unwrap();
+        assert_eq!(a.ack, 2000);
+        assert_eq!(r.ooo_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_segment_acked_immediately() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_delayed());
+        r.on_segment(t(0), 0, 1000);
+        r.on_segment(t(1), 1000, 1000);
+        let a = r.on_segment(t(2), 0, 1000).unwrap();
+        assert_eq!(a.ack, 2000);
+        assert_eq!(r.stats().duplicate_segments, 1);
+    }
+
+    #[test]
+    fn ooo_intervals_coalesce() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        r.on_segment(t(0), 3000, 1000); // [3000,4000)
+        r.on_segment(t(1), 1000, 1000); // [1000,2000)
+        r.on_segment(t(2), 2000, 1000); // bridges to [1000,4000)
+        assert_eq!(r.ooo_bytes(), 3000);
+        let a = r.on_segment(t(3), 0, 1000).unwrap();
+        assert_eq!(a.ack, 4000, "whole buffer drained at once");
+    }
+
+    #[test]
+    fn overlapping_ooo_not_double_counted() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        r.on_segment(t(0), 1000, 1000);
+        r.on_segment(t(1), 1500, 1000); // overlaps [1500,2000)
+        assert_eq!(r.ooo_bytes(), 1500); // [1000,2500)
+        let a = r.on_segment(t(2), 0, 1000).unwrap();
+        assert_eq!(a.ack, 2500);
+    }
+
+    #[test]
+    fn partial_overlap_with_delivered_data() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        r.on_segment(t(0), 0, 1000);
+        // Retransmission covering old + new data.
+        let a = r.on_segment(t(1), 500, 1000).unwrap();
+        assert_eq!(a.ack, 1500);
+    }
+
+    #[test]
+    fn advertised_window_is_static_rwnd() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        let a = r.on_segment(t(0), 0, 1000).unwrap();
+        assert_eq!(a.rwnd, TcpConfig::default().rwnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_len_rejected() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        r.on_segment(t(0), 0, 0);
+    }
+}

@@ -1,0 +1,801 @@
+//! The send side: window accounting, loss detection and recovery,
+//! retransmission timers, send-stall handling, and Web100 instrumentation.
+//!
+//! The sender is sans-IO: the embedding world model asks it what to transmit
+//! ([`TcpSender::can_transmit`]), attempts to place the segment on the host
+//! NIC, and reports the outcome ([`TcpSender::commit_transmit`] on success,
+//! [`TcpSender::on_local_stall`] when the IFQ rejects the segment — the
+//! paper's send-stall). Timers follow the "deadline + stale-check" pattern:
+//! the driver schedules a check event for each deadline it observes and the
+//! sender ignores checks that no longer apply.
+
+use crate::cc::{CcView, CongestionControl, CongestionEvent};
+use crate::rtt::RttEstimator;
+use crate::types::{ConnId, StallResponse, TcpConfig};
+use rss_sim::{SimDuration, SimTime};
+use rss_web100::{CongestionKind, InstrumentBlock, SndLimState};
+use std::collections::BTreeMap;
+
+/// A transmission the sender wants to make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxPlan {
+    /// First byte offset.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// True if any part of the range was transmitted before.
+    pub retransmit: bool,
+}
+
+/// Host-queue state the sender samples at event time (the controller's
+/// process variable rides in here).
+#[derive(Debug, Clone, Copy)]
+pub struct IfqSnapshot {
+    /// Current depth, packets.
+    pub depth: u32,
+    /// Capacity, packets.
+    pub max: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SentInfo {
+    sent_at: SimTime,
+    retransmitted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Recovery {
+    /// `snd_nxt` when recovery began; a cumulative ACK at or past this ends
+    /// recovery (NewReno's `recover`).
+    recover: u64,
+}
+
+/// One connection's send state.
+#[derive(Debug)]
+pub struct TcpSender {
+    conn: ConnId,
+    cfg: TcpConfig,
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+    web100: InstrumentBlock,
+
+    snd_una: u64,
+    snd_nxt: u64,
+    /// Highest byte ever sent (for Karn's rule: anything below is a
+    /// retransmission when sent again).
+    max_sent: u64,
+    /// Total bytes the application will write (`None` = unbounded source).
+    app_total: Option<u64>,
+    peer_rwnd: u64,
+
+    dupacks: u32,
+    recovery: Option<Recovery>,
+    /// Segments queued for retransmission ahead of new data.
+    retx_queue: std::collections::VecDeque<(u64, u32)>,
+    /// Send timestamps keyed by segment end-offset.
+    sent_times: BTreeMap<u64, SentInfo>,
+
+    rto_deadline: Option<SimTime>,
+    /// No transmission before this time after a stall (driver-retry model).
+    stall_until: Option<SimTime>,
+    /// Only signal the congestion layer about stalls again once snd_una
+    /// passes this point (once-per-window, like Linux CWR).
+    stall_signal_gate: u64,
+    lim_state: SndLimState,
+}
+
+impl TcpSender {
+    /// Create a sender with the given congestion controller and an
+    /// application that will write `app_total` bytes (`None` = unlimited).
+    pub fn new(
+        conn: ConnId,
+        cfg: TcpConfig,
+        cc: Box<dyn CongestionControl>,
+        app_total: Option<u64>,
+    ) -> Self {
+        let mut web100 = InstrumentBlock::new();
+        web100.on_cwnd(SimTime::ZERO, cc.cwnd());
+        web100.on_ssthresh(cc.ssthresh());
+        web100.on_enter_slow_start();
+        TcpSender {
+            conn,
+            peer_rwnd: cfg.rwnd,
+            cfg,
+            cc,
+            rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto),
+            web100,
+            snd_una: 0,
+            snd_nxt: 0,
+            max_sent: 0,
+            app_total,
+            dupacks: 0,
+            recovery: None,
+            retx_queue: std::collections::VecDeque::new(),
+            sent_times: BTreeMap::new(),
+            rto_deadline: None,
+            stall_until: None,
+            stall_signal_gate: 0,
+            lim_state: SndLimState::Sender,
+        }
+    }
+
+    // --- accessors ---------------------------------------------------------
+
+    /// The connection id.
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// First unacknowledged byte.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Next byte to transmit.
+    pub fn snd_nxt(&self) -> u64 {
+        self.snd_nxt
+    }
+
+    /// Bytes in flight.
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// The congestion controller.
+    pub fn cc(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// The RTT estimator.
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// The Web100 instrument block.
+    pub fn web100(&self) -> &InstrumentBlock {
+        &self.web100
+    }
+
+    /// Mutable instrument access (the driver records IFQ samples here).
+    pub fn web100_mut(&mut self) -> &mut InstrumentBlock {
+        &mut self.web100
+    }
+
+    /// True while a fast-recovery episode is in progress.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// True when a finite transfer is fully acknowledged.
+    pub fn is_complete(&self) -> bool {
+        match self.app_total {
+            Some(total) => self.snd_una >= total,
+            None => false,
+        }
+    }
+
+    /// Deadline the driver must schedule an RTO check for, if any.
+    pub fn rto_deadline(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// The application wrote `bytes` more bytes into the socket (only
+    /// meaningful for finite/app-driven transfers; unbounded senders ignore
+    /// writes).
+    pub fn app_extend(&mut self, bytes: u64) {
+        if let Some(total) = &mut self.app_total {
+            *total += bytes;
+        }
+    }
+
+    /// Total bytes the application has committed to send, if bounded.
+    pub fn app_total(&self) -> Option<u64> {
+        self.app_total
+    }
+
+    /// Time the driver must re-attempt transmission after a stall, if any.
+    pub fn stall_retry_at(&self) -> Option<SimTime> {
+        self.stall_until
+    }
+
+    fn view(&self, now: SimTime, ifq: IfqSnapshot) -> CcView {
+        CcView {
+            now,
+            mss: self.cfg.mss,
+            flight: self.flight(),
+            ifq_depth: ifq.depth,
+            ifq_max: ifq.max,
+        }
+    }
+
+    fn app_bytes_remaining(&self) -> u64 {
+        match self.app_total {
+            Some(total) => total.saturating_sub(self.snd_nxt),
+            None => u64::MAX,
+        }
+    }
+
+    fn effective_window(&self) -> u64 {
+        self.cc.cwnd().min(self.peer_rwnd)
+    }
+
+    // --- transmission ------------------------------------------------------
+
+    /// What the sender would transmit right now, if anything. Pure; call
+    /// [`TcpSender::commit_transmit`] once the segment is safely on the IFQ.
+    pub fn can_transmit(&self, now: SimTime) -> Option<TxPlan> {
+        if let Some(until) = self.stall_until {
+            if now < until {
+                return None;
+            }
+        }
+        if let Some(&(seq, len)) = self.retx_queue.front() {
+            return Some(TxPlan {
+                seq,
+                len,
+                retransmit: true,
+            });
+        }
+        let window = self.effective_window();
+        if self.flight() >= window {
+            return None;
+        }
+        let room = window - self.flight();
+        let remaining = self.app_bytes_remaining();
+        if remaining == 0 {
+            return None;
+        }
+        let len = (self.cfg.mss as u64).min(remaining).min(room) as u32;
+        if len == 0 {
+            return None;
+        }
+        // Avoid silly-window segments: send sub-MSS only at the very end of
+        // a finite transfer.
+        if (len as u64) < self.cfg.mss as u64 && remaining > len as u64 {
+            return None;
+        }
+        Some(TxPlan {
+            seq: self.snd_nxt,
+            len,
+            retransmit: self.snd_nxt < self.max_sent,
+        })
+    }
+
+    /// The segment from `can_transmit` was accepted by the IFQ.
+    pub fn commit_transmit(&mut self, now: SimTime, plan: TxPlan) {
+        let end = plan.seq + plan.len as u64;
+        if plan.retransmit && self.retx_queue.front() == Some(&(plan.seq, plan.len)) {
+            self.retx_queue.pop_front();
+        }
+        if plan.seq == self.snd_nxt {
+            self.snd_nxt = end;
+        }
+        let was_sent_before = end <= self.max_sent;
+        self.max_sent = self.max_sent.max(end);
+        self.sent_times.insert(
+            end,
+            SentInfo {
+                sent_at: now,
+                retransmitted: plan.retransmit || was_sent_before,
+            },
+        );
+        self.web100
+            .on_data_sent(plan.len, plan.retransmit || was_sent_before);
+        // Stall window passed: clear the retry gate on successful enqueue.
+        self.stall_until = None;
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rtt.rto());
+        }
+    }
+
+    /// The IFQ rejected the segment: a send-stall. Mirrors Linux 2.4: the
+    /// segment is not considered sent, the congestion layer is told (at most
+    /// once per outstanding window), and transmission pauses briefly.
+    pub fn on_local_stall(&mut self, now: SimTime, ifq: IfqSnapshot) {
+        self.stall_until = Some(now + self.cfg.stall_retry);
+        if self.snd_una >= self.stall_signal_gate
+            || self.cfg.stall_response == StallResponse::Ignore
+        {
+            let view = self.view(now, ifq);
+            self.web100.on_congestion(now, CongestionKind::SendStall);
+            let was_ss = self.cc.in_slow_start();
+            self.cc.on_congestion(&view, CongestionEvent::LocalStall);
+            self.after_cc_change(now, was_ss);
+            self.stall_signal_gate = self.snd_nxt;
+        }
+    }
+
+    // --- ACK processing ------------------------------------------------------
+
+    /// Process a cumulative ACK.
+    pub fn on_ack(&mut self, now: SimTime, ack: u64, rwnd: u64, ifq: IfqSnapshot) {
+        self.peer_rwnd = rwnd;
+        self.web100.on_rwin(rwnd);
+        self.web100.on_ifq_depth(now, ifq.depth);
+
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            self.web100.on_ack_in(now, newly, false);
+            self.snd_una = ack;
+            // A late ACK can outrun a go-back-N rollback: segments sent
+            // before the timeout are still in flight and may be acked after
+            // snd_nxt was pulled back. Never let snd_una pass snd_nxt.
+            self.snd_nxt = self.snd_nxt.max(ack);
+            // Drop queued retransmissions the ACK has made moot (and trim a
+            // partially-acked head).
+            while let Some(&(seq, len)) = self.retx_queue.front() {
+                let end = seq + len as u64;
+                if end <= ack {
+                    self.retx_queue.pop_front();
+                } else if seq < ack {
+                    self.retx_queue[0] = (ack, (end - ack) as u32);
+                    break;
+                } else {
+                    break;
+                }
+            }
+            self.dupacks = 0;
+            // Forward progress clears RTO backoff even if Karn's rule
+            // forbids a sample (all-retransmitted window under heavy loss).
+            self.rtt.clear_backoff();
+            self.take_rtt_sample(now, ack);
+
+            let was_ss = self.cc.in_slow_start();
+            let view = self.view(now, ifq);
+            match self.recovery {
+                Some(r) if ack >= r.recover => {
+                    self.recovery = None;
+                    self.retx_queue.clear();
+                    self.cc.on_recovery_exit(&view);
+                }
+                Some(_) => {
+                    // Partial ACK: retransmit the next hole immediately.
+                    self.cc.on_recovery_partial_ack(&view, newly);
+                    let len = (self.cfg.mss as u64).min(self.snd_nxt - self.snd_una) as u32;
+                    if len > 0 && self.retx_queue.is_empty() {
+                        self.retx_queue.push_back((self.snd_una, len));
+                    }
+                }
+                None => {
+                    self.cc.on_ack(&view, newly);
+                }
+            }
+            self.after_cc_change(now, was_ss);
+
+            // Re-arm or clear the RTO.
+            self.rto_deadline = if self.flight() > 0 || !self.retx_queue.is_empty() {
+                Some(now + self.rtt.rto())
+            } else {
+                None
+            };
+        } else {
+            // Duplicate ACK.
+            self.web100.on_ack_in(now, 0, true);
+            if self.flight() == 0 {
+                return;
+            }
+            self.dupacks += 1;
+            let was_ss = self.cc.in_slow_start();
+            let view = self.view(now, ifq);
+            if self.recovery.is_some() {
+                self.cc.on_recovery_dupack(&view);
+                self.after_cc_change(now, was_ss);
+            } else if self.dupacks == self.cfg.dupack_threshold {
+                self.enter_fast_recovery(now, view, was_ss);
+            }
+        }
+    }
+
+    fn enter_fast_recovery(&mut self, now: SimTime, view: CcView, was_ss: bool) {
+        self.recovery = Some(Recovery {
+            recover: self.snd_nxt,
+        });
+        self.web100
+            .on_congestion(now, CongestionKind::FastRetransmit);
+        self.cc
+            .on_congestion(&view, CongestionEvent::FastRetransmit);
+        self.after_cc_change(now, was_ss);
+        let len = (self.cfg.mss as u64).min(self.snd_nxt - self.snd_una) as u32;
+        self.retx_queue.clear();
+        self.retx_queue.push_back((self.snd_una, len));
+    }
+
+    fn take_rtt_sample(&mut self, now: SimTime, ack: u64) {
+        // Newest fully-acked, never-retransmitted segment gives the sample
+        // (Karn's rule).
+        let mut sample: Option<SimDuration> = None;
+        let acked: Vec<u64> = self
+            .sent_times
+            .range(..=ack)
+            .map(|(&end, _)| end)
+            .collect();
+        for end in acked {
+            let info = self.sent_times.remove(&end).expect("key just seen");
+            if !info.retransmitted {
+                sample = Some(now.saturating_since(info.sent_at));
+            }
+        }
+        if let Some(rtt) = sample {
+            self.rtt.on_sample(rtt);
+            let srtt = self.rtt.srtt().unwrap_or(rtt);
+            self.web100.on_rtt(
+                rtt.as_nanos() / 1_000,
+                srtt.as_nanos() / 1_000,
+                self.rtt.rto().as_nanos() / 1_000,
+            );
+        }
+    }
+
+    // --- timers -------------------------------------------------------------
+
+    /// The driver's RTO check fired. Returns true if a timeout actually
+    /// happened (stale checks return false).
+    pub fn on_rto_check(&mut self, now: SimTime, ifq: IfqSnapshot) -> bool {
+        let Some(deadline) = self.rto_deadline else {
+            return false;
+        };
+        if now < deadline || (self.flight() == 0 && self.retx_queue.is_empty()) {
+            return false;
+        }
+        // Retransmission timeout: go-back-N from snd_una, collapse window,
+        // re-enter slow-start (RFC 5681 §3.1).
+        let was_ss = self.cc.in_slow_start();
+        let view = self.view(now, ifq);
+        self.web100.on_congestion(now, CongestionKind::Timeout);
+        self.cc.on_congestion(&view, CongestionEvent::Timeout);
+        self.rtt.backoff();
+        self.recovery = None;
+        self.dupacks = 0;
+        self.retx_queue.clear();
+        // Roll back: everything past snd_una is presumed lost and will be
+        // resent under the collapsed window (receiver dedups any survivors).
+        self.snd_nxt = self.snd_una;
+        self.sent_times.clear();
+        self.stall_until = None;
+        self.after_cc_change(now, was_ss);
+        if !was_ss {
+            self.web100.on_enter_slow_start();
+        }
+        self.rto_deadline = Some(now + self.rtt.rto());
+        true
+    }
+
+    // --- bookkeeping ---------------------------------------------------------
+
+    fn after_cc_change(&mut self, now: SimTime, was_slow_start: bool) {
+        self.web100.on_cwnd(now, self.cc.cwnd());
+        self.web100.on_ssthresh(self.cc.ssthresh());
+        let is_ss = self.cc.in_slow_start();
+        if was_slow_start && !is_ss {
+            self.web100.on_enter_cong_avoid();
+        }
+    }
+
+    /// Recompute and record what limits the sender right now. The driver
+    /// calls this after each pump so the Web100 `SndLimTime*` accumulators
+    /// partition wall time.
+    pub fn update_lim_state(&mut self, now: SimTime) {
+        let state = if self.app_bytes_remaining() == 0 {
+            SndLimState::Sender
+        } else if self.flight() >= self.peer_rwnd {
+            SndLimState::Rwin
+        } else if self.flight() >= self.cc.cwnd() {
+            SndLimState::Cwnd
+        } else {
+            // Window open but nothing sent: app or local queue limited.
+            SndLimState::Sender
+        };
+        if state != self.lim_state {
+            self.lim_state = state;
+            self.web100.on_snd_lim(now, state);
+        }
+    }
+
+    /// Finalize instrumentation at the end of a run.
+    pub fn finish(&mut self, now: SimTime) {
+        self.web100.finish(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::Reno;
+    use crate::types::StallResponse;
+
+    const MSS: u32 = 1000;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig {
+            mss: MSS,
+            header_bytes: 40,
+            initial_cwnd_mss: 2,
+            rwnd: 1_000_000,
+            ..TcpConfig::default()
+        }
+    }
+
+    fn sender(app_total: Option<u64>) -> TcpSender {
+        let c = cfg();
+        let cc = Box::new(Reno::new(
+            c.initial_cwnd(),
+            c.effective_initial_ssthresh(),
+            c.mss,
+            StallResponse::Cwr,
+        ));
+        TcpSender::new(ConnId(0), c, cc, app_total)
+    }
+
+    fn ifq() -> IfqSnapshot {
+        IfqSnapshot { depth: 0, max: 100 }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Transmit everything currently permitted; returns the plans.
+    fn drain(s: &mut TcpSender, now: SimTime) -> Vec<TxPlan> {
+        let mut out = vec![];
+        while let Some(p) = s.can_transmit(now) {
+            s.commit_transmit(now, p);
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn initial_window_limits_transmission() {
+        let mut s = sender(None);
+        let plans = drain(&mut s, t(0));
+        assert_eq!(plans.len(), 2, "IW = 2 segments");
+        assert_eq!(plans[0].seq, 0);
+        assert_eq!(plans[1].seq, 1000);
+        assert!(!plans[0].retransmit);
+        assert_eq!(s.flight(), 2000);
+        assert!(s.can_transmit(t(0)).is_none(), "window exhausted");
+        assert!(s.rto_deadline().is_some());
+    }
+
+    #[test]
+    fn ack_opens_window_and_slow_start_grows() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        s.on_ack(t(60), 1000, 1_000_000, ifq());
+        // cwnd 2->3 MSS, flight 1 MSS: can send 2 more.
+        let plans = drain(&mut s, t(60));
+        assert_eq!(plans.len(), 2);
+        assert_eq!(s.cc().cwnd(), 3000);
+        assert_eq!(s.snd_una(), 1000);
+    }
+
+    #[test]
+    fn finite_transfer_completes_with_tail_segment() {
+        let mut s = sender(Some(2500));
+        let plans = drain(&mut s, t(0));
+        // 1000 + 1000 + (500 pending; window is 2 MSS so only 2 now)
+        assert_eq!(plans.len(), 2);
+        s.on_ack(t(60), 2000, 1_000_000, ifq());
+        let plans = drain(&mut s, t(60));
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].len, 500, "tail sub-MSS segment allowed");
+        s.on_ack(t(120), 2500, 1_000_000, ifq());
+        assert!(s.is_complete());
+        assert!(s.rto_deadline().is_none(), "no data outstanding");
+    }
+
+    #[test]
+    fn no_silly_window_mid_transfer() {
+        let mut s = sender(None);
+        // Shrink the window so room is sub-MSS: flight 2000 of cwnd 2000.
+        drain(&mut s, t(0));
+        // rwnd forces a 500-byte room: must NOT send a partial segment.
+        s.on_ack(t(60), 1000, 1500, ifq()); // peer_rwnd = 1500, flight = 1000
+        assert!(s.can_transmit(t(60)).is_none());
+    }
+
+    #[test]
+    fn rtt_sample_updates_estimator() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        s.on_ack(t(60), 1000, 1_000_000, ifq());
+        assert_eq!(s.rtt().srtt(), Some(SimDuration::from_millis(60)));
+        assert_eq!(s.web100().vars().smoothed_rtt_us, 60_000);
+    }
+
+    #[test]
+    fn triple_dupack_enters_fast_recovery_and_retransmits() {
+        let mut s = sender(None);
+        drain(&mut s, t(0)); // 2 segments out
+        s.on_ack(t(60), 1000, 1_000_000, ifq());
+        s.on_ack(t(60), 2000, 1_000_000, ifq());
+        drain(&mut s, t(60)); // more segments out under cwnd 4
+        assert!(s.flight() >= 3000);
+        // Three dup ACKs at 2000.
+        for i in 0..3 {
+            s.on_ack(t(70 + i), 2000, 1_000_000, ifq());
+        }
+        assert!(s.in_recovery());
+        assert_eq!(s.web100().vars().fast_retran, 1);
+        assert_eq!(s.web100().vars().dup_acks_in, 3);
+        // Head of line is the retransmission of snd_una.
+        let p = s.can_transmit(t(75)).unwrap();
+        assert_eq!(p.seq, 2000);
+        assert!(p.retransmit);
+        s.commit_transmit(t(75), p);
+        assert_eq!(s.web100().vars().pkts_retrans, 1);
+        // Full ACK exits recovery.
+        let recover_point = s.snd_nxt();
+        s.on_ack(t(130), recover_point, 1_000_000, ifq());
+        assert!(!s.in_recovery());
+    }
+
+    #[test]
+    fn fewer_than_threshold_dupacks_do_nothing() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        s.on_ack(t(60), 1000, 1_000_000, ifq());
+        drain(&mut s, t(60));
+        s.on_ack(t(61), 1000, 1_000_000, ifq());
+        s.on_ack(t(62), 1000, 1_000_000, ifq());
+        assert!(!s.in_recovery());
+        assert_eq!(s.web100().vars().fast_retran, 0);
+    }
+
+    #[test]
+    fn rto_rolls_back_and_collapses_window() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let nxt_before = s.snd_nxt();
+        assert!(nxt_before > 0);
+        // No ACKs: fire the RTO (initial RTO is 1 s).
+        let deadline = s.rto_deadline().unwrap();
+        assert!(s.on_rto_check(deadline, ifq()));
+        assert_eq!(s.web100().vars().timeouts, 1);
+        assert_eq!(s.cc().cwnd(), MSS as u64);
+        assert_eq!(s.snd_nxt(), s.snd_una(), "go-back-N rollback");
+        // Retransmission is flagged for Karn.
+        let p = s.can_transmit(deadline).unwrap();
+        assert!(p.retransmit);
+        assert_eq!(p.seq, 0);
+    }
+
+    #[test]
+    fn stale_rto_check_is_ignored() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let early = t(1);
+        assert!(!s.on_rto_check(early, ifq()));
+        assert_eq!(s.web100().vars().timeouts, 0);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_after_consecutive_timeouts() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let d1 = s.rto_deadline().unwrap();
+        s.on_rto_check(d1, ifq());
+        let d2 = s.rto_deadline().unwrap();
+        // Next deadline is 2x the (1 s) initial RTO away.
+        assert_eq!(d2 - d1, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn karn_no_sample_from_retransmitted_segment() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let d = s.rto_deadline().unwrap();
+        s.on_rto_check(d, ifq());
+        let p = s.can_transmit(d).unwrap();
+        s.commit_transmit(d, p);
+        // ACK the retransmitted segment: no RTT sample may be taken.
+        s.on_ack(d + SimDuration::from_millis(60), 1000, 1_000_000, ifq());
+        assert_eq!(s.rtt().sample_count(), 0);
+    }
+
+    #[test]
+    fn local_stall_signals_cc_once_per_window() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let cwnd_before = s.cc().cwnd();
+        s.on_local_stall(t(5), IfqSnapshot { depth: 100, max: 100 });
+        assert_eq!(s.web100().vars().send_stall, 1);
+        assert!(s.cc().cwnd() <= cwnd_before);
+        assert!(s.can_transmit(t(5)).is_none(), "stall gates transmission");
+        // A second stall in the same window is throttled.
+        s.on_local_stall(t(6), IfqSnapshot { depth: 100, max: 100 });
+        assert_eq!(s.web100().vars().send_stall, 1);
+        // Retry gate lifts after stall_retry.
+        let retry = s.stall_retry_at().unwrap();
+        assert!(retry > t(6));
+    }
+
+    #[test]
+    fn stall_signal_reopens_after_window_turnover() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        s.on_local_stall(t(5), IfqSnapshot { depth: 100, max: 100 });
+        let gate = s.snd_nxt();
+        // ACK everything outstanding: snd_una reaches the gate.
+        s.on_ack(t(60), gate, 1_000_000, ifq());
+        drain(&mut s, t(60));
+        s.on_local_stall(t(61), IfqSnapshot { depth: 100, max: 100 });
+        assert_eq!(s.web100().vars().send_stall, 2);
+    }
+
+    #[test]
+    fn lim_state_transitions_accumulate() {
+        let mut s = sender(None);
+        s.update_lim_state(t(0)); // Sender (nothing sent yet)
+        drain(&mut s, t(0));
+        s.update_lim_state(t(10)); // now cwnd-limited
+        s.finish(t(20));
+        let v = *s.web100().vars();
+        assert!(v.snd_lim_time_cwnd_ns > 0);
+    }
+
+    #[test]
+    fn late_ack_after_rto_rollback_does_not_underflow_flight() {
+        let mut s = sender(None);
+        drain(&mut s, t(0)); // 2 segments out (0..2000)
+        // RTO fires: rollback to snd_una = 0, snd_nxt = 0.
+        let d = s.rto_deadline().unwrap();
+        assert!(s.on_rto_check(d, ifq()));
+        assert_eq!(s.snd_nxt(), 0);
+        // The original transmissions were not actually lost: a late ACK for
+        // both arrives after the rollback.
+        s.on_ack(d + SimDuration::from_millis(1), 2000, 1_000_000, ifq());
+        assert_eq!(s.snd_una(), 2000);
+        assert_eq!(s.snd_nxt(), 2000, "snd_nxt clamped forward");
+        assert_eq!(s.flight(), 0);
+        // Retransmission queue must not resend acked bytes.
+        if let Some(p) = s.can_transmit(d + SimDuration::from_millis(2)) {
+            assert!(p.seq >= 2000, "stale retransmission {p:?}");
+        }
+    }
+
+    #[test]
+    fn partially_acked_retx_entry_is_trimmed() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let d = s.rto_deadline().unwrap();
+        s.on_rto_check(d, ifq()); // queues retx of (0, 1000)
+        // ACK covering part of the rolled-back range: retransmission resumes
+        // exactly at the ACK point, never below it.
+        s.on_ack(d + SimDuration::from_millis(1), 500, 1_000_000, ifq());
+        let p = s.can_transmit(d + SimDuration::from_millis(2)).unwrap();
+        assert_eq!(p.seq, 500, "must resume at the ACK point: {p:?}");
+        assert!(p.retransmit, "bytes below max_sent are retransmissions");
+    }
+
+    #[test]
+    fn recovery_partial_ack_retransmits_next_hole() {
+        let mut s = sender(None);
+        // Build up a larger window first.
+        drain(&mut s, t(0));
+        for i in 0..6 {
+            let ack = s.snd_una() + 1000;
+            s.on_ack(t(10 + i), ack, 1_000_000, ifq());
+            drain(&mut s, t(10 + i));
+        }
+        let una = s.snd_una();
+        assert!(s.flight() >= 4000);
+        for i in 0..3 {
+            s.on_ack(t(50 + i), una, 1_000_000, ifq());
+        }
+        assert!(s.in_recovery());
+        let p = s.can_transmit(t(55)).unwrap();
+        s.commit_transmit(t(55), p);
+        // Partial ACK: one segment past una, still below recover point.
+        s.on_ack(t(60), una + 1000, 1_000_000, ifq());
+        assert!(s.in_recovery());
+        let p2 = s.can_transmit(t(60)).unwrap();
+        assert_eq!(p2.seq, una + 1000, "next hole retransmitted");
+        assert!(p2.retransmit);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the paper's headline experiment in a dozen lines.
+//!
+//! Runs the §4 testbed (100 Mbit/s, 60 ms RTT, txqueuelen 100, 25 s) twice —
+//! standard TCP and Restricted Slow-Start — and prints throughput and
+//! send-stall counts.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rss_core::plot::fmt_bps;
+use rss_core::{run, Scenario};
+
+fn main() {
+    let standard = run(&Scenario::paper_testbed_standard());
+    let restricted = run(&Scenario::paper_testbed_restricted());
+
+    let s = &standard.flows[0];
+    let r = &restricted.flows[0];
+
+    println!("Restricted Slow-Start for TCP — quickstart (paper §4 testbed)");
+    println!("--------------------------------------------------------------");
+    println!(
+        "standard   TCP: goodput {:>14}   send-stalls {:>3}   cwnd_max {:>7} B",
+        fmt_bps(s.goodput_bps),
+        s.vars.send_stall,
+        s.vars.max_cwnd
+    );
+    println!(
+        "restricted TCP: goodput {:>14}   send-stalls {:>3}   cwnd_max {:>7} B",
+        fmt_bps(r.goodput_bps),
+        r.vars.send_stall,
+        r.vars.max_cwnd
+    );
+    println!(
+        "improvement: {:+.1}%  (paper reports ≈ +40%)",
+        (r.goodput_bps / s.goodput_bps - 1.0) * 100.0
+    );
+    println!(
+        "\nstall timestamps (standard): {:?}",
+        s.stall_times_s
+            .iter()
+            .map(|t| (t * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "NIC utilization: standard {:.1}%  restricted {:.1}%",
+        standard.sender_nic_utilization * 100.0,
+        restricted.sender_nic_utilization * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! The §3 tuning procedure end to end: find the ultimate gain of the IFQ
+//! plant, apply the paper's Ziegler–Nichols constants, and validate the
+//! resulting controller on the simulated testbed.
+//!
+//! ```text
+//! cargo run --release --example zn_tuning
+//! ```
+
+use rss_core::{
+    find_ultimate_gain, run, CcAlgorithm, DeadTimePlant, IntegratorPlant, RssConfig, Scenario,
+    ZnSearchConfig,
+};
+
+fn main() {
+    // Small-signal model of the sending host's IFQ on the paper's path:
+    // the queue integrates the controller's per-ACK window increments at the
+    // ACK rate (100 Mbit/s / 1500 B = 8333 ACKs/s) and the controller
+    // observes the result one packet time later (dead time θ = 120 µs).
+    let ack_rate = 100_000_000.0 / (8.0 * 1500.0);
+    let theta = 1.0 / ack_rate;
+    let mut plant = DeadTimePlant::new(IntegratorPlant::new(ack_rate, 0.0), theta);
+
+    println!("Ziegler–Nichols ultimate-gain experiment (automated §3 procedure)");
+    println!("plant: IFQ ≈ integrator(K = {ack_rate:.1} pkt/s) + dead time θ = {theta:.6} s\n");
+
+    let cfg = ZnSearchConfig {
+        kp_lo: 1e-4,
+        kp_hi: 1e2,
+        dt: theta / 20.0,
+        sim_time: theta * 4000.0,
+        setpoint: 90.0,
+        tolerance: 1e-3,
+        sustained_band: 0.05,
+    };
+    let zn = find_ultimate_gain(&mut plant, &cfg).expect("no ultimate gain found");
+    let analytic_kc = std::f64::consts::FRAC_PI_2 / (ack_rate * theta);
+    println!(
+        "measured:  Kc = {:.4}   Tc = {:.6} s   ({} closed-loop experiments)",
+        zn.kc, zn.tc, zn.experiments
+    );
+    println!(
+        "analytic:  Kc = {:.4}   Tc = {:.6} s   (π/(2Kθ), 4θ)\n",
+        analytic_kc,
+        4.0 * theta
+    );
+
+    let gains = zn.paper_gains();
+    println!("paper rule (Kp = 0.33 Kc, Ti = 0.5 Tc, Td = 0.33 Tc):");
+    println!(
+        "  Kp = {:.4}   Ti = {:.6} s   Td = {:.6} s\n",
+        gains.kp, gains.ti, gains.td
+    );
+
+    // Validate on the full simulated testbed.
+    let sc = Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::with_gains(gains)));
+    let report = run(&sc);
+    let f = &report.flows[0];
+    println!("validation on the §4 testbed (25 s):");
+    println!(
+        "  goodput {:.2} Mbit/s   send-stalls {}   NIC utilization {:.1}%",
+        f.goodput_bps / 1e6,
+        f.vars.send_stall,
+        report.sender_nic_utilization * 100.0
+    );
+
+    let baseline = run(&Scenario::paper_testbed_standard());
+    println!(
+        "  improvement over standard TCP: {:+.1}%  (paper: ≈ +40%)",
+        (f.goodput_bps / baseline.flows[0].goodput_bps - 1.0) * 100.0
+    );
+}

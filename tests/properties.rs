@@ -1,0 +1,121 @@
+//! Property-based integration tests: transport invariants must hold for
+//! arbitrary (bounded) scenario parameters, not just the hand-picked ones.
+
+use proptest::prelude::*;
+use restricted_slow_start::{
+    run, AppModel, CcAlgorithm, RssConfig, Scenario, SimDuration,
+};
+
+fn arb_algo() -> impl Strategy<Value = CcAlgorithm> {
+    prop_oneof![
+        Just(CcAlgorithm::Reno),
+        Just(CcAlgorithm::Limited { max_ssthresh: None }),
+        (1u64..=1000).prop_map(|r| CcAlgorithm::Restricted(RssConfig::tuned_for(
+            r * 1_000_000,
+            1500
+        ))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every byte of a bounded transfer is delivered in order, exactly once,
+    /// regardless of path shape, queue sizes, loss and algorithm.
+    #[test]
+    fn delivery_invariant(
+        rate_mbps in 5u64..200,
+        rtt_ms in 2u64..80,
+        txqueuelen in 10u32..300,
+        loss_milli in 0u32..30,            // 0 .. 3% loss
+        bytes in 1u64..600_000,
+        algo in arb_algo(),
+        seed in 1u64..1000,
+    ) {
+        let mut sc = Scenario::paper_testbed(algo)
+            .with_rate(rate_mbps * 1_000_000)
+            .with_rtt(SimDuration::from_millis(rtt_ms))
+            .with_txqueuelen(txqueuelen)
+            .with_seed(seed)
+            .with_auto_rwnd();
+        sc.path.loss_prob = loss_milli as f64 / 1000.0;
+        sc.flows[0].app = AppModel::Bulk { bytes: Some(bytes) };
+        sc.stop_when_complete = true;
+        // Generous horizon so even lossy/small-window runs finish.
+        sc.duration = SimDuration::from_secs(600);
+        sc.web100_stride = 64;
+
+        let r = run(&sc);
+        let f = &r.flows[0];
+
+        prop_assert_eq!(f.receiver_delivered_bytes, bytes,
+            "in-order delivery broken");
+        prop_assert_eq!(f.vars.thru_bytes_acked, bytes,
+            "sender byte accounting broken");
+        prop_assert!(f.completed_at_s.is_some(), "transfer never completed");
+        // No data invented: the wire never carries more than what was sent.
+        prop_assert!(f.vars.data_bytes_out >= bytes);
+        // Goodput can never exceed the line rate.
+        prop_assert!(f.goodput_bps <= rate_mbps as f64 * 1_000_000.0 * 1.001);
+        // Loss-free paths must not retransmit.
+        if loss_milli == 0 {
+            prop_assert_eq!(f.vars.pkts_retrans, 0, "spurious retransmission");
+        }
+    }
+
+    /// Determinism: the same scenario always produces the same counters.
+    #[test]
+    fn determinism_invariant(
+        rate_mbps in 5u64..100,
+        rtt_ms in 2u64..60,
+        loss_milli in 0u32..40,
+        seed in 1u64..500,
+    ) {
+        let mk = || {
+            let mut sc = Scenario::paper_testbed_standard()
+                .with_rate(rate_mbps * 1_000_000)
+                .with_rtt(SimDuration::from_millis(rtt_ms))
+                .with_seed(seed)
+                .with_duration(SimDuration::from_millis(1200));
+            sc.path.loss_prob = loss_milli as f64 / 1000.0;
+            sc.web100_stride = 32;
+            sc
+        };
+        let a = run(&mk());
+        let b = run(&mk());
+        prop_assert_eq!(a.flows[0].vars.data_bytes_out, b.flows[0].vars.data_bytes_out);
+        prop_assert_eq!(a.flows[0].vars.pkts_retrans, b.flows[0].vars.pkts_retrans);
+        prop_assert_eq!(a.flows[0].vars.send_stall, b.flows[0].vars.send_stall);
+    }
+
+    /// The restriction property: on a loss-free path the restricted scheme
+    /// never stalls and never lets the IFQ exceed txqueuelen.
+    #[test]
+    fn restriction_invariant(
+        rtt_ms in 5u64..100,
+        txqueuelen in 20u32..300,
+        seed in 1u64..100,
+    ) {
+        let mut sc = Scenario::paper_testbed(
+            CcAlgorithm::Restricted(RssConfig::tuned()),
+        )
+        .with_rtt(SimDuration::from_millis(rtt_ms))
+        .with_txqueuelen(txqueuelen)
+        .with_seed(seed)
+        .with_duration(SimDuration::from_secs(8))
+        .with_auto_rwnd();
+        sc.web100_stride = 32;
+
+        let r = run(&sc);
+        prop_assert_eq!(r.flows[0].vars.send_stall, 0, "restricted stalled");
+        let peak = r
+            .sender_ifq_series
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        prop_assert!(peak <= txqueuelen as f64, "IFQ exceeded capacity");
+    }
+}
