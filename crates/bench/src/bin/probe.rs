@@ -89,8 +89,19 @@ fn main() {
             for (label, algo) in [
                 ("standard", CcAlgorithm::Reno),
                 ("default", CcAlgorithm::Restricted(RssConfig::tuned())),
-                ("per-flow", CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / n as u64, 1500))),
-                ("shared", CcAlgorithm::Restricted(RssConfig::tuned_shared(100_000_000, 1500, n as u32, 100))),
+                (
+                    "per-flow",
+                    CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / n as u64, 1500)),
+                ),
+                (
+                    "shared",
+                    CcAlgorithm::Restricted(RssConfig::tuned_shared(
+                        100_000_000,
+                        1500,
+                        n as u32,
+                        100,
+                    )),
+                ),
             ] {
                 let mut sc = Scenario::paper_testbed(algo);
                 sc.flows = (0..n)

@@ -49,7 +49,11 @@ fn ifq_rmse(report: &RunReport, setpoint: f64) -> f64 {
     if tail.is_empty() {
         return f64::NAN;
     }
-    (tail.iter().map(|v| (v - setpoint) * (v - setpoint)).sum::<f64>() / tail.len() as f64)
+    (tail
+        .iter()
+        .map(|v| (v - setpoint) * (v - setpoint))
+        .sum::<f64>()
+        / tail.len() as f64)
         .sqrt()
 }
 
@@ -189,17 +193,17 @@ mod tests {
     #[test]
     fn clamp_is_load_bearing_and_tuned_arms_behave() {
         let r = run_ablation();
-        let paper = r
-            .rows
-            .iter()
-            .find(|x| x.label == "PID paper rule")
-            .unwrap();
+        let paper = r.rows.iter().find(|x| x.label == "PID paper rule").unwrap();
         assert_eq!(paper.stalls, 0, "{paper:?}");
         assert!(paper.goodput_bps > 90e6, "{paper:?}");
         assert!(paper.time_to_90pct_s.is_some());
         // Finding 1: with the clamp in place, even grossly detuned gains
         // behave — the saturating actuator does the stabilising.
-        for label in ["P (0.5 Kc)", "detuned: Kp 100x", "detuned: Ti 500x (sluggish I)"] {
+        for label in [
+            "P (0.5 Kc)",
+            "detuned: Kp 100x",
+            "detuned: Ti 500x (sluggish I)",
+        ] {
             let a = r.rows.iter().find(|x| x.label == label).unwrap();
             assert_eq!(a.stalls, 0, "clamped arm stalled: {a:?}");
             assert!(a.goodput_bps > 90e6, "clamped arm slow: {a:?}");

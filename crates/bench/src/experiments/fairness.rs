@@ -52,10 +52,7 @@ pub fn run_fairness() -> FairnessResult {
             ("standard", CcAlgorithm::Reno),
             (
                 "restricted",
-                CcAlgorithm::Restricted(RssConfig::tuned_for(
-                    100_000_000 / n as u64,
-                    1500,
-                )),
+                CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / n as u64, 1500)),
             ),
         ] {
             let mut sc = Scenario::paper_testbed(algo);
@@ -100,7 +97,13 @@ impl FairnessResult {
             })
             .collect();
         ascii_table(
-            &["algorithm", "flows", "Jain index", "aggregate Mbit/s", "stalls"],
+            &[
+                "algorithm",
+                "flows",
+                "Jain index",
+                "aggregate Mbit/s",
+                "stalls",
+            ],
             &rows,
         )
     }
@@ -131,7 +134,11 @@ pub fn run_friendliness() -> FriendlinessResult {
     let mut rows = Vec::new();
     for (label, algo, red) in [
         ("standard", CcAlgorithm::Reno, false),
-        ("restricted", CcAlgorithm::Restricted(RssConfig::tuned()), false),
+        (
+            "restricted",
+            CcAlgorithm::Restricted(RssConfig::tuned()),
+            false,
+        ),
         ("standard+RED", CcAlgorithm::Reno, true),
         (
             "restricted+RED",

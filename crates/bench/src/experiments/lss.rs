@@ -37,7 +37,10 @@ pub fn run_lss() -> LssResult {
     let queue_depths = [50u32, 100, 200];
     let algos: Vec<(&str, CcAlgorithm)> = vec![
         ("standard", CcAlgorithm::Reno),
-        ("limited (RFC 3742)", CcAlgorithm::Limited { max_ssthresh: None }),
+        (
+            "limited (RFC 3742)",
+            CcAlgorithm::Limited { max_ssthresh: None },
+        ),
         (
             "restricted (paper)",
             CcAlgorithm::Restricted(RssConfig::tuned()),
@@ -129,7 +132,10 @@ impl LssResult {
 
     /// Cells for one algorithm.
     pub fn for_algo(&self, name: &str) -> Vec<&LssRow> {
-        self.rows.iter().filter(|r| r.algo.starts_with(name)).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.algo.starts_with(name))
+            .collect()
     }
 }
 
@@ -161,7 +167,10 @@ mod tests {
             lss_50.stalls > 0,
             "open-loop cap unexpectedly avoided stalls: {lss_50:?}"
         );
-        assert!(rss_50.goodput_bps > lss_50.goodput_bps, "{rss_50:?} vs {lss_50:?}");
+        assert!(
+            rss_50.goodput_bps > lss_50.goodput_bps,
+            "{rss_50:?} vs {lss_50:?}"
+        );
         // Everyone beats or matches standard.
         for q in [50u32, 100, 200] {
             let std = r

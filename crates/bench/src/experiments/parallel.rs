@@ -51,10 +51,7 @@ pub fn run_parallel_streams() -> ParallelResult {
             // Restricted streams tune their gains to their ACK share of the
             // shared host (§3: "the controller gains are configurable").
             let algo = if restricted {
-                CcAlgorithm::Restricted(RssConfig::tuned_for(
-                    100_000_000 / n as u64,
-                    1500,
-                ))
+                CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / n as u64, 1500))
             } else {
                 CcAlgorithm::Reno
             };
@@ -139,9 +136,8 @@ impl ParallelResult {
 
     /// CSV rows.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "algorithm,streams,completion_s,aggregate_goodput_bps,stalls,jain\n",
-        );
+        let mut out =
+            String::from("algorithm,streams,completion_s,aggregate_goodput_bps,stalls,jain\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{:.0},{},{:.6}\n",
@@ -194,8 +190,16 @@ mod tests {
         }
         // The single-stream case is the paper's headline: stall-free and
         // decisively faster.
-        let std1 = r.rows.iter().find(|x| x.algo == "standard" && x.streams == 1).unwrap();
-        let rss1 = r.rows.iter().find(|x| x.algo == "restricted" && x.streams == 1).unwrap();
+        let std1 = r
+            .rows
+            .iter()
+            .find(|x| x.algo == "standard" && x.streams == 1)
+            .unwrap();
+        let rss1 = r
+            .rows
+            .iter()
+            .find(|x| x.algo == "restricted" && x.streams == 1)
+            .unwrap();
         assert_eq!(rss1.stalls, 0);
         assert!(rss1.completion_s.unwrap() < 0.9 * std1.completion_s.unwrap());
     }

@@ -100,7 +100,9 @@ pub fn run_rtt_sweep() -> SweepResult {
         .iter()
         .map(|&ms| {
             let rtt = SimDuration::from_millis(ms);
-            let s = Scenario::paper_testbed_standard().with_rtt(rtt).with_auto_rwnd();
+            let s = Scenario::paper_testbed_standard()
+                .with_rtt(rtt)
+                .with_auto_rwnd();
             let r = Scenario::paper_testbed_restricted()
                 .with_rtt(rtt)
                 .with_auto_rwnd();
@@ -117,12 +119,13 @@ pub fn run_bandwidth_sweep() -> SweepResult {
         .iter()
         .map(|&mbps| {
             let bps = mbps * 1_000_000;
-            let s = Scenario::paper_testbed_standard().with_rate(bps).with_auto_rwnd();
-            let mut r = Scenario::paper_testbed(CcAlgorithm::Restricted(
-                RssConfig::tuned_for(bps, 1500),
-            ))
-            .with_rate(bps)
-            .with_auto_rwnd();
+            let s = Scenario::paper_testbed_standard()
+                .with_rate(bps)
+                .with_auto_rwnd();
+            let mut r =
+                Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::tuned_for(bps, 1500)))
+                    .with_rate(bps)
+                    .with_auto_rwnd();
             r.seed = s.seed;
             (mbps as f64, s, r)
         })

@@ -17,11 +17,11 @@
 //!    of `rss-control` recovers `Kc` and `Tc`, which are validated against
 //!    the analytic `Kc = π/(2Kθ)`, `Tc = 4θ`.
 
+use rss_control::{DeadTimePlant, IntegratorPlant};
 use rss_core::plot::ascii_table;
 use rss_core::{
     find_ultimate_gain, run, CcAlgorithm, PidGains, RssConfig, Scenario, ZnSearchConfig,
 };
-use rss_control::{DeadTimePlant, IntegratorPlant};
 
 /// One rung of the proportional-gain ladder on the full stack.
 #[derive(Debug, Clone)]
@@ -61,9 +61,9 @@ pub struct ZnExperimentResult {
 }
 
 fn ladder_row(kp: f64) -> GainLadderRow {
-    let sc = Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::with_gains(
-        PidGains::p(kp),
-    )));
+    let sc = Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::with_gains(PidGains::p(
+        kp,
+    ))));
     let r = run(&sc);
     let f = &r.flows[0];
     let tail: Vec<f64> = r
@@ -73,8 +73,7 @@ fn ladder_row(kp: f64) -> GainLadderRow {
         .map(|&(_, v)| v)
         .collect();
     let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
-    let var =
-        tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len().max(1) as f64;
+    let var = tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len().max(1) as f64;
     GainLadderRow {
         kp,
         stalls: f.vars.send_stall,

@@ -311,8 +311,8 @@ mod tests {
 
     #[test]
     fn derivative_kick_avoided_on_setpoint_change() {
-        let cfg = PidConfig::new(PidGains::pid(1.0, f64::INFINITY, 1.0), 0.0)
-            .with_derivative_filter(1.0);
+        let cfg =
+            PidConfig::new(PidGains::pid(1.0, f64::INFINITY, 1.0), 0.0).with_derivative_filter(1.0);
         let mut c = PidController::new(cfg);
         c.update(t(0), 5.0);
         c.set_setpoint(100.0);

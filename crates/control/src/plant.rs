@@ -38,7 +38,12 @@ impl FirstOrderPlant {
     /// Create with initial output `y0`.
     pub fn new(gain: f64, tau: f64, y0: f64) -> Self {
         assert!(tau > 0.0, "tau must be positive");
-        FirstOrderPlant { gain, tau, y: y0, y0 }
+        FirstOrderPlant {
+            gain,
+            tau,
+            y: y0,
+            y0,
+        }
     }
 }
 
@@ -326,7 +331,10 @@ mod tests {
         for _ in 0..100_000 {
             peak = peak.max(p.step(1.0, 0.0001));
         }
-        assert!(peak > 1.3, "underdamped system should overshoot, peak {peak}");
+        assert!(
+            peak > 1.3,
+            "underdamped system should overshoot, peak {peak}"
+        );
         assert!((p.output() - 1.0).abs() < 0.05, "settles near 1.0");
     }
 

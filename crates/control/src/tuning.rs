@@ -200,9 +200,7 @@ mod tests {
 
     #[test]
     fn never_settling_response() {
-        let samples: Vec<(f64, f64)> = (0..1000)
-            .map(|i| (i as f64 * 1e-3, 0.5))
-            .collect();
+        let samples: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64 * 1e-3, 0.5)).collect();
         let m = step_metrics(&samples, 0.0, 1.0);
         assert!(m.settling_time.is_none());
         assert!(m.rise_time.is_none());

@@ -239,7 +239,9 @@ pub fn find_ultimate_gain<P: Plant>(
     };
 
     // Establish the bracket.
-    if classify(plant, cfg.kp_hi, &mut experiments) == LoopBehavior::Decaying { return Err(ZnError::NoOscillationInRange) }
+    if classify(plant, cfg.kp_hi, &mut experiments) == LoopBehavior::Decaying {
+        return Err(ZnError::NoOscillationInRange);
+    }
     match classify(plant, cfg.kp_lo, &mut experiments) {
         LoopBehavior::Growing => return Err(ZnError::UnstableAtMinimumGain),
         LoopBehavior::Sustained => {
@@ -268,7 +270,11 @@ pub fn find_ultimate_gain<P: Plant>(
     let ys = run_p_loop(plant, kc, cfg);
     experiments += 1;
     let tc = measure_period(&ys, cfg.dt).ok_or(ZnError::PeriodUndetectable)?;
-    Ok(ZnResult { kc, tc, experiments })
+    Ok(ZnResult {
+        kc,
+        tc,
+        experiments,
+    })
 }
 
 #[cfg(test)]

@@ -1,9 +1,7 @@
 //! Property-based tests for the PID controller and plants.
 
 use proptest::prelude::*;
-use rss_control::{
-    FirstOrderPlant, IntegratorPlant, PidConfig, PidController, PidGains, Plant,
-};
+use rss_control::{FirstOrderPlant, IntegratorPlant, PidConfig, PidController, PidGains, Plant};
 use rss_sim::SimTime;
 
 proptest! {

@@ -27,8 +27,12 @@ pub fn ascii_chart(title: &str, series: &[Series<'_>], width: usize, height: usi
         out.push_str("  (no data)\n");
         return out;
     }
-    let (mut xmin, mut xmax, mut ymin, mut ymax) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in &all {
         xmin = xmin.min(x);
         xmax = xmax.max(x);
@@ -59,11 +63,7 @@ pub fn ascii_chart(title: &str, series: &[Series<'_>], width: usize, height: usi
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>10} +{}\n",
-        "",
-        "-".repeat(width.min(width))
-    ));
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
     out.push_str(&format!(
         "{:>11}{:<width$.2}{:>.2}\n",
         "",

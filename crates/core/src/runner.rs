@@ -101,26 +101,31 @@ pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
         .unwrap_or(4)
         .min(scenarios.len());
     let cursor = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<RunReport>>> =
-        scenarios.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    // Each slot is written exactly once, by the unique worker that claimed
+    // its index off the cursor; OnceLock gives lock-free single-writer slots.
+    let results: Vec<std::sync::OnceLock<RunReport>> = scenarios
+        .iter()
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
 
-    crossbeam::thread::scope(|scope| {
+    // std::thread::scope joins every worker before returning and re-raises
+    // any worker panic, so all result slots are filled on the happy path.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= scenarios.len() {
                     break;
                 }
                 let report = run(&scenarios[i]);
-                *results[i].lock() = Some(report);
+                results[i].set(report).expect("slot claimed twice");
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("missing result"))
+        .map(|slot| slot.into_inner().expect("missing result"))
         .collect()
 }
 
@@ -156,7 +161,10 @@ mod tests {
     fn deterministic_across_runs() {
         let a = run(&tiny(CcAlgorithm::Reno));
         let b = run(&tiny(CcAlgorithm::Reno));
-        assert_eq!(a.flows[0].vars.data_bytes_out, b.flows[0].vars.data_bytes_out);
+        assert_eq!(
+            a.flows[0].vars.data_bytes_out,
+            b.flows[0].vars.data_bytes_out
+        );
         assert_eq!(a.flows[0].vars.send_stall, b.flows[0].vars.send_stall);
         assert_eq!(a.flows[0].cwnd_series, b.flows[0].cwnd_series);
     }
@@ -176,7 +184,10 @@ mod tests {
 
     #[test]
     fn run_many_matches_run() {
-        let scs = vec![tiny(CcAlgorithm::Reno), tiny(CcAlgorithm::Reno).with_seed(2)];
+        let scs = vec![
+            tiny(CcAlgorithm::Reno),
+            tiny(CcAlgorithm::Reno).with_seed(2),
+        ];
         let batch = run_many(&scs);
         let solo: Vec<_> = scs.iter().map(run).collect();
         for (b, s) in batch.iter().zip(&solo) {

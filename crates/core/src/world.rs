@@ -123,8 +123,7 @@ impl World {
         let one_way = sc.path.rtt / 2;
         let haul_delay = one_way.saturating_sub(access_delay * 2);
         let access = LinkParams::new(sc.path.access_rate(), access_delay);
-        let haul =
-            LinkParams::new(sc.path.rate_bps, haul_delay).with_loss(sc.path.loss_prob);
+        let haul = LinkParams::new(sc.path.rate_bps, haul_delay).with_loss(sc.path.loss_prob);
         let (topo, d) = dumbbell(pairs, access, haul);
 
         let rng = SimRng::seed_from_u64(sc.seed);
@@ -269,7 +268,10 @@ impl World {
 
     /// Bytes each cross stream has offered so far.
     pub fn cross_offered(&self) -> Vec<(u64, u64)> {
-        self.cross.iter().map(|c| (c.sent_pkts, c.sent_bytes)).collect()
+        self.cross
+            .iter()
+            .map(|c| (c.sent_pkts, c.sent_bytes))
+            .collect()
     }
 
     // --- internals -----------------------------------------------------------
@@ -378,7 +380,13 @@ impl World {
         }
     }
 
-    fn deliver(&mut self, node: NodeId, pkt: Packet<WireBody>, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+    fn deliver(
+        &mut self,
+        node: NodeId,
+        pkt: Packet<WireBody>,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         match pkt.body {
             WireBody::Raw { size } => {
                 self.cross_delivered_pkts += 1;

@@ -25,7 +25,10 @@ fn flow_start_offset_is_respected() {
     assert!(f.vars.data_bytes_out > 0);
     // Nothing acked before the start time.
     let first_ack_t = f.acked_series.first().map(|&(t, _)| t).unwrap();
-    assert!(first_ack_t >= 1.5, "data moved before flow start: {first_ack_t}");
+    assert!(
+        first_ack_t >= 1.5,
+        "data moved before flow start: {first_ack_t}"
+    );
 }
 
 #[test]
@@ -90,8 +93,7 @@ fn red_bottleneck_run_works_and_differs_from_droptail() {
     // RED drops early: the flow sees loss events before the hard limit and
     // the trajectory differs from drop-tail.
     assert_ne!(
-        droptail.flows[0].vars.data_bytes_out,
-        red.flows[0].vars.data_bytes_out,
+        droptail.flows[0].vars.data_bytes_out, red.flows[0].vars.data_bytes_out,
         "RED had no effect on the run"
     );
     assert!(

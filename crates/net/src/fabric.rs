@@ -295,7 +295,11 @@ mod tests {
         }
     }
 
-    fn mk_world(n: usize, bn_rate: u64, queue: QueueConfig) -> (RawWorld, crate::topology::Dumbbell) {
+    fn mk_world(
+        n: usize,
+        bn_rate: u64,
+        queue: QueueConfig,
+    ) -> (RawWorld, crate::topology::Dumbbell) {
         let access = LinkParams::new(1_000_000_000, SimDuration::from_micros(100));
         let bottleneck = LinkParams::new(bn_rate, SimDuration::from_millis(10));
         let (topo, d) = dumbbell(n, access, bottleneck);
@@ -440,11 +444,14 @@ mod tests {
     #[test]
     fn lossy_link_drops_deterministically() {
         let access = LinkParams::new(1_000_000_000, SimDuration::from_micros(100));
-        let bottleneck =
-            LinkParams::new(100_000_000, SimDuration::from_millis(10)).with_loss(0.5);
+        let bottleneck = LinkParams::new(100_000_000, SimDuration::from_millis(10)).with_loss(0.5);
         let (topo, d) = dumbbell(1, access, bottleneck);
         let run = |seed: u64| {
-            let fabric = Fabric::new(topo.clone(), QueueConfig::packets(100), SimRng::seed_from_u64(seed));
+            let fabric = Fabric::new(
+                topo.clone(),
+                QueueConfig::packets(100),
+                SimRng::seed_from_u64(seed),
+            );
             let mut eng = Engine::new(RawWorld {
                 fabric,
                 delivered: vec![],

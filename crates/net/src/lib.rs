@@ -23,5 +23,7 @@ pub use fabric::{Fabric, LinkStats, NetEvent, PortQueue};
 pub use packet::{Body, FlowId, LinkId, NodeId, Packet, PacketIdGen, RawBody};
 pub use queue::{DropTailQueue, EnqueueError, QueueConfig, QueueStats};
 pub use red::{RedConfig, RedQueue};
-pub use topology::{dumbbell, single_path, Dumbbell, LinkParams, LinkSpec, NodeKind, RoutingTable, Topology};
+pub use topology::{
+    dumbbell, single_path, Dumbbell, LinkParams, LinkSpec, NodeKind, RoutingTable, Topology,
+};
 pub use traffic::{TrafficPattern, TrafficSource};

@@ -131,8 +131,8 @@ impl<B: Body> RedQueue<B> {
         }
         if self.avg > self.cfg.min_th {
             self.count_since_drop += 1;
-            let pb = self.cfg.max_p * (self.avg - self.cfg.min_th)
-                / (self.cfg.max_th - self.cfg.min_th);
+            let pb =
+                self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
             let pa = pb / (1.0 - (self.count_since_drop as f64 * pb).min(0.999));
             if rng.chance(pa) {
                 self.early_drops += 1;

@@ -227,11 +227,7 @@ pub struct Dumbbell {
 }
 
 /// Build an `n`-pair dumbbell.
-pub fn dumbbell(
-    n: usize,
-    access: LinkParams,
-    bottleneck: LinkParams,
-) -> (Topology, Dumbbell) {
+pub fn dumbbell(n: usize, access: LinkParams, bottleneck: LinkParams) -> (Topology, Dumbbell) {
     assert!(n > 0);
     let mut topo = Topology::new();
     let left = topo.add_router();

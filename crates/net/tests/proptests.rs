@@ -1,9 +1,7 @@
 //! Property-based tests for queues and topology routing.
 
 use proptest::prelude::*;
-use rss_net::{
-    DropTailQueue, FlowId, LinkParams, NodeId, Packet, QueueConfig, RawBody, Topology,
-};
+use rss_net::{DropTailQueue, FlowId, LinkParams, NodeId, Packet, QueueConfig, RawBody, Topology};
 use rss_sim::{SimDuration, SimTime};
 
 fn pkt(id: u64, size: u32) -> Packet<RawBody> {

@@ -274,7 +274,10 @@ mod tests {
 
     #[test]
     fn model_can_stop_the_run() {
-        let mut eng = Engine::new(Stopper { stop_on: 5, count: 0 });
+        let mut eng = Engine::new(Stopper {
+            stop_on: 5,
+            count: 0,
+        });
         eng.schedule_at(SimTime::ZERO, 0);
         let stats = eng.run_to_completion();
         assert!(stats.stopped_by_model);

@@ -129,7 +129,12 @@ impl TimeSeries {
     /// Resample onto fixed bins of width `bin`: returns, for each bin,
     /// `(bin_end_time, sum of values of samples inside the bin)`.
     /// Useful for event-count series (each sample value 1.0).
-    pub fn binned_sums(&self, start: SimTime, end: SimTime, bin: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn binned_sums(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        bin: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(bin > SimDuration::ZERO, "zero bin width");
         let mut out = Vec::new();
         let mut bin_start = start;
@@ -272,7 +277,7 @@ mod tests {
         let mut s = TimeSeries::new("x");
         s.push(ms(0), 0.0);
         s.push(ms(10), 10.0); // holds 10.0 for the rest
-        // Over [0, 20]: 0.0 for 10ms, 10.0 for 10ms -> 5.0.
+                              // Over [0, 20]: 0.0 for 10ms, 10.0 for 10ms -> 5.0.
         let m = s.time_weighted_mean(ms(0), ms(20)).unwrap();
         assert!((m - 5.0).abs() < 1e-9);
         // Over [10, 20]: all 10.0.

@@ -81,8 +81,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -116,8 +115,8 @@ impl Histogram {
     /// Add a sample.
     pub fn add(&mut self, x: f64) {
         let frac = (x - self.lo) / (self.hi - self.lo);
-        let idx = ((frac * self.bins.len() as f64) as isize)
-            .clamp(0, self.bins.len() as isize - 1) as usize;
+        let idx = ((frac * self.bins.len() as f64) as isize).clamp(0, self.bins.len() as isize - 1)
+            as usize;
         self.bins[idx] += 1;
         self.total += 1;
     }

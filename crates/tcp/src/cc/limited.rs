@@ -70,7 +70,8 @@ impl CongestionControl for LimitedSlowStart {
             // — at most max_ssthresh/2 segments of growth per RTT.
             let k = (cwnd / (self.max_ssthresh / 2)).max(1);
             let inc = (self.mss / k).max(1);
-            self.base.force_cwnd(cwnd + inc.min(newly_acked.min(self.mss)));
+            self.base
+                .force_cwnd(cwnd + inc.min(newly_acked.min(self.mss)));
         }
     }
 

@@ -90,12 +90,7 @@ impl RssConfig {
     /// controller is also divided by `n_flows`. Tuning against that plant
     /// (`Kc = π/(2Kθ)`, `Tc = 4θ`) keeps the collective loop stable where
     /// the single-flow gains would limit-cycle into the queue cap.
-    pub fn tuned_shared(
-        rate_bps: u64,
-        wire_pkt_bytes: u32,
-        n_flows: u32,
-        txqueuelen: u32,
-    ) -> Self {
+    pub fn tuned_shared(rate_bps: u64, wire_pkt_bytes: u32, n_flows: u32, txqueuelen: u32) -> Self {
         assert!(rate_bps > 0 && wire_pkt_bytes > 0 && n_flows > 0 && txqueuelen > 0);
         let ack_rate = rate_bps as f64 / (8.0 * wire_pkt_bytes as f64);
         let per_flow_gain = ack_rate / n_flows as f64;
@@ -144,10 +139,8 @@ impl RestrictedSlowStart {
             "setpoint fraction out of range"
         );
         assert!(cfg.max_increment_segments > 0.0);
-        let pid_cfg = PidConfig::new(cfg.gains, 0.0).with_output_limits(
-            -cfg.max_decrement_segments,
-            cfg.max_increment_segments,
-        );
+        let pid_cfg = PidConfig::new(cfg.gains, 0.0)
+            .with_output_limits(-cfg.max_decrement_segments, cfg.max_increment_segments);
         RestrictedSlowStart {
             base: Reno::new(initial_cwnd, initial_ssthresh, mss, stall),
             pid: PidController::new(pid_cfg),
@@ -409,8 +402,16 @@ mod tests {
         let cfg = RssConfig::tuned_for(100_000_000, 1500);
         // ACK rate 8333.3/s, θ = 120 µs, Kc = π/2, Tc = 480 µs.
         assert!((cfg.gains.kp - 0.33 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
-        assert!((cfg.gains.ti - 0.000_24).abs() < 1e-9, "ti {}", cfg.gains.ti);
-        assert!((cfg.gains.td - 0.000_158_4).abs() < 1e-9, "td {}", cfg.gains.td);
+        assert!(
+            (cfg.gains.ti - 0.000_24).abs() < 1e-9,
+            "ti {}",
+            cfg.gains.ti
+        );
+        assert!(
+            (cfg.gains.td - 0.000_158_4).abs() < 1e-9,
+            "td {}",
+            cfg.gains.td
+        );
         assert_eq!(cfg.setpoint_frac, 0.9);
         // Kp is rate-invariant; the time constants scale inversely with rate.
         let fast = RssConfig::tuned_for(1_000_000_000, 1500);

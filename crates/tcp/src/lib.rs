@@ -118,6 +118,9 @@ mod tests {
             CcAlgorithm::Restricted(RssConfig::tuned()).label(),
             "restricted"
         );
-        assert_eq!(CcAlgorithm::Limited { max_ssthresh: None }.label(), "limited");
+        assert_eq!(
+            CcAlgorithm::Limited { max_ssthresh: None }.label(),
+            "limited"
+        );
     }
 }

@@ -409,11 +409,7 @@ impl TcpSender {
         // Newest fully-acked, never-retransmitted segment gives the sample
         // (Karn's rule).
         let mut sample: Option<SimDuration> = None;
-        let acked: Vec<u64> = self
-            .sent_times
-            .range(..=ack)
-            .map(|(&end, _)| end)
-            .collect();
+        let acked: Vec<u64> = self.sent_times.range(..=ack).map(|(&end, _)| end).collect();
         for end in acked {
             let info = self.sent_times.remove(&end).expect("key just seen");
             if !info.retransmitted {
@@ -703,12 +699,24 @@ mod tests {
         let mut s = sender(None);
         drain(&mut s, t(0));
         let cwnd_before = s.cc().cwnd();
-        s.on_local_stall(t(5), IfqSnapshot { depth: 100, max: 100 });
+        s.on_local_stall(
+            t(5),
+            IfqSnapshot {
+                depth: 100,
+                max: 100,
+            },
+        );
         assert_eq!(s.web100().vars().send_stall, 1);
         assert!(s.cc().cwnd() <= cwnd_before);
         assert!(s.can_transmit(t(5)).is_none(), "stall gates transmission");
         // A second stall in the same window is throttled.
-        s.on_local_stall(t(6), IfqSnapshot { depth: 100, max: 100 });
+        s.on_local_stall(
+            t(6),
+            IfqSnapshot {
+                depth: 100,
+                max: 100,
+            },
+        );
         assert_eq!(s.web100().vars().send_stall, 1);
         // Retry gate lifts after stall_retry.
         let retry = s.stall_retry_at().unwrap();
@@ -719,12 +727,24 @@ mod tests {
     fn stall_signal_reopens_after_window_turnover() {
         let mut s = sender(None);
         drain(&mut s, t(0));
-        s.on_local_stall(t(5), IfqSnapshot { depth: 100, max: 100 });
+        s.on_local_stall(
+            t(5),
+            IfqSnapshot {
+                depth: 100,
+                max: 100,
+            },
+        );
         let gate = s.snd_nxt();
         // ACK everything outstanding: snd_una reaches the gate.
         s.on_ack(t(60), gate, 1_000_000, ifq());
         drain(&mut s, t(60));
-        s.on_local_stall(t(61), IfqSnapshot { depth: 100, max: 100 });
+        s.on_local_stall(
+            t(61),
+            IfqSnapshot {
+                depth: 100,
+                max: 100,
+            },
+        );
         assert_eq!(s.web100().vars().send_stall, 2);
     }
 
@@ -743,7 +763,7 @@ mod tests {
     fn late_ack_after_rto_rollback_does_not_underflow_flight() {
         let mut s = sender(None);
         drain(&mut s, t(0)); // 2 segments out (0..2000)
-        // RTO fires: rollback to snd_una = 0, snd_nxt = 0.
+                             // RTO fires: rollback to snd_una = 0, snd_nxt = 0.
         let d = s.rto_deadline().unwrap();
         assert!(s.on_rto_check(d, ifq()));
         assert_eq!(s.snd_nxt(), 0);
@@ -765,8 +785,8 @@ mod tests {
         drain(&mut s, t(0));
         let d = s.rto_deadline().unwrap();
         s.on_rto_check(d, ifq()); // queues retx of (0, 1000)
-        // ACK covering part of the rolled-back range: retransmission resumes
-        // exactly at the ACK point, never below it.
+                                  // ACK covering part of the rolled-back range: retransmission resumes
+                                  // exactly at the ACK point, never below it.
         s.on_ack(d + SimDuration::from_millis(1), 500, 1_000_000, ifq());
         let p = s.can_transmit(d + SimDuration::from_millis(2)).unwrap();
         assert_eq!(p.seq, 500, "must resume at the ACK point: {p:?}");

@@ -117,9 +117,7 @@ pub fn stripe_bytes(total_bytes: u64, streams: u32) -> Vec<u64> {
     assert!(streams > 0);
     let base = total_bytes / streams as u64;
     let extra = (total_bytes % streams as u64) as u32;
-    (0..streams)
-        .map(|i| base + u64::from(i < extra))
-        .collect()
+    (0..streams).map(|i| base + u64::from(i < extra)).collect()
 }
 
 #[cfg(test)]
@@ -155,9 +153,18 @@ mod tests {
         assert_eq!(m.total_bytes(), Some(15_000));
         let mut d = AppDriver::new(m);
         let start = SimTime::from_secs(1);
-        assert_eq!(d.next_write(start), Some((SimTime::from_millis(1000), 5000)));
-        assert_eq!(d.next_write(start), Some((SimTime::from_millis(1100), 5000)));
-        assert_eq!(d.next_write(start), Some((SimTime::from_millis(1200), 5000)));
+        assert_eq!(
+            d.next_write(start),
+            Some((SimTime::from_millis(1000), 5000))
+        );
+        assert_eq!(
+            d.next_write(start),
+            Some((SimTime::from_millis(1100), 5000))
+        );
+        assert_eq!(
+            d.next_write(start),
+            Some((SimTime::from_millis(1200), 5000))
+        );
         assert_eq!(d.next_write(start), None);
         assert_eq!(d.bursts_done(), 3);
     }

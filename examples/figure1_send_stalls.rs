@@ -48,7 +48,10 @@ fn main() {
         )
     );
 
-    println!("stall events (standard): {:?}", standard.flows[0].stall_times_s);
+    println!(
+        "stall events (standard): {:?}",
+        standard.flows[0].stall_times_s
+    );
     println!(
         "stall events (restricted): {:?}",
         restricted.flows[0].stall_times_s

@@ -9,8 +9,7 @@
 
 use rss_core::plot::ascii_table;
 use rss_core::{
-    run, stripe_bytes, AppModel, CcAlgorithm, FlowSpec, RssConfig, Scenario, SimDuration,
-    SimTime,
+    run, stripe_bytes, AppModel, CcAlgorithm, FlowSpec, RssConfig, Scenario, SimDuration, SimTime,
 };
 
 fn transfer(algo: CcAlgorithm, streams: u32, total: u64) -> (Option<f64>, u64, f64) {
@@ -48,10 +47,7 @@ fn main() {
             // of the shared host (see EXPERIMENTS.md E10).
             (
                 "restricted",
-                CcAlgorithm::Restricted(RssConfig::tuned_for(
-                    100_000_000 / streams as u64,
-                    1500,
-                )),
+                CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / streams as u64, 1500)),
             ),
         ] {
             let (done, stalls, jain) = transfer(algo, streams, total);
@@ -70,7 +66,14 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["streams", "algorithm", "completion", "eff. Mbit/s", "stalls", "Jain"],
+            &[
+                "streams",
+                "algorithm",
+                "completion",
+                "eff. Mbit/s",
+                "stalls",
+                "Jain"
+            ],
             &rows
         )
     );

@@ -25,12 +25,11 @@ fn main() {
                 .with_rate(bps)
                 .with_rtt(SimDuration::from_millis(rtt))
                 .with_auto_rwnd();
-            let rss = Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::tuned_for(
-                bps, 1500,
-            )))
-            .with_rate(bps)
-            .with_rtt(SimDuration::from_millis(rtt))
-            .with_auto_rwnd();
+            let rss =
+                Scenario::paper_testbed(CcAlgorithm::Restricted(RssConfig::tuned_for(bps, 1500)))
+                    .with_rate(bps)
+                    .with_rtt(SimDuration::from_millis(rtt))
+                    .with_auto_rwnd();
             scenarios.push(std);
             scenarios.push(rss);
         }

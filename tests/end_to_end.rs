@@ -117,7 +117,10 @@ fn whole_run_reports_are_deterministic() {
     };
     let a = run(&mk());
     let b = run(&mk());
-    assert_eq!(a.flows[0].vars.data_bytes_out, b.flows[0].vars.data_bytes_out);
+    assert_eq!(
+        a.flows[0].vars.data_bytes_out,
+        b.flows[0].vars.data_bytes_out
+    );
     assert_eq!(a.flows[0].vars.pkts_retrans, b.flows[0].vars.pkts_retrans);
     assert_eq!(a.flows[0].cwnd_series, b.flows[0].cwnd_series);
     assert_eq!(a.sender_ifq_series, b.sender_ifq_series);
@@ -258,8 +261,7 @@ fn run_many_parallel_equals_sequential() {
     for (i, sc) in scenarios.iter().enumerate() {
         let solo = run(sc);
         assert_eq!(
-            parallel[i].flows[0].vars.data_bytes_out,
-            solo.flows[0].vars.data_bytes_out,
+            parallel[i].flows[0].vars.data_bytes_out, solo.flows[0].vars.data_bytes_out,
             "scenario {i} differs between parallel and sequential execution"
         );
     }

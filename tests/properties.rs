@@ -2,18 +2,14 @@
 //! arbitrary (bounded) scenario parameters, not just the hand-picked ones.
 
 use proptest::prelude::*;
-use restricted_slow_start::{
-    run, AppModel, CcAlgorithm, RssConfig, Scenario, SimDuration,
-};
+use restricted_slow_start::{run, AppModel, CcAlgorithm, RssConfig, Scenario, SimDuration};
 
 fn arb_algo() -> impl Strategy<Value = CcAlgorithm> {
     prop_oneof![
         Just(CcAlgorithm::Reno),
         Just(CcAlgorithm::Limited { max_ssthresh: None }),
-        (1u64..=1000).prop_map(|r| CcAlgorithm::Restricted(RssConfig::tuned_for(
-            r * 1_000_000,
-            1500
-        ))),
+        (1u64..=1000)
+            .prop_map(|r| CcAlgorithm::Restricted(RssConfig::tuned_for(r * 1_000_000, 1500))),
     ]
 }
 

@@ -1,0 +1,124 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset `rss-bench` uses — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — measuring simple wall-clock min/mean/max
+//! per target instead of criterion's full statistical machinery. Benches
+//! keep `harness = false`, so swapping the real crate back in is a
+//! `Cargo.toml`-only change.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context (mirror of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_target(id, 10, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per target (criterion's floor is 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in is sample-count driven.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark target.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_target(id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (report-flush point in real criterion).
+    pub fn finish(self) {}
+}
+
+fn run_target<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let n = b.samples.len().max(1);
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!("  {id:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({n} samples)");
+}
+
+/// Passed to the closure given to `bench_function`; times the hot closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (real criterion batches internally).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+}
+
+/// Opaque value barrier — prevents the optimizer from deleting the result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

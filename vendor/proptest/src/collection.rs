@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.end - self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Mirror of `proptest::collection::vec`: element strategy + length range.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}

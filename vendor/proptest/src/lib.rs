@@ -1,0 +1,113 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the slice of proptest's API the workspace's property tests consume:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prop_oneof!`], [`strategy::Just`], `.prop_map(..)`, `.boxed()`,
+//! * range strategies (`0u64..1_000`, `1u64..=1000`, float ranges),
+//!   tuple strategies, [`any::<T>()`](arbitrary::any) and
+//!   [`collection::vec`],
+//! * [`test_runner::Config`] (`ProptestConfig`) with a `cases` knob and the
+//!   `PROPTEST_CASES` environment override.
+//!
+//! Semantics differ from real proptest in two deliberate ways: sampling is
+//! **deterministic** (seeded from the test's name, so failures reproduce
+//! bit-exactly and CI is stable) and there is **no shrinking** — a failing
+//! case panics with the case number so it can be replayed. Swap the path
+//! dependency for the real crate to regain shrinking; the call sites need no
+//! changes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Alias of the crate root so `prop::collection::vec(..)` paths work.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property test (panics; no shrink phase).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` becomes
+/// a `#[test]` that samples `cases` inputs deterministically and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            // Build each strategy once (as real proptest does), binding it to
+            // the argument's own name; the per-case `let` below shadows it
+            // with the sampled value for the body's scope only.
+            $(let $arg = ($strat);)+
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut __rng);)+
+                let __run = move || $body;
+                if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)).is_err() {
+                    panic!(
+                        "property `{}` failed at deterministic case {}/{} \
+                         (no shrinking in the offline proptest stand-in)",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}

@@ -1,0 +1,66 @@
+//! Test-runner configuration and the deterministic RNG behind sampling.
+
+/// Mirror of `proptest::test_runner::Config` (exposed in the prelude as
+/// `ProptestConfig`). Only the fields this workspace uses are present.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of input cases sampled per property.
+    pub cases: u32,
+    /// Accepted for compatibility with the real crate; the stand-in does
+    /// not shrink. (Also keeps `..Config::default()` struct updates at
+    /// call sites meaningful.)
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from the test's name, so every
+/// run (and every CI machine) samples the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a over the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (`hi > lo`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; bias is negligible for test input.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}

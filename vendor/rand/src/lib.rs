@@ -1,0 +1,34 @@
+//! Offline stand-in for `rand` (0.8-era API surface).
+//!
+//! `rss_sim::SimRng` implements [`RngCore`] so it composes with `rand`
+//! distributions when the real crate is present. Offline, only the trait
+//! definition is needed; no generator or distribution code lives here.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` for the `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

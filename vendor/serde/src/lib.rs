@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface it consumes: the `Serialize`/`Deserialize`
+//! *names* (trait + derive-macro, like the real crate) so that
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile.
+//! Nothing in the workspace serializes through serde yet — artifacts are
+//! written as CSV by `rss-bench` — so the traits carry no methods. Replace
+//! this path dependency with the real crate when a registry is available.
+
+/// Marker trait mirroring `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
