@@ -67,6 +67,8 @@ fn bench_comparisons(c: &mut Criterion) {
 }
 
 /// Raw simulator speed: events/second on the paper testbed (one 25 s run).
+/// Also refreshes the machine-tracked `BENCH_simulator.json` trajectory at
+/// the workspace root via the perf harness.
 fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);
@@ -77,6 +79,9 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| run(&Scenario::paper_testbed_restricted()))
     });
     g.finish();
+    let report = rss_bench::perf::run_perf(3);
+    let path = report.write_trajectory();
+    println!("  trajectory → {}", path.display());
 }
 
 criterion_group!(

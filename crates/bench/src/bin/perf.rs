@@ -1,0 +1,21 @@
+//! Simulator perf harness CLI: time the paper testbeds and write the
+//! `BENCH_simulator.json` trajectory at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p rss-bench --bin perf            # 5 iterations
+//! cargo run --release -p rss-bench --bin perf -- --quick # 2 iterations (CI)
+//! ```
+
+use rss_bench::perf::run_perf;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 2 } else { 5 };
+    let report = run_perf(iters);
+    println!(
+        "simulator perf — paper testbeds, best of {iters} iteration(s)\n{}",
+        report.print()
+    );
+    let path = report.write_trajectory();
+    println!("wrote {}", path.display());
+}

@@ -28,5 +28,7 @@ pub use fig1::{run_fig1, Fig1Result};
 pub use headline::{run_headline, HeadlineResult};
 pub use lss::{run_lss, LssResult};
 pub use parallel::{run_parallel_streams, ParallelResult};
-pub use sweeps::{run_bandwidth_sweep, run_rtt_sweep, run_txqueuelen_sweep, SweepResult};
+pub use sweeps::{
+    run_bandwidth_sweep, run_many_memo, run_rtt_sweep, run_txqueuelen_sweep, SweepResult,
+};
 pub use zn::{run_zn, ZnExperimentResult};

@@ -10,7 +10,8 @@
 //!   per rate exactly as §3's rule prescribes.
 
 use rss_core::plot::ascii_table;
-use rss_core::{run_many, CcAlgorithm, RssConfig, Scenario, SimDuration};
+use rss_core::{run_many, CcAlgorithm, RssConfig, RunReport, Scenario, SimDuration};
+use std::collections::BTreeMap;
 
 /// One sweep point: the varied parameter plus both algorithms' outcomes.
 #[derive(Debug, Clone)]
@@ -45,6 +46,35 @@ pub struct SweepResult {
     pub rows: Vec<SweepRow>,
 }
 
+/// Run a batch of scenarios, executing each *distinct* configuration once.
+///
+/// Sweep tables routinely contain cells whose scenario is identical (the
+/// anchor point of two sweeps, or a baseline column repeated per row); a
+/// scenario is a pure description and runs are deterministic, so duplicate
+/// cells can share one simulation. Returns the per-cell reports (order
+/// preserved) plus the number of simulations actually executed.
+pub fn run_many_memo(scenarios: &[Scenario]) -> (Vec<RunReport>, usize) {
+    // Scenario aggregates plain config (no floats with NaN, no interior
+    // mutability), so its Debug rendering is a faithful identity key.
+    let mut unique: Vec<Scenario> = Vec::new();
+    let mut key_to_unique: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cell_to_unique = Vec::with_capacity(scenarios.len());
+    for sc in scenarios {
+        let key = format!("{sc:?}");
+        let idx = *key_to_unique.entry(key).or_insert_with(|| {
+            unique.push(sc.clone());
+            unique.len() - 1
+        });
+        cell_to_unique.push(idx);
+    }
+    let unique_reports = run_many(&unique);
+    let reports = cell_to_unique
+        .into_iter()
+        .map(|i| unique_reports[i].clone())
+        .collect();
+    (reports, unique.len())
+}
+
 fn sweep(
     param_name: &'static str,
     unit: &'static str,
@@ -56,7 +86,7 @@ fn sweep(
         all.push(s.clone());
         all.push(r.clone());
     }
-    let reports = run_many(&all);
+    let (reports, _unique) = run_many_memo(&all);
     let rows = scenarios
         .iter()
         .enumerate()
@@ -188,6 +218,35 @@ impl SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn memoized_runner_executes_distinct_configs_once() {
+        let base = Scenario::paper_testbed_standard()
+            .with_rate(10_000_000)
+            .with_rtt(SimDuration::from_millis(10))
+            .with_duration(SimDuration::from_millis(400));
+        let other = base.clone().with_seed(7);
+        // Three cells, two distinct configs: the duplicate shares one run.
+        let cells = vec![base.clone(), other.clone(), base.clone()];
+        let (reports, unique) = run_many_memo(&cells);
+        assert_eq!(unique, 2, "duplicate cell must not re-run");
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports[0].flows[0].vars.data_bytes_out,
+            reports[2].flows[0].vars.data_bytes_out
+        );
+        assert_eq!(reports[0].seed, base.seed);
+        assert_eq!(reports[1].seed, 7);
+        // And the memoized path matches the plain runner bit-for-bit.
+        let direct = run_many(&cells);
+        for (a, b) in reports.iter().zip(&direct) {
+            assert_eq!(
+                a.flows[0].vars.data_bytes_out,
+                b.flows[0].vars.data_bytes_out
+            );
+            assert_eq!(a.events_processed, b.events_processed);
+        }
+    }
 
     #[test]
     fn txqueuelen_sweep_shows_papers_tradeoff() {

@@ -10,18 +10,24 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::*;
 
 use std::path::{Path, PathBuf};
 
-/// Directory experiment CSVs are written to.
-pub fn results_dir() -> PathBuf {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+/// The workspace root (where `BENCH_simulator.json` and `results/` live).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root")
-        .join("results");
+        .to_path_buf()
+}
+
+/// Directory experiment CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

@@ -1,0 +1,185 @@
+//! Simulator perf harness: events/sec on the paper testbeds, tracked as a
+//! machine-readable trajectory.
+//!
+//! Every figure and table in the reproduction re-runs the 25 s testbed
+//! through `Engine::run_until`, so raw simulator speed bounds how much
+//! scenario space the harness can afford to explore. This module times those
+//! runs, computes events/sec from [`RunReport::events_processed`], and
+//! writes `BENCH_simulator.json` at the workspace root so the perf
+//! trajectory is captured for every PR (CI runs it in `--quick` mode and
+//! uploads the file as an artifact).
+//!
+//! ```text
+//! cargo run --release -p rss-bench --bin perf            # 5 iterations
+//! cargo run --release -p rss-bench --bin perf -- --quick # 2 iterations
+//! ```
+
+use rss_core::plot::ascii_table;
+use rss_core::{run, Scenario};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Trajectory-file schema version (bump on incompatible shape changes).
+pub const TRAJECTORY_SCHEMA: u32 = 1;
+
+/// One timed workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfRow {
+    /// Workload name (matches the criterion target in the `simulator` group).
+    pub name: String,
+    /// Events the engine dispatched in one run (identical across
+    /// iterations — the simulator is deterministic).
+    pub events: u64,
+    /// Best (minimum) wall time across iterations, milliseconds.
+    pub wall_ms: f64,
+    /// Events per second at the best wall time.
+    pub events_per_sec: f64,
+    /// Mean wall time across iterations, milliseconds.
+    pub wall_ms_mean: f64,
+}
+
+/// A finished perf sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Schema version of the trajectory file.
+    pub schema: u32,
+    /// Benchmark group the rows belong to.
+    pub bench: String,
+    /// Iterations per workload.
+    pub iters: u32,
+    /// Per-workload results.
+    pub rows: Vec<PerfRow>,
+}
+
+/// Time `iters` runs of each `(name, scenario)` workload.
+pub fn run_perf_scenarios(workloads: &[(&str, Scenario)], iters: u32) -> PerfReport {
+    assert!(iters > 0);
+    let mut rows = Vec::with_capacity(workloads.len());
+    for (name, sc) in workloads {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        let mut events = 0;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let report = run(sc);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                events == 0 || events == report.events_processed,
+                "non-deterministic event count for {name}"
+            );
+            events = report.events_processed;
+            best = best.min(wall_ms);
+            total += wall_ms;
+        }
+        rows.push(PerfRow {
+            name: name.to_string(),
+            events,
+            wall_ms: best,
+            events_per_sec: events as f64 / (best / 1e3),
+            wall_ms_mean: total / iters as f64,
+        });
+    }
+    PerfReport {
+        schema: TRAJECTORY_SCHEMA,
+        bench: "simulator".into(),
+        iters,
+        rows,
+    }
+}
+
+/// Time the paper testbeds (the `simulator` bench group's workloads).
+pub fn run_perf(iters: u32) -> PerfReport {
+    run_perf_scenarios(
+        &[
+            ("paper_run_standard_25s", Scenario::paper_testbed_standard()),
+            (
+                "paper_run_restricted_25s",
+                Scenario::paper_testbed_restricted(),
+            ),
+        ],
+        iters,
+    )
+}
+
+impl PerfReport {
+    /// Render as a table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.events.to_string(),
+                    format!("{:.1}", r.wall_ms),
+                    format!("{:.1}", r.wall_ms_mean),
+                    format!("{:.2}", r.events_per_sec / 1e6),
+                ]
+            })
+            .collect();
+        ascii_table(
+            &["workload", "events", "best ms", "mean ms", "Mevents/s"],
+            &rows,
+        )
+    }
+
+    /// Serialize the trajectory as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = serde::to_json_string(self);
+        s.push('\n');
+        s
+    }
+
+    /// Write the trajectory to `path`.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Write the trajectory to its canonical home, `BENCH_simulator.json`
+    /// at the workspace root. Returns the path.
+    pub fn write_trajectory(&self) -> PathBuf {
+        let path = crate::workspace_root().join("BENCH_simulator.json");
+        self.write_to(&path).expect("write trajectory json");
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss_core::SimDuration;
+
+    fn tiny(seed: u64) -> Scenario {
+        Scenario::paper_testbed_standard()
+            .with_rate(10_000_000)
+            .with_rtt(SimDuration::from_millis(10))
+            .with_duration(SimDuration::from_millis(400))
+            .with_seed(seed)
+    }
+
+    #[test]
+    fn perf_rows_are_consistent() {
+        let report = run_perf_scenarios(&[("tiny", tiny(1))], 2);
+        assert_eq!(report.rows.len(), 1);
+        let r = &report.rows[0];
+        assert!(r.events > 0);
+        assert!(r.wall_ms > 0.0 && r.wall_ms <= r.wall_ms_mean * 1.0001);
+        let expect = r.events as f64 / (r.wall_ms / 1e3);
+        assert!((r.events_per_sec - expect).abs() / expect < 1e-9);
+        assert!(report.print().contains("Mevents/s"));
+    }
+
+    #[test]
+    fn trajectory_json_round_trips_shape() {
+        let report = run_perf_scenarios(&[("tiny", tiny(2))], 1);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\":\"simulator\""), "{json}");
+        assert!(json.contains("\"schema\":1"), "{json}");
+        assert!(json.contains("\"name\":\"tiny\""), "{json}");
+        let path = std::env::temp_dir().join("rss_bench_trajectory_test.json");
+        report.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+        let _ = std::fs::remove_file(&path);
+    }
+}

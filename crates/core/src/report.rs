@@ -94,9 +94,20 @@ pub struct RunReport {
     pub cross_offered_bytes: u64,
     /// Cross-traffic bytes delivered to sinks.
     pub cross_delivered_bytes: u64,
+    /// Discrete events the engine dispatched during the run (the simulator
+    /// perf harness divides these by wall time for events/sec).
+    pub events_processed: u64,
 }
 
 impl RunReport {
+    /// Render the full report as JSON (via the workspace serde's
+    /// `Serialize`). Everything the run measured — per-flow Web100
+    /// snapshots, series, NIC and router accounting — lands in one
+    /// machine-readable artifact.
+    pub fn to_json(&self) -> String {
+        serde::to_json_string(self)
+    }
+
     /// Combined goodput of all flows, bits/s.
     pub fn total_goodput_bps(&self) -> f64 {
         self.flows.iter().map(|f| f.goodput_bps).sum()
@@ -177,11 +188,43 @@ mod tests {
             router_queue_drops: 0,
             cross_offered_bytes: 1000,
             cross_delivered_bytes: 900,
+            events_processed: 12345,
         };
         assert!((r.total_goodput_bps() - 100e6).abs() < 1.0);
         assert_eq!(r.total_stalls(), 1);
         assert!((r.cross_delivery_ratio() - 0.9).abs() < 1e-12);
         let fairness = r.fairness();
         assert!(fairness > 0.9 && fairness < 1.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = RunReport {
+            duration_s: 10.0,
+            seed: 1,
+            path_rate_bps: 100_000_000,
+            flows: vec![flow(vec![1.5], 40e6)],
+            sender_ifq_series: vec![(0.0, 0.0), (0.5, 3.0)],
+            sender_nic: NicStats::default(),
+            sender_nic_utilization: 0.9,
+            router_queue_drops: 2,
+            cross_offered_bytes: 0,
+            cross_delivered_bytes: 0,
+            events_processed: 777,
+        };
+        let json = r.to_json();
+        // Spot-check shape: top-level object, nested flow array, series
+        // tuples as arrays, counters present.
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"events_processed\":777"), "{json}");
+        assert!(json.contains("\"flows\":[{"), "{json}");
+        assert!(json.contains("\"algo\":\"standard\""), "{json}");
+        assert!(
+            json.contains("\"sender_ifq_series\":[[0,0],[0.5,3]]"),
+            "{json}"
+        );
+        assert!(json.contains("\"stall_times_s\":[1.5]"), "{json}");
+        // Every flow field of the Web100 block must be present exactly once.
+        assert_eq!(json.matches("\"send_stall\":").count(), 1, "{json}");
     }
 }

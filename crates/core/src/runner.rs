@@ -13,7 +13,7 @@ pub fn run(sc: &Scenario) -> RunReport {
     for (t, ev) in engine.model().initial_events(sc) {
         engine.schedule_at(t, ev);
     }
-    engine.run_until(SimTime::ZERO + sc.duration);
+    let stats = engine.run_until(SimTime::ZERO + sc.duration);
     let end = engine.now();
     let mut world = engine.into_model();
 
@@ -85,6 +85,7 @@ pub fn run(sc: &Scenario) -> RunReport {
         router_queue_drops: world.fabric().queue_drops,
         cross_offered_bytes: offered_bytes,
         cross_delivered_bytes: world.cross_delivered_bytes,
+        events_processed: stats.events_processed,
     }
 }
 

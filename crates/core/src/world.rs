@@ -24,7 +24,6 @@ use rss_tcp::{
     make_cc, AckToSend, ConnId, IfqSnapshot, SegKind, TcpReceiver, TcpSegment, TcpSender,
 };
 use rss_workload::AppDriver;
-use std::collections::BTreeMap;
 
 /// Events of the complete experiment world.
 #[derive(Debug, Clone)]
@@ -92,17 +91,24 @@ struct Cross {
 }
 
 /// The complete experiment state; implements [`Model`] for the DES engine.
+///
+/// Per-host state (NICs, access links, connection lists, IFQ series) lives in
+/// dense vectors indexed by raw node id — node ids are small and contiguous,
+/// and these tables sit on the per-packet hot path.
 pub struct World {
     fabric: Fabric<WireBody>,
-    nics: BTreeMap<u32, HostNic<WireBody>>,
-    host_links: BTreeMap<u32, LinkId>,
-    host_conns: BTreeMap<u32, Vec<u32>>,
+    /// `nics[node]`; `None` for routers.
+    nics: Vec<Option<HostNic<WireBody>>>,
+    /// `host_links[node]`: the host's access link; `None` for routers.
+    host_links: Vec<Option<LinkId>>,
+    /// `host_conns[node]`: connections sending from this host.
+    host_conns: Vec<Vec<u32>>,
     conns: Vec<Conn>,
     cross: Vec<Cross>,
     ids: PacketIdGen,
     scheduled_rto: Vec<Option<SimTime>>,
-    /// IFQ-depth time series per sending host node.
-    ifq_series: BTreeMap<u32, TimeSeries>,
+    /// IFQ-depth time series per sending host node (`None` elsewhere).
+    ifq_series: Vec<Option<TimeSeries>>,
     sample_interval: SimDuration,
     duration: SimDuration,
     stop_when_complete: bool,
@@ -141,19 +147,20 @@ impl World {
             fabric.set_red_port(d.right_router, d.bottleneck, red);
         }
 
-        let mut nics = BTreeMap::new();
-        let mut host_links = BTreeMap::new();
+        let node_count = fabric.topology().node_count();
+        let mut nics: Vec<Option<HostNic<WireBody>>> = vec![None; node_count];
+        let mut host_links: Vec<Option<LinkId>> = vec![None; node_count];
         for (i, &h) in d.senders.iter().enumerate() {
-            nics.insert(h.0, HostNic::new(sc.host));
-            host_links.insert(h.0, d.sender_access[i]);
+            nics[h.0 as usize] = Some(HostNic::new(sc.host));
+            host_links[h.0 as usize] = Some(d.sender_access[i]);
         }
         for (i, &h) in d.receivers.iter().enumerate() {
-            nics.insert(h.0, HostNic::new(sc.host));
-            host_links.insert(h.0, d.receiver_access[i]);
+            nics[h.0 as usize] = Some(HostNic::new(sc.host));
+            host_links[h.0 as usize] = Some(d.receiver_access[i]);
         }
 
         let mut conns = Vec::with_capacity(sc.flows.len());
-        let mut host_conns: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut host_conns: Vec<Vec<u32>> = vec![Vec::new(); node_count];
         for (i, f) in sc.flows.iter().enumerate() {
             let pair = sc.flow_pair(i);
             let src = d.senders[pair];
@@ -162,7 +169,7 @@ impl World {
             let mut sender = TcpSender::new(ConnId(i as u32), sc.tcp, cc, f.app.initial_bytes());
             sender.web100_mut().sample_stride = sc.web100_stride;
             let receiver = TcpReceiver::new(ConnId(i as u32), sc.tcp);
-            host_conns.entry(src.0).or_default().push(i as u32);
+            host_conns[src.0 as usize].push(i as u32);
             conns.push(Conn {
                 sender,
                 receiver,
@@ -187,9 +194,11 @@ impl World {
             });
         }
 
-        let mut ifq_series = BTreeMap::new();
-        for &h in host_conns.keys() {
-            ifq_series.insert(h, TimeSeries::new(format!("ifq_host{h}")));
+        let mut ifq_series: Vec<Option<TimeSeries>> = vec![None; node_count];
+        for (h, conns_here) in host_conns.iter().enumerate() {
+            if !conns_here.is_empty() {
+                ifq_series[h] = Some(TimeSeries::new(format!("ifq_host{h}")));
+            }
         }
 
         World {
@@ -253,12 +262,16 @@ impl World {
 
     /// The NIC of the host `conn` sends from.
     pub fn sender_nic(&self, i: usize) -> &HostNic<WireBody> {
-        &self.nics[&self.conns[i].src.0]
+        self.nics[self.conns[i].src.0 as usize]
+            .as_ref()
+            .expect("sender host has no NIC")
     }
 
     /// IFQ depth series for the host `conn` sends from.
     pub fn sender_ifq_series(&self, i: usize) -> &TimeSeries {
-        &self.ifq_series[&self.conns[i].src.0]
+        self.ifq_series[self.conns[i].src.0 as usize]
+            .as_ref()
+            .expect("sender host has no IFQ series")
     }
 
     /// The network fabric (router/link statistics).
@@ -276,8 +289,18 @@ impl World {
 
     // --- internals -----------------------------------------------------------
 
+    #[inline]
+    fn nic(&self, host: u32) -> &HostNic<WireBody> {
+        self.nics[host as usize].as_ref().expect("unknown host nic")
+    }
+
+    #[inline]
+    fn nic_mut(&mut self, host: u32) -> &mut HostNic<WireBody> {
+        self.nics[host as usize].as_mut().expect("unknown host nic")
+    }
+
     fn ifq_snapshot(&self, host: u32) -> IfqSnapshot {
-        let nic = &self.nics[&host];
+        let nic = self.nic(host);
         IfqSnapshot {
             depth: nic.ifq_queued(),
             max: nic.ifq_max(),
@@ -285,8 +308,7 @@ impl World {
     }
 
     fn kick_nic(&mut self, host: u32, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
-        let nic = self.nics.get_mut(&host).expect("unknown host nic");
-        if let Some(ser) = nic.start_tx_if_idle(now) {
+        if let Some(ser) = self.nic_mut(host).start_tx_if_idle(now) {
             sched.after(ser, Ev::NicTxDone { host });
         }
     }
@@ -320,8 +342,7 @@ impl World {
                 created: now,
                 body: WireBody::Tcp(seg),
             };
-            let nic = self.nics.get_mut(&host).expect("sender nic");
-            match nic.enqueue(pkt) {
+            match self.nic_mut(host).enqueue(pkt) {
                 Ok(()) => {
                     self.conns[ci].sender.commit_transmit(now, plan);
                     self.kick_nic(host, now, sched);
@@ -372,10 +393,9 @@ impl World {
             created: now,
             body: WireBody::Tcp(seg),
         };
-        let nic = self.nics.get_mut(&host).expect("receiver nic");
         // A full receiver IFQ silently drops the ACK; cumulative ACKs make
         // this safe.
-        if nic.enqueue(pkt).is_ok() {
+        if self.nic_mut(host).enqueue(pkt).is_ok() {
             self.kick_nic(host, now, sched);
         }
     }
@@ -449,9 +469,8 @@ impl World {
         self.cross[idx].sent_pkts += 1;
         self.cross[idx].sent_bytes += size as u64;
         let host = src.0;
-        let nic = self.nics.get_mut(&host).expect("cross nic");
         // Cross sources are open-loop: a full IFQ just drops the datagram.
-        if nic.enqueue(pkt).is_ok() {
+        if self.nic_mut(host).enqueue(pkt).is_ok() {
             self.kick_nic(host, now, sched);
         }
         sched.after(gap, Ev::CrossEmit { idx: idx as u32 });
@@ -477,9 +496,8 @@ impl Model for World {
                 }
             }
             Ev::NicTxDone { host } => {
-                let nic = self.nics.get_mut(&host).expect("nic");
-                let pkt = nic.on_tx_done(now);
-                let link = self.host_links[&host];
+                let pkt = self.nic_mut(host).on_tx_done(now);
+                let link = self.host_links[host as usize].expect("host has no access link");
                 let mut pending: Vec<(SimDuration, NetEvent<WireBody>)> = Vec::new();
                 self.fabric
                     .start_flight(NodeId(host), link, pkt, &mut |d, e| pending.push((d, e)));
@@ -488,11 +506,11 @@ impl Model for World {
                 }
                 self.kick_nic(host, now, sched);
                 // A queue slot freed: stalled connections on this host may
-                // proceed.
-                if let Some(cis) = self.host_conns.get(&host).cloned() {
-                    for ci in cis {
-                        self.pump(ci as usize, now, sched);
-                    }
+                // proceed. (Index loop: `host_conns` is frozen after build,
+                // and cloning the list here would allocate once per packet.)
+                for k in 0..self.host_conns[host as usize].len() {
+                    let ci = self.host_conns[host as usize][k];
+                    self.pump(ci as usize, now, sched);
                 }
             }
             Ev::FlowStart { conn } => {
@@ -535,9 +553,11 @@ impl Model for World {
                 self.emit_cross(idx as usize, now, sched);
             }
             Ev::Sample => {
-                for (&host, series) in self.ifq_series.iter_mut() {
-                    let depth = self.nics[&host].ifq_queued();
-                    series.push(now, depth as f64);
+                for host in 0..self.ifq_series.len() {
+                    if let Some(series) = self.ifq_series[host].as_mut() {
+                        let depth = self.nics[host].as_ref().expect("nic").ifq_queued();
+                        series.push(now, depth as f64);
+                    }
                 }
                 let next = now + self.sample_interval;
                 if next <= SimTime::ZERO + self.duration {

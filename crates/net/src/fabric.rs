@@ -16,7 +16,6 @@ use crate::red::{RedConfig, RedQueue};
 use crate::topology::{NodeKind, RoutingTable, Topology};
 use rss_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Fabric-internal events. The embedding model stores these in its own event
 /// enum and feeds them back into [`Fabric::handle`].
@@ -94,12 +93,19 @@ pub struct LinkStats {
 }
 
 /// The interior packet-forwarding machine.
+///
+/// Router egress ports and link statistics live in dense tables built once at
+/// construction ("topology-freeze") time: a link has exactly two ends, so the
+/// port for `(node, link)` sits at `link * 2 + side`, and the per-hop lookups
+/// on the packet path are indexed loads instead of tree walks.
 pub struct Fabric<B> {
     topo: Topology,
     routes: RoutingTable,
-    ports: BTreeMap<(u32, u32), Port<B>>,
+    /// `ports[link * 2 + side]`; `None` for host-side ends of a link.
+    ports: Vec<Option<Port<B>>>,
     rng: SimRng,
-    link_stats: BTreeMap<u32, LinkStats>,
+    /// Per-link transfer statistics, indexed by raw link id.
+    link_stats: Vec<LinkStats>,
     /// Packets dropped at routers because no route existed.
     pub unroutable_drops: u64,
     /// Packets dropped at router queues.
@@ -111,26 +117,25 @@ impl<B: Body> Fabric<B> {
     /// capacity on every router egress port.
     pub fn new(topo: Topology, router_queue: QueueConfig, rng: SimRng) -> Self {
         let routes = topo.compute_routes();
-        let mut ports = BTreeMap::new();
+        let mut ports: Vec<Option<Port<B>>> = Vec::new();
+        ports.resize_with(topo.links().len() * 2, || None);
         for node in topo.nodes() {
             if topo.kind(node) == NodeKind::Router {
                 for &(link, _) in topo.neighbors(node) {
-                    ports.insert(
-                        (node.0, link.0),
-                        Port {
-                            queue: PortQueue::DropTail(DropTailQueue::new(router_queue)),
-                            transmitting: None,
-                        },
-                    );
+                    let idx = port_index(&topo, node, link);
+                    ports[idx] = Some(Port {
+                        queue: PortQueue::DropTail(DropTailQueue::new(router_queue)),
+                        transmitting: None,
+                    });
                 }
             }
         }
         Fabric {
+            link_stats: vec![LinkStats::default(); topo.links().len()],
             topo,
             routes,
             ports,
             rng,
-            link_stats: BTreeMap::new(),
             unroutable_drops: 0,
             queue_drops: 0,
         }
@@ -138,10 +143,8 @@ impl<B: Body> Fabric<B> {
 
     /// Replace the queue on one router egress port with RED.
     pub fn set_red_port(&mut self, node: NodeId, link: LinkId, cfg: RedConfig) {
-        let port = self
-            .ports
-            .get_mut(&(node.0, link.0))
-            .expect("not a router egress port");
+        let idx = port_index(&self.topo, node, link);
+        let port = self.ports[idx].as_mut().expect("not a router egress port");
         port.queue = PortQueue::Red(RedQueue::new(cfg));
     }
 
@@ -157,17 +160,25 @@ impl<B: Body> Fabric<B> {
 
     /// Statistics for a link (zeroed default if unused).
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
-        self.link_stats.get(&link.0).copied().unwrap_or_default()
+        self.link_stats
+            .get(link.0 as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
-    /// Queue statistics of a router egress port.
+    /// Queue statistics of a router egress port (None for a pair that is not
+    /// a router egress port, including nodes not on the link).
     pub fn port_stats(&self, node: NodeId, link: LinkId) -> Option<QueueStats> {
-        self.ports.get(&(node.0, link.0)).map(|p| p.queue.stats())
+        try_port_index(&self.topo, node, link)
+            .and_then(|idx| self.ports[idx].as_ref())
+            .map(|p| p.queue.stats())
     }
 
     /// Instantaneous queue length of a router egress port.
     pub fn port_queue_len(&self, node: NodeId, link: LinkId) -> Option<usize> {
-        self.ports.get(&(node.0, link.0)).map(|p| p.queue.len())
+        try_port_index(&self.topo, node, link)
+            .and_then(|idx| self.ports[idx].as_ref())
+            .map(|p| p.queue.len())
     }
 
     /// Put a fully serialized packet onto `link` leaving `from`: applies the
@@ -183,7 +194,7 @@ impl<B: Body> Fabric<B> {
         sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
     ) {
         let spec = *self.topo.link(link);
-        let stats = self.link_stats.entry(link.0).or_default();
+        let stats = &mut self.link_stats[link.0 as usize];
         if spec.params.loss_prob > 0.0 && self.rng.chance(spec.params.loss_prob) {
             stats.lost_pkts += 1;
             return;
@@ -210,7 +221,8 @@ impl<B: Body> Fabric<B> {
         now: SimTime,
         sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
     ) {
-        let port = self.ports.get_mut(&(node.0, link.0)).expect("missing port");
+        let idx = port_index(&self.topo, node, link);
+        let port = self.ports[idx].as_mut().expect("missing port");
         if port.transmitting.is_some() {
             return;
         }
@@ -240,10 +252,8 @@ impl<B: Body> Fabric<B> {
                     self.unroutable_drops += 1;
                     return None;
                 };
-                let port = self
-                    .ports
-                    .get_mut(&(node.0, out_link.0))
-                    .expect("router port missing");
+                let idx = port_index(&self.topo, node, out_link);
+                let port = self.ports[idx].as_mut().expect("router port missing");
                 if port.queue.try_enqueue(now, pkt, &mut self.rng) {
                     self.kick_port(node, out_link, now, sched);
                 } else {
@@ -252,7 +262,8 @@ impl<B: Body> Fabric<B> {
                 None
             }
             NetEvent::PortTxDone { node, link } => {
-                let port = self.ports.get_mut(&(node.0, link.0)).expect("missing port");
+                let idx = port_index(&self.topo, node, link);
+                let port = self.ports[idx].as_mut().expect("missing port");
                 let pkt = port
                     .transmitting
                     .take()
@@ -263,6 +274,24 @@ impl<B: Body> Fabric<B> {
             }
         }
     }
+}
+
+/// Dense index of the egress port at `node` feeding `link`: a link has two
+/// ends, so ports live at `link * 2 + side`. Hot-path variant: the endpoint
+/// check is a couple of compares and keeps an internal invariant violation
+/// loud in release instead of silently resolving to the wrong port.
+#[inline]
+fn port_index(topo: &Topology, node: NodeId, link: LinkId) -> usize {
+    let spec = topo.link(link);
+    assert!(node == spec.a || node == spec.b, "node not on link");
+    link.0 as usize * 2 + usize::from(node == spec.b)
+}
+
+/// Validated [`port_index`] for externally-supplied `(node, link)` pairs:
+/// None when the link is unknown or `node` is not one of its endpoints.
+fn try_port_index(topo: &Topology, node: NodeId, link: LinkId) -> Option<usize> {
+    let spec = topo.links().get(link.0 as usize)?;
+    (node == spec.a || node == spec.b).then(|| link.0 as usize * 2 + usize::from(node == spec.b))
 }
 
 #[cfg(test)]

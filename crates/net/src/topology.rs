@@ -8,7 +8,7 @@
 use crate::packet::{LinkId, NodeId};
 use rss_sim::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -161,43 +161,63 @@ impl Topology {
     /// Compute shortest-path (hop count) static routes for every
     /// (location, destination) pair via per-destination BFS.
     pub fn compute_routes(&self) -> RoutingTable {
-        let mut table = BTreeMap::new();
+        let n = self.node_count();
+        let mut table = RoutingTable {
+            nodes: n as u32,
+            next_hop: vec![NO_ROUTE; n * n],
+        };
         for dst in self.nodes() {
             // BFS outward from the destination; first-discovered edges give
             // the next hop *toward* dst from every other node.
-            let mut visited = vec![false; self.node_count()];
+            let mut visited = vec![false; n];
             let mut q = VecDeque::new();
             visited[dst.0 as usize] = true;
             q.push_back(dst);
-            while let Some(n) = q.pop_front() {
-                for &(link, nb) in self.neighbors(n) {
+            while let Some(at) = q.pop_front() {
+                for &(link, nb) in self.neighbors(at) {
                     if !visited[nb.0 as usize] {
                         visited[nb.0 as usize] = true;
-                        table.insert((nb, dst), link);
+                        table.set(nb, dst, link);
                         q.push_back(nb);
                     }
                 }
             }
         }
-        RoutingTable { next_hop: table }
+        table
     }
 }
 
+/// Dense-table sentinel for "no route".
+const NO_ROUTE: u32 = u32::MAX;
+
 /// Static next-hop routing: `(at, dst) → link to forward on`.
+///
+/// Node ids are small contiguous integers, so routes live in a dense
+/// `nodes × nodes` table frozen at [`Topology::compute_routes`] time; the
+/// per-hop lookup on the packet path is a single indexed load.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
-    next_hop: BTreeMap<(NodeId, NodeId), LinkId>,
+    nodes: u32,
+    next_hop: Vec<u32>,
 }
 
 impl RoutingTable {
     /// The link to use at `at` toward `dst` (None if unreachable).
+    #[inline]
     pub fn next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.next_hop.get(&(at, dst)).copied()
+        if at.0 >= self.nodes || dst.0 >= self.nodes {
+            return None;
+        }
+        // usize arithmetic: `at * nodes` can exceed u32 on huge topologies.
+        let raw = self.next_hop[at.0 as usize * self.nodes as usize + dst.0 as usize];
+        (raw != NO_ROUTE).then_some(LinkId(raw))
     }
 
-    /// Override a route (for asymmetric-path experiments).
+    /// Override a route (for asymmetric-path experiments). Panics if either
+    /// node is outside the topology the table was computed for.
     pub fn set(&mut self, at: NodeId, dst: NodeId, link: LinkId) {
-        self.next_hop.insert((at, dst), link);
+        assert!(at.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        self.next_hop[at.0 as usize * self.nodes as usize + dst.0 as usize] = link.0;
     }
 }
 

@@ -4,36 +4,88 @@
 //! increasing insertion counter, so events scheduled for the same instant fire
 //! in insertion order. That tie-break rule is what makes whole-simulation runs
 //! bit-exact reproducible, which the experiment harness depends on.
+//!
+//! # Implementation: calendar wheel over a slot slab
+//!
+//! A paper-testbed run dispatches ~10^6 events, so the queue is the hottest
+//! structure in the simulator. Pending events live in a slab of reusable
+//! slots; ordering is kept by a single-revolution calendar wheel — a ring of
+//! [`WHEEL_BUCKETS`] buckets of [`GRANULE_NANOS`] each, covering a sliding
+//! window of roughly 134 ms — with a binary heap as the fallback for events
+//! beyond the wheel horizon (retransmission timers and the like). Bucket
+//! membership is a plain `Vec<u32>` of slot indices kept sorted by
+//! `(time, seq)`, so the front bucket's head is always the global minimum.
+//!
+//! Cancellation is O(1) to *validate* (a slot-index probe plus a sequence
+//! check — no hashing) and eagerly removes wheel-resident events; events in
+//! the far heap are freed immediately and their heap entries skipped when
+//! they surface, so [`EventQueue::len`] is always exact.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Handle to a scheduled event, usable for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+/// Number of buckets in the calendar wheel (one revolution).
+const WHEEL_BUCKETS: usize = 1024;
+/// Width of one bucket in nanoseconds (~131 µs; the paper testbed schedules
+/// an event every ~16 µs on average, so buckets stay shallow).
+const GRANULE_NANOS: u64 = 1 << 17;
+/// Time span covered by one wheel revolution.
+const HORIZON_NANOS: u64 = WHEEL_BUCKETS as u64 * GRANULE_NANOS;
+/// Free-list terminator / "no slot" marker.
+const NIL: u32 = u32::MAX;
 
-struct Scheduled<E> {
+/// Handle to a scheduled event, usable for cancellation.
+///
+/// Carries the event's globally unique sequence number plus its slab slot, so
+/// cancellation validates in O(1) (slot probe + sequence comparison) instead
+/// of hashing into a tombstone set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    seq: u64,
+    slot: u32,
+}
+
+/// Where a live slot currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Free-list member; the payload is the next free slot (or [`NIL`]).
+    Free(u32),
+    /// In wheel bucket `idx`.
+    Bucket(u32),
+    /// In the far-future fallback heap.
+    Far,
+}
+
+struct Slot<E> {
+    /// Sequence number of the occupying event; stale for free slots. Acts as
+    /// the generation check: an [`EventId`] is live iff its `seq` matches.
+    seq: u64,
+    time: SimTime,
+    loc: Loc,
+    event: Option<E>,
+}
+
+/// Far-heap entry: ordering only, payload stays in the slab.
+struct Far {
     time: SimTime,
     seq: u64,
-    id: EventId,
-    event: E,
+    slot: u32,
 }
 
-// Manual impls: ordering must ignore the payload (E need not be Ord), and the
-// heap is a max-heap so comparisons are reversed to pop the earliest first.
-impl<E> PartialEq for Scheduled<E> {
+// Max-heap with reversed comparisons pops the earliest (time, seq) first.
+impl PartialEq for Far {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
+impl Eq for Far {}
+impl PartialOrd for Far {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Scheduled<E> {
+impl Ord for Far {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
@@ -41,11 +93,26 @@ impl<E> Ord for Scheduled<E> {
 
 /// A time-ordered queue of future events.
 ///
-/// Cancellation is lazy: [`EventQueue::cancel`] marks the id dead and the slot
-/// is discarded when it reaches the head, keeping both operations `O(log n)`.
+/// Near-future events (within ~134 ms of the wheel cursor) sit in calendar
+/// buckets; far-future events overflow to a heap and migrate into the wheel
+/// as the cursor advances. Pop order is exactly ascending `(time, seq)`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    free_head: u32,
+    /// `buckets[(t / GRANULE) % WHEEL_BUCKETS]`, each sorted ascending by
+    /// `(time, seq)`. The cursor bucket additionally absorbs any event at or
+    /// before the current granule, so its head is the global minimum.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket index the wheel window starts at; always equals
+    /// `(wheel_start / GRANULE) % WHEEL_BUCKETS`.
+    cursor: usize,
+    /// Lower bound (nanos, granule-aligned) of the cursor bucket.
+    wheel_start: u64,
+    far: BinaryHeap<Far>,
+    /// Live events resident in wheel buckets.
+    in_wheel: usize,
+    /// All live events (wheel + far).
+    live: usize,
     next_seq: u64,
     scheduled_total: u64,
     cancelled_total: u64,
@@ -61,12 +128,150 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            wheel_start: 0,
+            far: BinaryHeap::new(),
+            in_wheel: 0,
+            live: 0,
             next_seq: 0,
             scheduled_total: 0,
             cancelled_total: 0,
         }
+    }
+
+    fn alloc_slot(&mut self, seq: u64, time: SimTime, event: E) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            let Loc::Free(next) = s.loc else {
+                unreachable!("free list head not free");
+            };
+            self.free_head = next;
+            s.seq = seq;
+            s.time = time;
+            s.event = Some(event);
+            slot
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("slot index overflow");
+            self.slots.push(Slot {
+                seq,
+                time,
+                loc: Loc::Free(NIL),
+                event: Some(event),
+            });
+            slot
+        }
+    }
+
+    fn free_slot(&mut self, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        let event = s.event.take().expect("freeing empty slot");
+        s.loc = Loc::Free(self.free_head);
+        self.free_head = slot;
+        event
+    }
+
+    /// Sorted insertion of `slot` into bucket `idx` by `(time, seq)`.
+    fn bucket_insert(&mut self, idx: usize, slot: u32) {
+        self.slots[slot as usize].loc = Loc::Bucket(idx as u32);
+        let key = (
+            self.slots[slot as usize].time,
+            self.slots[slot as usize].seq,
+        );
+        let bucket = &mut self.buckets[idx];
+        let pos = bucket.partition_point(|&s| {
+            let e = &self.slots[s as usize];
+            (e.time, e.seq) < key
+        });
+        bucket.insert(pos, slot);
+        self.in_wheel += 1;
+    }
+
+    /// The bucket an in-window timestamp belongs to: the cursor bucket for
+    /// anything at or before the current granule (including overdue times),
+    /// the modular granule bucket otherwise. Callers must have checked
+    /// `t < wheel_start + HORIZON`.
+    fn in_window_bucket(&self, t: u64) -> usize {
+        debug_assert!(t < self.wheel_start.saturating_add(HORIZON_NANOS));
+        if t < self.wheel_start.saturating_add(GRANULE_NANOS) {
+            self.cursor
+        } else {
+            ((t / GRANULE_NANOS) % WHEEL_BUCKETS as u64) as usize
+        }
+    }
+
+    /// Route a freshly allocated slot to its wheel bucket or the far heap.
+    fn place(&mut self, slot: u32) {
+        let t = self.slots[slot as usize].time.as_nanos();
+        if t < self.wheel_start.saturating_add(HORIZON_NANOS) {
+            let idx = self.in_window_bucket(t);
+            self.bucket_insert(idx, slot);
+        } else {
+            let s = &mut self.slots[slot as usize];
+            s.loc = Loc::Far;
+            self.far.push(Far {
+                time: s.time,
+                seq: s.seq,
+                slot,
+            });
+        }
+    }
+
+    /// Drop cancelled entries off the top of the far heap so `peek` can trust
+    /// it with `&self`.
+    fn clean_far_top(&mut self) {
+        while let Some(top) = self.far.peek() {
+            let s = &self.slots[top.slot as usize];
+            if s.seq == top.seq && s.loc == Loc::Far {
+                break;
+            }
+            self.far.pop();
+        }
+    }
+
+    /// True if the far-heap entry still refers to a live event.
+    fn far_entry_live(&self, f: &Far) -> bool {
+        let s = &self.slots[f.slot as usize];
+        s.seq == f.seq && s.loc == Loc::Far
+    }
+
+    /// Pull far-heap events that now fall inside the wheel window into their
+    /// buckets.
+    fn migrate_far(&mut self) {
+        let end = self.wheel_start.saturating_add(HORIZON_NANOS);
+        while let Some(top) = self.far.peek() {
+            if !self.far_entry_live(top) {
+                self.far.pop();
+                continue;
+            }
+            if top.time.as_nanos() >= end {
+                break;
+            }
+            let f = self.far.pop().expect("peeked entry vanished");
+            let idx = self.in_window_bucket(f.time.as_nanos());
+            self.bucket_insert(idx, f.slot);
+        }
+    }
+
+    /// Move the wheel window to start at the granule of `nanos` (used when
+    /// every bucket is empty and the next event is far away).
+    fn jump_to(&mut self, nanos: u64) {
+        debug_assert_eq!(self.in_wheel, 0);
+        let granule = nanos / GRANULE_NANOS;
+        self.wheel_start = granule * GRANULE_NANOS;
+        self.cursor = (granule % WHEEL_BUCKETS as u64) as usize;
+        self.migrate_far();
+    }
+
+    /// Advance the cursor one granule, exposing one new back bucket and
+    /// migrating far events that slid into the window.
+    fn advance_cursor(&mut self) {
+        self.cursor = (self.cursor + 1) % WHEEL_BUCKETS;
+        self.wheel_start = self.wheel_start.saturating_add(GRANULE_NANOS);
+        self.migrate_far();
     }
 
     /// Schedule `event` to fire at absolute time `at`.
@@ -74,14 +279,10 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        let id = EventId(seq);
-        self.heap.push(Scheduled {
-            time: at,
-            seq,
-            id,
-            event,
-        });
-        id
+        self.live += 1;
+        let slot = self.alloc_slot(seq, at, event);
+        self.place(slot);
+        EventId { seq, slot }
     }
 
     /// Schedule `event` to fire `after` past the given current time.
@@ -90,49 +291,102 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancel a previously scheduled event. Returns true if the id was still
-    /// pending (not yet fired and not already cancelled).
+    /// pending (not yet fired and not already cancelled). Ids this queue
+    /// never issued — including forged or foreign ids — are rejected.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // An id can only be cancelled if it has been handed out and not fired;
-        // we cannot check "fired" cheaply, so popping skips dead ids instead.
-        let fresh = self.cancelled.insert(id.0);
-        if fresh {
-            self.cancelled_total += 1;
+        if id.seq >= self.next_seq || (id.slot as usize) >= self.slots.len() {
+            return false;
         }
-        fresh
+        let s = &self.slots[id.slot as usize];
+        if s.seq != id.seq {
+            return false; // already fired/cancelled; the slot moved on
+        }
+        match s.loc {
+            Loc::Free(_) => false,
+            Loc::Bucket(idx) => {
+                let key = (s.time, s.seq);
+                let bucket = &mut self.buckets[idx as usize];
+                let pos = bucket
+                    .binary_search_by(|&c| {
+                        let e = &self.slots[c as usize];
+                        (e.time, e.seq).cmp(&key)
+                    })
+                    .expect("bucket entry missing for live slot");
+                bucket.remove(pos);
+                self.in_wheel -= 1;
+                self.live -= 1;
+                self.cancelled_total += 1;
+                self.free_slot(id.slot);
+                true
+            }
+            Loc::Far => {
+                // The heap entry stays behind; it fails the generation check
+                // when it surfaces. Keep the heap top live for `peek_time`.
+                self.live -= 1;
+                self.cancelled_total += 1;
+                self.free_slot(id.slot);
+                self.clean_far_top();
+                true
+            }
+        }
     }
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.id.0) {
-                continue;
-            }
-            return Some((s.time, s.event));
+        if self.live == 0 {
+            return None;
         }
-        None
+        loop {
+            if !self.buckets[self.cursor].is_empty() {
+                let slot = self.buckets[self.cursor].remove(0);
+                self.in_wheel -= 1;
+                self.live -= 1;
+                let time = self.slots[slot as usize].time;
+                let event = self.free_slot(slot);
+                return Some((time, event));
+            }
+            if self.in_wheel == 0 {
+                // Everything live is beyond the horizon: jump the window.
+                self.clean_far_top();
+                let t = self.far.peek().expect("live count out of sync").time;
+                self.jump_to(t.as_nanos());
+            } else {
+                self.advance_cursor();
+            }
+        }
     }
 
     /// The timestamp of the next live event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(s) = self.heap.peek() {
-            if self.cancelled.contains(&s.id.0) {
-                let s = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&s.id.0);
-                continue;
-            }
-            return Some(s.time);
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
         }
-        None
+        if self.in_wheel > 0 {
+            // Buckets from the cursor forward are in time order; the first
+            // occupied one holds the minimum at its head.
+            for k in 0..WHEEL_BUCKETS {
+                let bucket = &self.buckets[(self.cursor + k) % WHEEL_BUCKETS];
+                if let Some(&slot) = bucket.first() {
+                    return Some(self.slots[slot as usize].time);
+                }
+            }
+            unreachable!("in_wheel > 0 but all buckets empty");
+        }
+        // The far-heap top is kept live by every mutating operation.
+        self.far.peek().map(|f| {
+            debug_assert!(self.far_entry_live(f));
+            f.time
+        })
     }
 
     /// Number of live pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// Total number of events ever scheduled.
@@ -210,5 +464,119 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn foreign_or_forged_ids_are_rejected() {
+        // Regression: cancelling an id this queue never issued used to poison
+        // the tombstone set and underflow `len()`.
+        let mut a: EventQueue<&str> = EventQueue::new();
+        let mut b = EventQueue::new();
+        a.schedule_at(SimTime::from_secs(1), "a0");
+        for i in 0..5 {
+            b.schedule_at(SimTime::from_secs(i), i);
+        }
+        let foreign = b.schedule_at(SimTime::from_secs(9), 9);
+        assert!(!a.cancel(foreign), "never-issued id must be rejected");
+        assert_eq!(a.len(), 1, "len must be unaffected by a rejected cancel");
+        assert_eq!(a.cancelled_total(), 0);
+        assert_eq!(a.pop(), Some((SimTime::from_secs(1), "a0")));
+        assert_eq!(a.pop(), None);
+    }
+
+    #[test]
+    fn stale_id_after_fire_is_rejected() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), "x");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "x")));
+        assert!(!q.cancel(id), "fired event cannot be cancelled");
+        assert_eq!(q.len(), 0);
+        // The slot is reused by a new event; the stale id must not hit it.
+        let id2 = q.schedule_at(SimTime::from_secs(2), "y");
+        assert!(!q.cancel(id));
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(id2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_pop_in_order() {
+        // Mix events straddling the wheel horizon (~134 ms) and far beyond.
+        let mut q = EventQueue::new();
+        let times = [
+            5u64, 100, 130, 135, 200, 1_000, 5_000, 60_000, 60_000, 3_600_000,
+        ];
+        for (i, &ms) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_millis(ms), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        let mut expect: Vec<(u64, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| (SimTime::from_millis(ms).as_nanos(), i))
+            .collect();
+        expect.sort();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn cancel_far_future_event() {
+        let mut q = EventQueue::new();
+        let near = q.schedule_at(SimTime::from_millis(1), "near");
+        let far = q.schedule_at(SimTime::from_secs(10), "far");
+        assert!(q.cancel(far));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "near")));
+        assert_eq!(q.pop(), None);
+        let _ = near;
+    }
+
+    #[test]
+    fn peek_does_not_disturb_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(2), "far-ish");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.schedule_at(SimTime::from_millis(1), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "near")));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "far-ish")));
+    }
+
+    #[test]
+    fn interleaves_inserts_below_popped_time() {
+        // The queue is a plain priority queue: scheduling below an already
+        // popped timestamp must still order correctly (the engine forbids it,
+        // the queue does not).
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), "t1");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "t1")));
+        q.schedule_at(SimTime::from_millis(1), "past");
+        q.schedule_at(SimTime::from_secs(2), "t2");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "past")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "t2")));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            let id = q.schedule_at(SimTime::from_millis(round), round);
+            if round % 2 == 0 {
+                assert!(q.cancel(id));
+            } else {
+                assert!(q.pop().is_some());
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slots.len() <= 2,
+            "slab must recycle slots, grew to {}",
+            q.slots.len()
+        );
     }
 }

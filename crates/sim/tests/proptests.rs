@@ -3,6 +3,53 @@
 use proptest::prelude::*;
 use rss_sim::{EventQueue, SimDuration, SimTime, TimeSeries, Welford};
 
+/// Reference model for the calendar-wheel scheduler: a plain max-heap of
+/// `Reverse(time, seq)` with a cancelled-id set, i.e. the data structure the
+/// production queue replaced. Any divergence in pop order or length between
+/// the two is a bug in the optimized queue.
+#[derive(Default)]
+struct ReferenceQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    cancelled: std::collections::HashSet<u64>,
+    payload: std::collections::HashMap<u64, usize>,
+    next_seq: u64,
+}
+
+impl ReferenceQueue {
+    fn schedule(&mut self, t: u64, payload: usize) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((t, seq)));
+        self.payload.insert(seq, payload);
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        if self.payload.contains_key(&seq) {
+            self.payload.remove(&seq);
+            self.cancelled.insert(seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        while let Some(std::cmp::Reverse((t, seq))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            let p = self.payload.remove(&seq).expect("payload missing");
+            return Some((t, p));
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
 proptest! {
     /// The event queue pops events in non-decreasing time order, and equal
     /// timestamps preserve insertion order.
@@ -21,6 +68,61 @@ proptest! {
             prop_assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
                 prop_assert!(w[0].1 < w[1].1, "insertion order violated at equal time");
+            }
+        }
+    }
+
+    /// The calendar-wheel queue is a drop-in replacement for the reference
+    /// heap model: identical pop order, lengths and cancel outcomes across
+    /// random schedule/cancel/pop interleavings. Times mix three scales —
+    /// nanosecond-dense (heavy same-instant ties), sub-horizon and far
+    /// beyond the wheel horizon (heap-fallback + migration paths).
+    #[test]
+    fn scheduler_is_drop_in_for_reference_heap(
+        ops in prop::collection::vec((0u8..6, 0u64..40, 0usize..64), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        let mut ids = Vec::new(); // (production id, model seq), issue order
+        for (i, &(sel, t_raw, pick)) in ops.iter().enumerate() {
+            match sel {
+                // Schedule at one of three time scales; payload = op index.
+                0..=2 => {
+                    let t = match sel {
+                        0 => t_raw,                     // dense: plenty of ties
+                        1 => t_raw * 10_000_000,        // within one revolution
+                        _ => t_raw * 40_000_000_000,    // far beyond the horizon
+                    };
+                    let id = q.schedule_at(SimTime::from_nanos(t), i);
+                    let seq = reference.schedule(t, i);
+                    ids.push((id, seq));
+                }
+                // Cancel a previously issued id (may already be dead).
+                3..=4 => {
+                    if !ids.is_empty() {
+                        let (id, seq) = ids[pick % ids.len()];
+                        prop_assert_eq!(q.cancel(id), reference.cancel(seq));
+                    }
+                }
+                // Pop.
+                _ => {
+                    let got = q.pop().map(|(t, p)| (t.as_nanos(), p));
+                    prop_assert_eq!(got, reference.pop());
+                }
+            }
+            prop_assert_eq!(q.len(), reference.len());
+            prop_assert_eq!(
+                q.peek_time().map(|t| t.as_nanos()),
+                reference.heap.iter().map(|r| r.0).filter(|&(_, s)| !reference.cancelled.contains(&s)).min().map(|(t, _)| t)
+            );
+        }
+        // Drain both: the tails must match exactly.
+        loop {
+            let got = q.pop().map(|(t, p)| (t.as_nanos(), p));
+            let want = reference.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
             }
         }
     }

@@ -14,7 +14,7 @@ use crate::rtt::RttEstimator;
 use crate::types::{ConnId, StallResponse, TcpConfig};
 use rss_sim::{SimDuration, SimTime};
 use rss_web100::{CongestionKind, InstrumentBlock, SndLimState};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// A transmission the sender wants to make.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,9 +71,11 @@ pub struct TcpSender {
     dupacks: u32,
     recovery: Option<Recovery>,
     /// Segments queued for retransmission ahead of new data.
-    retx_queue: std::collections::VecDeque<(u64, u32)>,
-    /// Send timestamps keyed by segment end-offset.
-    sent_times: BTreeMap<u64, SentInfo>,
+    retx_queue: VecDeque<(u64, u32)>,
+    /// Send timestamps as a ring ordered by segment end-offset. New data
+    /// appends at the back; cumulative ACKs drain from the front, so the
+    /// per-ACK bookkeeping is O(acked segments) with no tree rebalancing.
+    sent_times: VecDeque<(u64, SentInfo)>,
 
     rto_deadline: Option<SimTime>,
     /// No transmission before this time after a stall (driver-retry model).
@@ -110,8 +112,8 @@ impl TcpSender {
             app_total,
             dupacks: 0,
             recovery: None,
-            retx_queue: std::collections::VecDeque::new(),
-            sent_times: BTreeMap::new(),
+            retx_queue: VecDeque::new(),
+            sent_times: VecDeque::new(),
             rto_deadline: None,
             stall_until: None,
             stall_signal_gate: 0,
@@ -277,13 +279,20 @@ impl TcpSender {
         }
         let was_sent_before = end <= self.max_sent;
         self.max_sent = self.max_sent.max(end);
-        self.sent_times.insert(
-            end,
-            SentInfo {
-                sent_at: now,
-                retransmitted: plan.retransmit || was_sent_before,
+        let info = SentInfo {
+            sent_at: now,
+            retransmitted: plan.retransmit || was_sent_before,
+        };
+        // Ring insert, ordered by end-offset. New data lands at the back;
+        // retransmissions overwrite the earlier record for the same range.
+        match self.sent_times.back() {
+            Some(&(last, _)) if last < end => self.sent_times.push_back((end, info)),
+            None => self.sent_times.push_back((end, info)),
+            _ => match self.sent_times.binary_search_by(|&(e, _)| e.cmp(&end)) {
+                Ok(i) => self.sent_times[i] = (end, info),
+                Err(i) => self.sent_times.insert(i, (end, info)),
             },
-        );
+        }
         self.web100
             .on_data_sent(plan.len, plan.retransmit || was_sent_before);
         // Stall window passed: clear the retry gate on successful enqueue.
@@ -407,11 +416,13 @@ impl TcpSender {
 
     fn take_rtt_sample(&mut self, now: SimTime, ack: u64) {
         // Newest fully-acked, never-retransmitted segment gives the sample
-        // (Karn's rule).
+        // (Karn's rule). Acked records sit at the front of the ring.
         let mut sample: Option<SimDuration> = None;
-        let acked: Vec<u64> = self.sent_times.range(..=ack).map(|(&end, _)| end).collect();
-        for end in acked {
-            let info = self.sent_times.remove(&end).expect("key just seen");
+        while let Some(&(end, info)) = self.sent_times.front() {
+            if end > ack {
+                break;
+            }
+            self.sent_times.pop_front();
             if !info.retransmitted {
                 sample = Some(now.saturating_since(info.sent_at));
             }

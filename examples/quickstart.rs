@@ -48,4 +48,16 @@ fn main() {
         standard.sender_nic_utilization * 100.0,
         restricted.sender_nic_utilization * 100.0
     );
+
+    // Full machine-readable reports, alongside the CSV artifacts.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("quickstart_run.json");
+    let json = format!(
+        "{{\"standard\":{},\"restricted\":{}}}\n",
+        standard.to_json(),
+        restricted.to_json()
+    );
+    std::fs::write(&path, json).expect("write json report");
+    println!("full run reports (JSON): {}", path.display());
 }

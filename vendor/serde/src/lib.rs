@@ -1,17 +1,201 @@
 //! Offline stand-in for `serde`.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the minimal surface it consumes: the `Serialize`/`Deserialize`
-//! *names* (trait + derive-macro, like the real crate) so that
-//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile.
-//! Nothing in the workspace serializes through serde yet — artifacts are
-//! written as CSV by `rss-bench` — so the traits carry no methods. Replace
-//! this path dependency with the real crate when a registry is available.
+//! vendors the surface it consumes. Unlike the original marker-only stub,
+//! [`Serialize`] is now a *real* trait: it renders the value as JSON through
+//! [`Serialize::serialize_json`], and `#[derive(Serialize)]` (from the
+//! vendored `serde_derive`) generates field-by-field implementations that
+//! follow serde's externally-tagged data model (structs as objects, newtype
+//! structs as their inner value, enum variants as `"Variant"` /
+//! `{"Variant": ...}`). `Deserialize` remains a marker — nothing in the
+//! workspace parses yet.
+//!
+//! When a registry becomes reachable, swap this path dependency for the real
+//! `serde` + `serde_json`; call sites that use [`to_json_string`] are the
+//! only ones that need to migrate (to `serde_json::to_string`).
 
-/// Marker trait mirroring `serde::Serialize`'s name.
-pub trait Serialize {}
+/// Render a value as a JSON string.
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    out
+}
+
+/// Serialization to JSON (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
 
 /// Marker trait mirroring `serde::Deserialize`'s name.
 pub trait Deserialize<'de> {}
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Escape and append a string literal (JSON string body plus quotes).
+pub fn write_json_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 24], *self as i128));
+            }
+        }
+    )*};
+}
+
+/// Minimal integer formatter (avoids `format!` allocation on hot paths).
+fn itoa_buf(buf: &mut [u8; 24], mut v: i128) -> &str {
+    let neg = v < 0;
+    if neg {
+        v = -v;
+    }
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+int_serialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` on f64 is the shortest round-trip representation.
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_escaped(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+tuple_serialize! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_escaped(&k.to_string(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}

@@ -1,21 +1,302 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its config and report
-//! types but never serializes anything (no `serde_json`, no `#[serde(...)]`
-//! attributes, no trait bounds). These derives therefore expand to nothing;
-//! swapping in the real `serde`/`serde_derive` later requires no source
-//! changes — only a `Cargo.toml` edit.
+//! `#[derive(Serialize)]` generates a real implementation of the vendored
+//! `serde::Serialize` trait (JSON via `serialize_json`), following serde's
+//! externally-tagged data model: named structs become objects, newtype
+//! structs collapse to their inner value, tuple structs become arrays, unit
+//! enum variants become `"Variant"` and payload variants become
+//! `{"Variant": ...}`. The derive parses the item's token stream directly —
+//! no `syn`/`quote`, since the build environment has no registry access —
+//! which covers the shapes this workspace derives on: non-generic structs
+//! and enums with named, tuple or unit fields.
+//!
+//! `#[derive(Deserialize)]` remains a no-op marker; nothing parses yet.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op `#[derive(Serialize)]`.
+/// Generate `serde::Serialize` (JSON rendering) for a struct or enum.
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item).parse().expect("generated impl parses")
 }
 
 /// No-op `#[derive(Deserialize)]`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: `(variant, body)` per variant (nested `Named`/`Tuple`/`Unit`).
+    Enum(Vec<(String, Body)>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attribute sequences (doc comments included) at `*i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1; // '#'
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("malformed attribute after '#': {other:?}"),
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` visibility at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Count top-level comma-separated segments of a token list (tuple arity).
+fn count_top_level(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut in_segment = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_segment = false,
+            _ => {
+                if !in_segment {
+                    fields += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Parse the fields of a named-field body group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, found {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "expected ':' after field name");
+        i += 1;
+        // Skip the type: everything up to the next top-level ','.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(group: TokenStream) -> Vec<(String, Body)> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, found {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Tuple(count_top_level(&inner))
+            }
+            _ => Body::Unit,
+        };
+        if let Some(t) = tokens.get(i) {
+            assert!(
+                is_punct(t, ','),
+                "explicit discriminants are not supported: {t:?}"
+            );
+            i += 1;
+        }
+        variants.push((name, body));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("derive(Serialize) supports structs and enums, found {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("derive(Serialize) stand-in does not support generic type `{name}`");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Body::Named(parse_named_fields(g.stream()))
+            } else {
+                Body::Enum(parse_enum_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Tuple(count_top_level(&inner))
+        }
+        Some(t) if is_punct(t, ';') => Body::Unit,
+        other => panic!("unsupported item body: {other:?}"),
+    };
+    Item { name, body }
+}
+
+/// Emit the statements serializing one named-field body from expressions
+/// `{prefix}{field}` (e.g. `&self.x` or a match binding).
+fn named_body_code(fields: &[String], prefix: &str) -> String {
+    let mut code = String::from("out.push('{');\n");
+    for (k, f) in fields.iter().enumerate() {
+        let comma = if k > 0 { "," } else { "" };
+        code.push_str(&format!(
+            "out.push_str(\"{comma}\\\"{f}\\\":\");\n\
+             serde::Serialize::serialize_json({prefix}{f}, out);\n"
+        ));
+    }
+    code.push_str("out.push('}');\n");
+    code
+}
+
+fn generate(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => named_body_code(fields, "&self."),
+        Body::Tuple(1) => "serde::Serialize::serialize_json(&self.0, out);\n".to_string(),
+        Body::Tuple(n) => {
+            let mut code = String::from("out.push('[');\n");
+            for k in 0..*n {
+                if k > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "serde::Serialize::serialize_json(&self.{k}, out);\n"
+                ));
+            }
+            code.push_str("out.push(']');\n");
+            code
+        }
+        Body::Unit => "out.push_str(\"null\");\n".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, vbody) in variants {
+                match vbody {
+                    Body::Unit => {
+                        arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                    }
+                    Body::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let inner = named_body_code(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{\n\
+                             out.push_str(\"{{\\\"{v}\\\":\");\n\
+                             {inner}\
+                             out.push('}}');\n\
+                             }}\n"
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let pat = bindings.join(", ");
+                        let mut inner = String::new();
+                        if *n == 1 {
+                            inner.push_str("serde::Serialize::serialize_json(f0, out);\n");
+                        } else {
+                            inner.push_str("out.push('[');\n");
+                            for (k, b) in bindings.iter().enumerate() {
+                                if k > 0 {
+                                    inner.push_str("out.push(',');\n");
+                                }
+                                inner.push_str(&format!(
+                                    "serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            inner.push_str("out.push(']');\n");
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v}({pat}) => {{\n\
+                             out.push_str(\"{{\\\"{v}\\\":\");\n\
+                             {inner}\
+                             out.push('}}');\n\
+                             }}\n"
+                        ));
+                    }
+                    Body::Enum(_) => unreachable!("nested enum body"),
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
 }
