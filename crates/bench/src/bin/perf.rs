@@ -4,12 +4,47 @@
 //! ```text
 //! cargo run --release -p rss-bench --bin perf            # 5 iterations
 //! cargo run --release -p rss-bench --bin perf -- --quick # 2 iterations (CI)
+//! cargo run --release -p rss-bench --bin perf -- --quick --gate   # + fail on
+//!     # a >25% wall-clock regression vs the committed trajectory
 //! ```
+//!
+//! `--gate` reads the committed `BENCH_simulator.json` *before* the fresh
+//! trajectory overwrites it and exits non-zero when any workload's best wall
+//! time regressed past the tolerance (override with `--tolerance 0.25`).
 
-use rss_bench::perf::run_perf;
+use rss_bench::perf::{run_perf, PerfReport};
+use std::process::ExitCode;
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        Some(i) => match args.get(i + 1).and_then(|t| t.parse::<f64>().ok()) {
+            Some(t) if t > 0.0 => t,
+            _ => {
+                eprintln!("--tolerance needs a positive fraction (e.g. 0.25)");
+                return ExitCode::from(2);
+            }
+        },
+        None => 0.25,
+    };
+
+    // Read the committed baseline first: writing the fresh trajectory below
+    // overwrites the file the gate compares against.
+    let trajectory_path = rss_bench::workspace_root().join("BENCH_simulator.json");
+    let baseline = if gate {
+        match PerfReport::read_from(&trajectory_path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("perf gate: cannot read committed baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let iters = if quick { 2 } else { 5 };
     let report = run_perf(iters);
     println!(
@@ -18,4 +53,26 @@ fn main() {
     );
     let path = report.write_trajectory();
     println!("wrote {}", path.display());
+
+    if let Some(baseline) = baseline {
+        match report.check_against(&baseline, tolerance) {
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "perf gate: ok (within {:.0}% of the committed trajectory)",
+                    tolerance * 100.0
+                );
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("perf gate: {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -10,8 +10,9 @@
 //!   per rate exactly as §3's rule prescribes.
 
 use rss_core::plot::ascii_table;
-use rss_core::{run_many, CcAlgorithm, RssConfig, RunReport, Scenario, SimDuration};
-use std::collections::BTreeMap;
+use rss_core::{CcAlgorithm, RssConfig, Scenario, SimDuration};
+
+pub use rss_core::run_many_memo;
 
 /// One sweep point: the varied parameter plus both algorithms' outcomes.
 #[derive(Debug, Clone)]
@@ -44,35 +45,6 @@ pub struct SweepResult {
     pub unit: &'static str,
     /// The rows, in sweep order.
     pub rows: Vec<SweepRow>,
-}
-
-/// Run a batch of scenarios, executing each *distinct* configuration once.
-///
-/// Sweep tables routinely contain cells whose scenario is identical (the
-/// anchor point of two sweeps, or a baseline column repeated per row); a
-/// scenario is a pure description and runs are deterministic, so duplicate
-/// cells can share one simulation. Returns the per-cell reports (order
-/// preserved) plus the number of simulations actually executed.
-pub fn run_many_memo(scenarios: &[Scenario]) -> (Vec<RunReport>, usize) {
-    // Scenario aggregates plain config (no floats with NaN, no interior
-    // mutability), so its Debug rendering is a faithful identity key.
-    let mut unique: Vec<Scenario> = Vec::new();
-    let mut key_to_unique: BTreeMap<String, usize> = BTreeMap::new();
-    let mut cell_to_unique = Vec::with_capacity(scenarios.len());
-    for sc in scenarios {
-        let key = format!("{sc:?}");
-        let idx = *key_to_unique.entry(key).or_insert_with(|| {
-            unique.push(sc.clone());
-            unique.len() - 1
-        });
-        cell_to_unique.push(idx);
-    }
-    let unique_reports = run_many(&unique);
-    let reports = cell_to_unique
-        .into_iter()
-        .map(|i| unique_reports[i].clone())
-        .collect();
-    (reports, unique.len())
 }
 
 fn sweep(
@@ -218,6 +190,7 @@ impl SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rss_core::run_many;
 
     #[test]
     fn memoized_runner_executes_distinct_configs_once() {

@@ -131,9 +131,72 @@ impl PerfReport {
         s
     }
 
-    /// Write the trajectory to `path`.
+    /// Parse a trajectory back from its [`Self::to_json`] rendering — the
+    /// regression gate reads the committed baseline through this.
+    pub fn from_json(text: &str) -> Result<Self, serde::de::Error> {
+        serde::from_json_str(text)
+    }
+
+    /// Read a trajectory file.
+    pub fn read_from(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write the trajectory to `path` (creating parent directories — a
+    /// fresh clone has no artifact tree yet).
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         std::fs::write(path, self.to_json())
+    }
+
+    /// Regression gate: compare this (fresh) trajectory against a committed
+    /// baseline. Returns the list of violations — workloads whose best wall
+    /// time regressed by more than `tolerance` (0.25 = 25 %) — or an error
+    /// string when the reports are not comparable. New workloads (absent
+    /// from the baseline) pass; vanished workloads fail.
+    pub fn check_against(
+        &self,
+        baseline: &PerfReport,
+        tolerance: f64,
+    ) -> Result<Vec<String>, String> {
+        if baseline.schema != self.schema {
+            return Err(format!(
+                "trajectory schema mismatch: baseline {} vs current {}",
+                baseline.schema, self.schema
+            ));
+        }
+        let mut violations = Vec::new();
+        for base in &baseline.rows {
+            let Some(cur) = self.rows.iter().find(|r| r.name == base.name) else {
+                violations.push(format!(
+                    "workload `{}` vanished from the perf sweep",
+                    base.name
+                ));
+                continue;
+            };
+            if cur.events != base.events {
+                // Event counts are deterministic; a change is a *behavior*
+                // change, which the scenario goldens gate — only flag the
+                // wall-time dimension here when events still match.
+                continue;
+            }
+            let limit = base.wall_ms * (1.0 + tolerance);
+            if cur.wall_ms > limit {
+                violations.push(format!(
+                    "workload `{}`: {:.1} ms vs baseline {:.1} ms (> {:.0}% regression)",
+                    base.name,
+                    cur.wall_ms,
+                    base.wall_ms,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        Ok(violations)
     }
 
     /// Write the trajectory to its canonical home, `BENCH_simulator.json`
@@ -168,6 +231,50 @@ mod tests {
         let expect = r.events as f64 / (r.wall_ms / 1e3);
         assert!((r.events_per_sec - expect).abs() / expect < 1e-9);
         assert!(report.print().contains("Mevents/s"));
+    }
+
+    #[test]
+    fn regression_gate_flags_slowdowns_and_vanished_workloads() {
+        let base = PerfReport {
+            schema: TRAJECTORY_SCHEMA,
+            bench: "simulator".into(),
+            iters: 2,
+            rows: vec![
+                PerfRow {
+                    name: "a".into(),
+                    events: 100,
+                    wall_ms: 100.0,
+                    events_per_sec: 1000.0,
+                    wall_ms_mean: 110.0,
+                },
+                PerfRow {
+                    name: "gone".into(),
+                    events: 5,
+                    wall_ms: 1.0,
+                    events_per_sec: 5000.0,
+                    wall_ms_mean: 1.0,
+                },
+            ],
+        };
+        let mut fresh = base.clone();
+        fresh.rows.remove(1);
+        // Within tolerance: ok.
+        fresh.rows[0].wall_ms = 120.0;
+        let v = fresh.check_against(&base, 0.25).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}"); // only the vanished workload
+        assert!(v[0].contains("vanished"), "{v:?}");
+        // Past tolerance: flagged.
+        fresh.rows[0].wall_ms = 130.0;
+        let v = fresh.check_against(&base, 0.25).unwrap();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("workload `a`")), "{v:?}");
+        // Different event count = behavior change, not a perf regression.
+        fresh.rows[0].events = 99;
+        let v = fresh.check_against(&base, 0.25).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Round-trip the baseline through JSON like the gate does.
+        let back = PerfReport::from_json(&base.to_json()).unwrap();
+        assert_eq!(back.to_json(), base.to_json());
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! * [`Scenario`] — a declarative experiment description;
 //!   [`Scenario::paper_testbed`] is §4 of the paper (100 Mbit/s, 60 ms RTT,
 //!   `txqueuelen` 100, 25 s);
-//! * [`run`] / [`run_many`] — deterministic execution, optionally parallel
-//!   across scenarios;
+//! * [`ScenarioSpec`] — the JSON scenario-file schema (the `scenarios/`
+//!   directory and the `rss` CLI): the same experiments as data, with sweep
+//!   grids expanding into deduplicated batches;
+//! * [`run`] / [`run_many`] / [`run_many_memo`] — deterministic execution,
+//!   optionally parallel across scenarios, with duplicate-cell memoization;
 //! * [`RunReport`] / [`FlowReport`] — Web100 snapshots, send-stall event
 //!   logs (Figure 1), cwnd/IFQ/goodput series;
 //! * [`plot`] — terminal rendering used by the benchmark harness.
@@ -38,12 +41,17 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod spec;
 pub mod world;
 
 pub use body::WireBody;
 pub use report::{FlowReport, RunReport};
-pub use runner::{run, run_many};
+pub use runner::{run, run_many, run_many_memo};
 pub use scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
+pub use spec::{
+    results_csv, CcDef, CrossDef, ExpandedRun, FlowDef, GridFtpDef, HostDef, OutputSpec, PathDef,
+    RunSpec, ScenarioSpec, SpecError, SweepSpec, TcpDef, TuningDef,
+};
 pub use world::{Ev, World};
 
 // Re-export the pieces downstream users need to compose scenarios without

@@ -108,6 +108,14 @@ impl RunReport {
         serde::to_json_string(self)
     }
 
+    /// Parse a report back from its [`Self::to_json`] rendering. Numbers
+    /// round-trip exactly (the serializer emits shortest-round-trip floats
+    /// and full-width integers), so `from_json(to_json(r))` re-serializes
+    /// byte-identically.
+    pub fn from_json(text: &str) -> Result<Self, serde::de::Error> {
+        serde::from_json_str(text)
+    }
+
     /// Combined goodput of all flows, bits/s.
     pub fn total_goodput_bps(&self) -> f64 {
         self.flows.iter().map(|f| f.goodput_bps).sum()

@@ -4,6 +4,7 @@ use crate::report::{FlowReport, RunReport};
 use crate::scenario::Scenario;
 use crate::world::World;
 use rss_sim::{Engine, SimTime};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Execute one scenario and collect its report.
@@ -128,6 +129,35 @@ pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
         .into_iter()
         .map(|slot| slot.into_inner().expect("missing result"))
         .collect()
+}
+
+/// Run a batch of scenarios, executing each *distinct* configuration once.
+///
+/// Sweep grids routinely contain cells whose scenario is identical (the
+/// anchor point of two sweeps, or a baseline column repeated per row); a
+/// scenario is a pure description and runs are deterministic, so duplicate
+/// cells can share one simulation. Returns the per-cell reports (order
+/// preserved) plus the number of simulations actually executed.
+pub fn run_many_memo(scenarios: &[Scenario]) -> (Vec<RunReport>, usize) {
+    // Scenario aggregates plain config (no floats with NaN, no interior
+    // mutability), so its Debug rendering is a faithful identity key.
+    let mut unique: Vec<Scenario> = Vec::new();
+    let mut key_to_unique: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cell_to_unique = Vec::with_capacity(scenarios.len());
+    for sc in scenarios {
+        let key = format!("{sc:?}");
+        let idx = *key_to_unique.entry(key).or_insert_with(|| {
+            unique.push(sc.clone());
+            unique.len() - 1
+        });
+        cell_to_unique.push(idx);
+    }
+    let unique_reports = run_many(&unique);
+    let reports = cell_to_unique
+        .into_iter()
+        .map(|i| unique_reports[i].clone())
+        .collect();
+    (reports, unique.len())
 }
 
 #[cfg(test)]

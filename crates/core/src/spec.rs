@@ -1,0 +1,934 @@
+//! Declarative scenario files: the JSON schema (`ScenarioSpec`), its
+//! expansion into concrete [`Scenario`]s, and the deterministic CSV summary
+//! the `rss` CLI emits.
+//!
+//! Every hand-built testbed in the examples and benches is expressible as
+//! data: topology (rates, delays, queue limits), workload (flows, sizes,
+//! start times, GridFTP-style striping), TCP knobs (slow-start variant as an
+//! *open* enum — new variants such as SSthreshless Start slot in beside
+//! `Standard`/`Restricted`/`Limited` — initial ssthresh, stall response),
+//! run length, seed, and output artifacts. A `sweep` block expands one spec
+//! into a grid of runs (RTT × rate × queue depth × seed × stream count)
+//! which [`crate::run_many_memo`] executes with duplicate cells deduped.
+//!
+//! Defaults follow [`Scenario::paper_testbed`]: omitting a knob yields the
+//! paper's §4 testbed value, so `scenarios/quickstart.json` reproduces the
+//! hand-coded constructors bit-for-bit (a workspace test asserts it).
+//!
+//! Unknown fields, unknown variants and type mismatches are hard errors
+//! carrying the JSON path and source line (`at $.runs[0].tcp.mss (line 14):
+//! …`) — a typo in a scenario file fails loudly instead of silently running
+//! the default.
+
+use crate::report::RunReport;
+use crate::scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
+use rss_host::HostConfig;
+use rss_net::TrafficPattern;
+use rss_sim::{SimDuration, SimTime};
+use rss_tcp::{AckPolicy, CcAlgorithm, RssConfig, StallResponse, TcpConfig};
+use rss_workload::{stripe_bytes, AppModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scenario file: named, documented, one or more runs, an optional sweep
+/// grid, and the artifacts to emit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used for default artifact names; `[a-z0-9_-]+`).
+    pub name: String,
+    /// Free-form description (what paper figure/claim this reproduces).
+    pub comment: Option<String>,
+    /// The runs executed per sweep cell, in order.
+    pub runs: Vec<RunSpec>,
+    /// Optional parameter grid; absent = a single cell.
+    pub sweep: Option<SweepSpec>,
+    /// Artifact file names (under the output directory).
+    pub output: Option<OutputSpec>,
+}
+
+/// One run description. Every field is optional; omitted knobs default to
+/// the paper's §4 testbed (100 Mbit/s, 60 ms RTT, `txqueuelen` 100, 25 s,
+/// seed 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Run label (CSV `run` column; unique within the file).
+    pub label: String,
+    /// Network path overrides.
+    pub path: Option<PathDef>,
+    /// Sending/receiving host overrides.
+    pub host: Option<HostDef>,
+    /// Transport overrides.
+    pub tcp: Option<TcpDef>,
+    /// Explicit flow list (mutually exclusive with `gridftp`).
+    pub flows: Option<Vec<FlowDef>>,
+    /// GridFTP-style striping: one transfer over N parallel flows.
+    pub gridftp: Option<GridFtpDef>,
+    /// Open-loop cross-traffic sources sharing the bottleneck.
+    pub cross: Option<Vec<CrossDef>>,
+    /// Simulated run length, seconds (default 25).
+    pub duration_s: Option<f64>,
+    /// RNG seed (default 1).
+    pub seed: Option<u64>,
+    /// Put every flow on one sending host (default false).
+    pub shared_sender_host: Option<bool>,
+    /// Stop as soon as every bounded flow completes (default false).
+    pub stop_when_complete: Option<bool>,
+    /// Use RED instead of drop-tail on the bottleneck (default false).
+    pub red_bottleneck: Option<bool>,
+    /// World-series sampling interval, milliseconds (default 10).
+    pub sample_interval_ms: Option<f64>,
+    /// Thinning stride for dense per-connection series (default 1).
+    pub web100_stride: Option<u32>,
+    /// Size the receive window to the path (4×BDP, floor 2 MB), applied
+    /// after any sweep overrides — mirrors [`Scenario::with_auto_rwnd`].
+    pub auto_rwnd: Option<bool>,
+}
+
+/// Network-path knobs (defaults: the paper's 100 Mbit/s, 60 ms path).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PathDef {
+    /// Bottleneck/backbone line rate, Mbit/s (default 100).
+    pub rate_mbps: Option<f64>,
+    /// Round-trip propagation time, milliseconds (default 60).
+    pub rtt_ms: Option<f64>,
+    /// Router egress queue capacity, packets (default 200).
+    pub router_queue_pkts: Option<u32>,
+    /// Independent per-packet loss probability (default 0).
+    pub loss_prob: Option<f64>,
+    /// Access-link rate, Mbit/s; omitted = same as `rate_mbps`.
+    pub access_rate_mbps: Option<f64>,
+}
+
+/// Host transmit-path knobs (defaults: 100 Mbit/s NIC, `txqueuelen` 100,
+/// MTU 1500).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HostDef {
+    /// NIC line rate, Mbit/s; omitted = follow the path rate.
+    pub nic_rate_mbps: Option<f64>,
+    /// Interface-queue capacity, packets (default 100).
+    pub txqueuelen: Option<u32>,
+    /// MTU, bytes (default 1500).
+    pub mtu: Option<u32>,
+}
+
+/// Transport knobs (defaults: [`TcpConfig::default`], the Linux 2.4.19
+/// profile of the paper's hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TcpDef {
+    /// Maximum segment size, payload bytes (default 1448).
+    pub mss: Option<u32>,
+    /// Per-segment wire header overhead, bytes (default 52).
+    pub header_bytes: Option<u32>,
+    /// Initial congestion window, segments (default 2).
+    pub initial_cwnd_mss: Option<u32>,
+    /// Initial slow-start threshold, bytes (default: effectively infinite).
+    pub initial_ssthresh: Option<u64>,
+    /// Receiver's advertised window, bytes (default 2 MiB).
+    pub rwnd_bytes: Option<u64>,
+    /// Lower RTO bound, milliseconds (default 200).
+    pub min_rto_ms: Option<f64>,
+    /// Upper RTO bound, milliseconds (default 60 000).
+    pub max_rto_ms: Option<f64>,
+    /// ACK generation policy (default `"EverySegment"`).
+    pub ack_policy: Option<AckPolicy>,
+    /// Congestion response to send-stalls (default `"Cwr"`).
+    pub stall_response: Option<StallResponse>,
+    /// Post-stall re-probe delay, milliseconds (default 1).
+    pub stall_retry_ms: Option<f64>,
+    /// Duplicate ACKs triggering fast retransmit (default 3).
+    pub dupack_threshold: Option<u32>,
+}
+
+/// One TCP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowDef {
+    /// Slow-start variant (default `"Standard"`).
+    pub cc: Option<CcDef>,
+    /// Application model (default unbounded bulk).
+    pub app: Option<AppModel>,
+    /// Flow start time, seconds (default 0).
+    pub start_s: Option<f64>,
+}
+
+/// The slow-start variant under test — an **open** enum: adding a variant
+/// here (e.g. SSthreshless Start, arXiv:1401.7146) is the whole integration
+/// surface for a new scheme, and scenario files using it stay data.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum CcDef {
+    /// Standard TCP (Reno/NewReno, the paper's baseline).
+    #[default]
+    Standard,
+    /// The paper's Restricted Slow-Start (PID-paced window growth).
+    Restricted {
+        /// Gain selection (default `"ForPath"`).
+        tuning: Option<TuningDef>,
+        /// IFQ set point as a fraction of `txqueuelen` (default 0.9).
+        setpoint_frac: Option<f64>,
+    },
+    /// RFC 3742 Limited Slow-Start.
+    Limited {
+        /// `max_ssthresh` in bytes; omitted = the RFC's 100 segments.
+        max_ssthresh: Option<u64>,
+    },
+}
+
+/// How the Restricted Slow-Start PID gains are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TuningDef {
+    /// §3's Ziegler–Nichols rule applied to the (possibly swept) path rate
+    /// and the host MTU — [`RssConfig::tuned_for`].
+    ForPath,
+    /// Like `ForPath` but tuned to this flow's share of a sending host split
+    /// `n_flows` ways (GridFTP parallel streams).
+    PerStream,
+    /// The Ziegler–Nichols rule for an explicit rate/packet size.
+    ForRate {
+        /// Rate the loop is tuned for, Mbit/s.
+        rate_mbps: f64,
+        /// Wire packet size (MSS + headers), bytes.
+        wire_pkt_bytes: u32,
+    },
+    /// Explicit PID gains (standard form).
+    Gains {
+        /// Proportional gain `Kp`.
+        kp: f64,
+        /// Integral time constant `Ti`, seconds.
+        ti: f64,
+        /// Derivative time constant `Td`, seconds.
+        td: f64,
+    },
+}
+
+/// GridFTP-style striping: one logical transfer over N parallel flows from
+/// one sending host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridFtpDef {
+    /// Total transfer size, bytes (split evenly across streams).
+    pub total_bytes: u64,
+    /// Number of parallel streams (the `streams` sweep axis overrides this).
+    pub streams: u32,
+    /// Variant every stream runs.
+    pub cc: CcDef,
+}
+
+/// One open-loop cross-traffic source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossDef {
+    /// Arrival process.
+    pub pattern: TrafficPattern,
+    /// Start time, seconds (default 0).
+    pub start_s: Option<f64>,
+    /// Stop time, seconds (omitted = until the run ends).
+    pub stop_s: Option<f64>,
+}
+
+/// A parameter grid. Each present axis multiplies the cell count; axes nest
+/// in field order (`rate_mbps` outermost, `streams` innermost) with the
+/// file's runs executed per cell.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Line rates, Mbit/s (sets the path rate; the NIC follows unless the
+    /// host pins `nic_rate_mbps`).
+    pub rate_mbps: Option<Vec<f64>>,
+    /// Round-trip times, milliseconds.
+    pub rtt_ms: Option<Vec<f64>>,
+    /// Interface-queue depths, packets.
+    pub txqueuelen: Option<Vec<u32>>,
+    /// RNG seeds.
+    pub seed: Option<Vec<u64>>,
+    /// GridFTP stream counts (requires `gridftp` on every run).
+    pub streams: Option<Vec<u32>>,
+}
+
+/// Artifact names, relative to the CLI's output directory.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutputSpec {
+    /// Per-flow summary CSV (default `scenario_<name>.csv`).
+    pub csv: Option<String>,
+    /// Full machine-readable reports as JSON (omitted = not written).
+    pub json: Option<String>,
+}
+
+/// One concrete run produced by [`ScenarioSpec::expand`].
+#[derive(Debug, Clone)]
+pub struct ExpandedRun {
+    /// The source run's label.
+    pub label: String,
+    /// Sweep-cell index this run belongs to (0 for unswept specs).
+    pub cell: usize,
+    /// The fully-resolved scenario, ready for [`crate::run`].
+    pub scenario: Scenario,
+}
+
+/// A semantic error in a scenario file (parse errors come through here too,
+/// keeping their JSON path + line rendering).
+#[derive(Debug, Clone)]
+pub struct SpecError {
+    /// Human-readable description, location-qualified where possible.
+    pub msg: String,
+}
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        SpecError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------------
+// Unit conversions (validated)
+// ---------------------------------------------------------------------------
+
+fn mbps_to_bps(mbps: f64, what: &str) -> Result<u64, SpecError> {
+    if !mbps.is_finite() || mbps <= 0.0 {
+        return Err(SpecError::new(format!(
+            "{what} must be a positive rate, got {mbps}"
+        )));
+    }
+    Ok((mbps * 1e6).round() as u64)
+}
+
+fn ms_to_duration(ms: f64, what: &str) -> Result<SimDuration, SpecError> {
+    if !ms.is_finite() || ms < 0.0 {
+        return Err(SpecError::new(format!(
+            "{what} must be non-negative, got {ms}"
+        )));
+    }
+    Ok(SimDuration::from_nanos((ms * 1e6).round() as u64))
+}
+
+fn secs_to_duration(s: f64, what: &str) -> Result<SimDuration, SpecError> {
+    if !s.is_finite() || s <= 0.0 {
+        return Err(SpecError::new(format!("{what} must be positive, got {s}")));
+    }
+    Ok(SimDuration::from_nanos((s * 1e9).round() as u64))
+}
+
+fn secs_to_time(s: f64, what: &str) -> Result<SimTime, SpecError> {
+    if !s.is_finite() || s < 0.0 {
+        return Err(SpecError::new(format!(
+            "{what} must be non-negative, got {s}"
+        )));
+    }
+    Ok(SimTime::from_nanos((s * 1e9).round() as u64))
+}
+
+// ---------------------------------------------------------------------------
+// Conversion to concrete scenarios
+// ---------------------------------------------------------------------------
+
+impl CcDef {
+    /// Resolve to a concrete algorithm for a flow on a `path_rate_bps` path
+    /// with `wire_pkt_bytes` packets, one of `n_flows` on its sending host.
+    pub fn to_algorithm(
+        &self,
+        path_rate_bps: u64,
+        wire_pkt_bytes: u32,
+        n_flows: u32,
+    ) -> Result<CcAlgorithm, SpecError> {
+        Ok(match *self {
+            CcDef::Standard => CcAlgorithm::Reno,
+            CcDef::Restricted {
+                tuning,
+                setpoint_frac,
+            } => {
+                let mut cfg = match tuning.unwrap_or(TuningDef::ForPath) {
+                    TuningDef::ForPath => RssConfig::tuned_for(path_rate_bps, wire_pkt_bytes),
+                    TuningDef::PerStream => {
+                        RssConfig::tuned_for(path_rate_bps / n_flows.max(1) as u64, wire_pkt_bytes)
+                    }
+                    TuningDef::ForRate {
+                        rate_mbps,
+                        wire_pkt_bytes,
+                    } => RssConfig::tuned_for(
+                        mbps_to_bps(rate_mbps, "tuning rate_mbps")?,
+                        wire_pkt_bytes,
+                    ),
+                    TuningDef::Gains { kp, ti, td } => {
+                        // Ti may be +inf (integral term disabled); nothing
+                        // may be NaN.
+                        if !kp.is_finite() || !td.is_finite() || ti.is_nan() {
+                            return Err(SpecError::new(
+                                "PID gains must be finite (Ti may be infinite)",
+                            ));
+                        }
+                        RssConfig::with_gains(rss_control::PidGains::pid(kp, ti, td))
+                    }
+                };
+                if let Some(sp) = setpoint_frac {
+                    if !(sp > 0.0 && sp <= 1.0) {
+                        return Err(SpecError::new(format!(
+                            "setpoint_frac must be in (0, 1], got {sp}"
+                        )));
+                    }
+                    cfg.setpoint_frac = sp;
+                }
+                CcAlgorithm::Restricted(cfg)
+            }
+            CcDef::Limited { max_ssthresh } => CcAlgorithm::Limited { max_ssthresh },
+        })
+    }
+}
+
+impl RunSpec {
+    /// Resolve this run against the paper-testbed defaults into a concrete
+    /// [`Scenario`].
+    pub fn to_scenario(&self) -> Result<Scenario, SpecError> {
+        let ctx = |e: SpecError| SpecError::new(format!("run `{}`: {}", self.label, e.msg));
+        self.build_scenario().map_err(ctx)
+    }
+
+    fn build_scenario(&self) -> Result<Scenario, SpecError> {
+        let p = self.path.unwrap_or_default();
+        let rate_bps = mbps_to_bps(p.rate_mbps.unwrap_or(100.0), "path.rate_mbps")?;
+        let loss_prob = p.loss_prob.unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&loss_prob) {
+            return Err(SpecError::new(format!(
+                "path.loss_prob must be in [0, 1], got {loss_prob}"
+            )));
+        }
+        let path = PathSpec {
+            rate_bps,
+            rtt: ms_to_duration(p.rtt_ms.unwrap_or(60.0), "path.rtt_ms")?,
+            router_queue_pkts: p.router_queue_pkts.unwrap_or(200),
+            loss_prob,
+            access_rate_bps: match p.access_rate_mbps {
+                Some(m) => Some(mbps_to_bps(m, "path.access_rate_mbps")?),
+                None => None,
+            },
+        };
+
+        let h = self.host.unwrap_or_default();
+        let host = HostConfig {
+            nic_rate_bps: match h.nic_rate_mbps {
+                Some(m) => mbps_to_bps(m, "host.nic_rate_mbps")?,
+                None => rate_bps,
+            },
+            txqueuelen: h.txqueuelen.unwrap_or(100),
+            mtu: h.mtu.unwrap_or(1500),
+        };
+        if host.txqueuelen == 0 || host.mtu == 0 {
+            return Err(SpecError::new(
+                "host.txqueuelen and host.mtu must be positive",
+            ));
+        }
+
+        let t = self.tcp.unwrap_or_default();
+        let mut tcp = TcpConfig::default();
+        if let Some(x) = t.mss {
+            if x == 0 {
+                return Err(SpecError::new("tcp.mss must be positive"));
+            }
+            tcp.mss = x;
+        }
+        if let Some(x) = t.header_bytes {
+            tcp.header_bytes = x;
+        }
+        if let Some(x) = t.initial_cwnd_mss {
+            tcp.initial_cwnd_mss = x;
+        }
+        if let Some(x) = t.initial_ssthresh {
+            tcp.initial_ssthresh = Some(x);
+        }
+        if let Some(x) = t.rwnd_bytes {
+            tcp.rwnd = x;
+        }
+        if let Some(x) = t.min_rto_ms {
+            tcp.min_rto = ms_to_duration(x, "tcp.min_rto_ms")?;
+        }
+        if let Some(x) = t.max_rto_ms {
+            tcp.max_rto = ms_to_duration(x, "tcp.max_rto_ms")?;
+        }
+        if let Some(x) = t.ack_policy {
+            tcp.ack_policy = x;
+        }
+        if let Some(x) = t.stall_response {
+            tcp.stall_response = x;
+        }
+        if let Some(x) = t.stall_retry_ms {
+            tcp.stall_retry = ms_to_duration(x, "tcp.stall_retry_ms")?;
+        }
+        if let Some(x) = t.dupack_threshold {
+            tcp.dupack_threshold = x;
+        }
+
+        let flows: Vec<FlowSpec> = match (&self.gridftp, &self.flows) {
+            (Some(_), Some(defs)) if !defs.is_empty() => {
+                return Err(SpecError::new(
+                    "`flows` and `gridftp` are mutually exclusive",
+                ));
+            }
+            (Some(g), _) => {
+                if g.streams == 0 || g.total_bytes == 0 {
+                    return Err(SpecError::new(
+                        "gridftp.streams and gridftp.total_bytes must be positive",
+                    ));
+                }
+                let algo = g.cc.to_algorithm(rate_bps, host.mtu, g.streams)?;
+                stripe_bytes(g.total_bytes, g.streams)
+                    .into_iter()
+                    .map(|bytes| FlowSpec {
+                        algo,
+                        app: AppModel::Bulk { bytes: Some(bytes) },
+                        start: SimTime::ZERO,
+                    })
+                    .collect()
+            }
+            (None, Some(defs)) if !defs.is_empty() => {
+                let n = defs.len() as u32;
+                defs.iter()
+                    .map(|f| {
+                        Ok(FlowSpec {
+                            algo: f
+                                .cc
+                                .unwrap_or_default()
+                                .to_algorithm(rate_bps, host.mtu, n)?,
+                            app: f.app.unwrap_or(AppModel::Bulk { bytes: None }),
+                            start: secs_to_time(f.start_s.unwrap_or(0.0), "flow start_s")?,
+                        })
+                    })
+                    .collect::<Result<_, SpecError>>()?
+            }
+            _ => {
+                return Err(SpecError::new(
+                    "a run needs a non-empty `flows` list or a `gridftp` block",
+                ));
+            }
+        };
+
+        let cross = self
+            .cross
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| {
+                Ok(CrossSpec {
+                    pattern: c.pattern,
+                    start: secs_to_time(c.start_s.unwrap_or(0.0), "cross start_s")?,
+                    stop: match c.stop_s {
+                        Some(s) => Some(secs_to_time(s, "cross stop_s")?),
+                        None => None,
+                    },
+                })
+            })
+            .collect::<Result<_, SpecError>>()?;
+
+        let web100_stride = self.web100_stride.unwrap_or(1);
+        if web100_stride == 0 {
+            return Err(SpecError::new("web100_stride must be positive"));
+        }
+
+        let mut sc = Scenario {
+            path,
+            host,
+            tcp,
+            flows,
+            cross,
+            duration: secs_to_duration(self.duration_s.unwrap_or(25.0), "duration_s")?,
+            seed: self.seed.unwrap_or(1),
+            shared_sender_host: self.shared_sender_host.unwrap_or(false),
+            sample_interval: ms_to_duration(
+                self.sample_interval_ms.unwrap_or(10.0),
+                "sample_interval_ms",
+            )?,
+            web100_stride,
+            stop_when_complete: self.stop_when_complete.unwrap_or(false),
+            red_bottleneck: self.red_bottleneck.unwrap_or(false),
+        };
+        if sc.sample_interval == SimDuration::ZERO {
+            return Err(SpecError::new("sample_interval_ms must be positive"));
+        }
+        if self.auto_rwnd.unwrap_or(false) {
+            sc = sc.with_auto_rwnd();
+        }
+        Ok(sc)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loading, validation, sweep expansion
+// ---------------------------------------------------------------------------
+
+/// One sweep axis: `None` = keep the run's own value.
+fn axis<T: Copy>(values: &Option<Vec<T>>, name: &str) -> Result<Vec<Option<T>>, SpecError> {
+    match values {
+        Some(xs) if xs.is_empty() => Err(SpecError::new(format!(
+            "sweep axis `{name}` must not be empty"
+        ))),
+        Some(xs) => Ok(xs.iter().copied().map(Some).collect()),
+        None => Ok(vec![None]),
+    }
+}
+
+impl ScenarioSpec {
+    /// Parse a spec from JSON text. Errors carry the JSON path and line.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde::from_json_str::<ScenarioSpec>(text).map_err(|e| SpecError::new(e.to_string()))
+    }
+
+    /// Read and parse a spec file.
+    pub fn load(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::new(format!("{}: {e}", path.display())))?;
+        Self::from_json(&text).map_err(|e| SpecError::new(format!("{}: {}", path.display(), e.msg)))
+    }
+
+    /// Full validation: parseable fields (already guaranteed by construction)
+    /// plus every semantic rule `expand` enforces.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.expand().map(|_| ())
+    }
+
+    /// Number of sweep cells (1 when no sweep block is present). An empty
+    /// axis yields 0 — the same spec [`Self::expand`] rejects as invalid.
+    pub fn cells(&self) -> usize {
+        fn len<T>(axis: &Option<Vec<T>>) -> usize {
+            axis.as_ref().map_or(1, |v| v.len())
+        }
+        match &self.sweep {
+            None => 1,
+            Some(s) => {
+                len(&s.rate_mbps)
+                    * len(&s.rtt_ms)
+                    * len(&s.txqueuelen)
+                    * len(&s.seed)
+                    * len(&s.streams)
+            }
+        }
+    }
+
+    /// Expand the sweep grid into concrete runs: axes nest in declaration
+    /// order (`rate_mbps` outermost, then `rtt_ms`, `txqueuelen`, `seed`,
+    /// `streams`) and the file's runs execute in order within each cell —
+    /// the same order the hand-coded sweeps build their scenario vectors in.
+    pub fn expand(&self) -> Result<Vec<ExpandedRun>, SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("scenario `name` must not be empty"));
+        }
+        if self.runs.is_empty() {
+            return Err(SpecError::new("a scenario needs at least one run"));
+        }
+        for (i, run) in self.runs.iter().enumerate() {
+            if run.label.is_empty() {
+                return Err(SpecError::new(format!(
+                    "runs[{i}]: `label` must not be empty"
+                )));
+            }
+            if self.runs[..i].iter().any(|r| r.label == run.label) {
+                return Err(SpecError::new(format!(
+                    "duplicate run label `{}`",
+                    run.label
+                )));
+            }
+        }
+        let sw = self.sweep.clone().unwrap_or_default();
+        let rates = axis(&sw.rate_mbps, "rate_mbps")?;
+        let rtts = axis(&sw.rtt_ms, "rtt_ms")?;
+        let queues = axis(&sw.txqueuelen, "txqueuelen")?;
+        let seeds = axis(&sw.seed, "seed")?;
+        let streams_axis = axis(&sw.streams, "streams")?;
+
+        let mut out = Vec::new();
+        let mut cell = 0usize;
+        for &rate in &rates {
+            for &rtt in &rtts {
+                for &q in &queues {
+                    for &seed in &seeds {
+                        for &streams in &streams_axis {
+                            for run in &self.runs {
+                                let mut r = run.clone();
+                                if let Some(rate) = rate {
+                                    r.path.get_or_insert_with(Default::default).rate_mbps =
+                                        Some(rate);
+                                }
+                                if let Some(rtt) = rtt {
+                                    r.path.get_or_insert_with(Default::default).rtt_ms = Some(rtt);
+                                }
+                                if let Some(q) = q {
+                                    r.host.get_or_insert_with(Default::default).txqueuelen =
+                                        Some(q);
+                                }
+                                if let Some(seed) = seed {
+                                    r.seed = Some(seed);
+                                }
+                                if let Some(streams) = streams {
+                                    match &mut r.gridftp {
+                                        Some(g) => g.streams = streams,
+                                        None => {
+                                            return Err(SpecError::new(format!(
+                                                "run `{}`: the `streams` sweep axis requires a `gridftp` block",
+                                                run.label
+                                            )));
+                                        }
+                                    }
+                                }
+                                out.push(ExpandedRun {
+                                    label: run.label.clone(),
+                                    cell,
+                                    scenario: r.to_scenario()?,
+                                });
+                            }
+                            cell += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Default CSV artifact name (`scenario_<name>.csv`), overridable via
+    /// the `output.csv` field.
+    pub fn csv_name(&self) -> String {
+        match self.output.as_ref().and_then(|o| o.csv.clone()) {
+            Some(name) => name,
+            None => format!("scenario_{}.csv", self.name),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic CSV summary
+// ---------------------------------------------------------------------------
+
+/// Format an `f64` deterministically (shortest round-trip representation —
+/// the same rule the serializer uses, so goldens are byte-stable).
+fn fmt_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+/// Render the per-flow summary CSV for an expanded + executed scenario.
+/// One row per (run, flow); byte-deterministic given bit-identical reports,
+/// which is what the golden-gated CI matrix diffs against.
+pub fn results_csv(spec: &ScenarioSpec, runs: &[ExpandedRun], reports: &[RunReport]) -> String {
+    assert_eq!(runs.len(), reports.len(), "one report per expanded run");
+    let mut out = String::from(
+        "scenario,run,cell,rate_mbps,rtt_ms,txqueuelen,seed,flows,flow,algo,\
+         goodput_bps,utilization,send_stalls,congestion_signals,max_cwnd_bytes,\
+         data_bytes_out,thru_bytes_acked,completed_s,events\n",
+    );
+    for (er, report) in runs.iter().zip(reports) {
+        let sc = &er.scenario;
+        for f in &report.flows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                spec.name,
+                er.label,
+                er.cell,
+                fmt_f64(sc.path.rate_bps as f64 / 1e6),
+                fmt_f64(sc.path.rtt.as_nanos() as f64 / 1e6),
+                sc.host.txqueuelen,
+                sc.seed,
+                sc.flows.len(),
+                f.conn,
+                f.algo,
+                fmt_f64(f.goodput_bps),
+                fmt_f64(f.utilization),
+                f.vars.send_stall,
+                f.vars.congestion_signals,
+                f.vars.max_cwnd,
+                f.vars.data_bytes_out,
+                f.vars.thru_bytes_acked,
+                f.completed_at_s.map(fmt_f64).unwrap_or_default(),
+                report.events_processed,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(json_runs: &str) -> String {
+        format!("{{\"name\":\"t\",\"runs\":{json_runs}}}")
+    }
+
+    #[test]
+    fn defaults_reproduce_the_paper_testbed() {
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"standard","flows":[{}]},
+                {"label":"restricted","flows":[{"cc":{"Restricted":{}}}]}]"#,
+        ))
+        .unwrap();
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            format!("{:?}", runs[0].scenario),
+            format!("{:?}", Scenario::paper_testbed_standard())
+        );
+        assert_eq!(
+            format!("{:?}", runs[1].scenario),
+            format!("{:?}", Scenario::paper_testbed_restricted())
+        );
+    }
+
+    #[test]
+    fn unknown_field_is_a_path_qualified_error() {
+        let err = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"tcp":{"mss":1448,"msss":9}}]"#,
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("unknown field `msss`"), "{}", err.msg);
+        assert!(err.msg.contains("$.runs[0].tcp"), "{}", err.msg);
+        assert!(err.msg.contains("line"), "{}", err.msg);
+    }
+
+    #[test]
+    fn wrong_type_is_a_path_qualified_error() {
+        let err = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"duration_s":"long"}]"#,
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("$.runs[0].duration_s"), "{}", err.msg);
+        assert!(
+            err.msg.contains("expected f64, found string"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn unknown_variant_is_rejected_with_the_open_enum_list() {
+        let err = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{"cc":"Ssthreshless"}]}]"#,
+        ))
+        .unwrap_err();
+        assert!(
+            err.msg.contains("unknown variant `Ssthreshless`"),
+            "{}",
+            err.msg
+        );
+        assert!(
+            err.msg.contains("Standard, Restricted, Limited"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_reported() {
+        let err = ScenarioSpec::from_json("{\"name\":\"t\",\n\"runs\":[").unwrap_err();
+        assert!(
+            err.msg.contains("truncated") || err.msg.contains("end of input"),
+            "{}",
+            err.msg
+        );
+        assert!(err.msg.contains("line 2"), "{}", err.msg);
+    }
+
+    #[test]
+    fn sweep_expands_in_declared_order_and_sets_both_rates() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name":"grid",
+                "runs":[{"label":"std","flows":[{}],"auto_rwnd":true},
+                        {"label":"rss","flows":[{"cc":{"Restricted":{}}}],"auto_rwnd":true}],
+                "sweep":{"rate_mbps":[10,1000],"rtt_ms":[10,120]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cells(), 4);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 8);
+        // rate outermost: cells 0,1 at 10 Mbit/s; runs alternate std/rss.
+        assert_eq!(runs[0].scenario.path.rate_bps, 10_000_000);
+        assert_eq!(runs[0].scenario.host.nic_rate_bps, 10_000_000);
+        assert_eq!(runs[0].scenario.path.rtt, SimDuration::from_millis(10));
+        assert_eq!(runs[3].scenario.path.rtt, SimDuration::from_millis(120));
+        assert_eq!(runs[4].scenario.path.rate_bps, 1_000_000_000);
+        assert_eq!(runs[0].cell, 0);
+        assert_eq!(runs[1].cell, 0);
+        assert_eq!(runs[2].cell, 1);
+        // auto_rwnd applies after the sweep override.
+        let big = &runs[7].scenario; // 1 Gbit/s, 120 ms
+        assert_eq!(big.tcp.rwnd, 4 * big.path.bdp_bytes());
+    }
+
+    #[test]
+    fn gridftp_stripes_and_retunes_per_stream() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name":"g",
+                "runs":[{"label":"rss","shared_sender_host":true,"stop_when_complete":true,
+                         "gridftp":{"total_bytes":104857600,"streams":4,
+                                    "cc":{"Restricted":{"tuning":"PerStream"}}}}],
+                "sweep":{"streams":[1,4]}}"#,
+        )
+        .unwrap();
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].scenario.flows.len(), 1);
+        assert_eq!(runs[1].scenario.flows.len(), 4);
+        let total: u64 = runs[1]
+            .scenario
+            .flows
+            .iter()
+            .map(|f| match f.app {
+                AppModel::Bulk { bytes } => bytes.unwrap(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 104857600);
+        // Per-stream tuning divides the rate by the stream count.
+        let expect = RssConfig::tuned_for(100_000_000 / 4, 1500);
+        match runs[1].scenario.flows[0].algo {
+            CcAlgorithm::Restricted(cfg) => assert_eq!(cfg, expect),
+            ref other => panic!("wrong algo {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_errors_name_the_run() {
+        let spec = ScenarioSpec::from_json(&minimal(r#"[{"label":"broken","flows":[]}]"#)).unwrap();
+        let err = spec.validate().unwrap_err();
+        assert!(err.msg.contains("run `broken`"), "{}", err.msg);
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"a","flows":[{}]},{"label":"a","flows":[{}]}]"#,
+        ))
+        .unwrap();
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .msg
+            .contains("duplicate run label"));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name":"rt","comment":"round trip",
+                "runs":[{"label":"x","flows":[{"cc":{"Limited":{"max_ssthresh":100000}},
+                         "app":{"Bulk":{"bytes":5000}},"start_s":0.25}],
+                         "tcp":{"stall_response":"RestartFromOne"},
+                         "duration_s":1.5,"seed":7}],
+                "sweep":{"rtt_ms":[10,20]},
+                "output":{"csv":"rt.csv"}}"#,
+        )
+        .unwrap();
+        let json = serde::to_json_string(&spec);
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn results_csv_is_deterministic_and_complete() {
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"std","flows":[{}],
+                 "path":{"rate_mbps":10,"rtt_ms":10},"duration_s":0.5}]"#,
+        ))
+        .unwrap();
+        let runs = spec.expand().unwrap();
+        let reports: Vec<RunReport> = runs.iter().map(|r| crate::run(&r.scenario)).collect();
+        let a = results_csv(&spec, &runs, &reports);
+        let b = results_csv(&spec, &runs, &reports);
+        assert_eq!(a, b);
+        assert!(a.starts_with("scenario,run,cell,"), "{a}");
+        assert!(a.contains("t,std,0,10,10,100,1,1,0,standard,"), "{a}");
+    }
+}

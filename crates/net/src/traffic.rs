@@ -9,7 +9,7 @@ use rss_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// The arrival process of a source.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TrafficPattern {
     /// Constant bit rate: one `pkt_size` packet every `size·8/rate`.
     Cbr {

@@ -1,6 +1,11 @@
 //! Reproduce **Figure 1** of the paper: cumulative send-stall signals over
 //! time, standard Linux TCP vs the proposed (restricted) scheme.
 //!
+//! The testbeds are data — `scenarios/figure1.json` — and this example is a
+//! thin wrapper that loads the two headline runs from it (the file's third
+//! run, the Tahoe-style stall response, belongs to the bench-side E1
+//! rendering and the CI scenario matrix).
+//!
 //! ```text
 //! cargo run --release --example figure1_send_stalls
 //! ```
@@ -11,11 +16,22 @@
 //! never stalls.
 
 use rss_core::plot::{ascii_chart, Series};
-use rss_core::{run, Scenario};
+use rss_core::{run, ScenarioSpec};
+use std::path::Path;
 
 fn main() {
-    let standard = run(&Scenario::paper_testbed_standard());
-    let restricted = run(&Scenario::paper_testbed_restricted());
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let spec = ScenarioSpec::load(&root.join("scenarios/figure1.json")).expect("load scenario");
+    let runs = spec.expand().expect("expand scenario");
+    let scenario = |label: &str| {
+        &runs
+            .iter()
+            .find(|r| r.label == label)
+            .expect("run label")
+            .scenario
+    };
+    let standard = run(scenario("standard_cwr"));
+    let restricted = run(scenario("restricted"));
 
     let stair = |r: &rss_core::RunReport| -> Vec<(f64, f64)> {
         r.flows[0]

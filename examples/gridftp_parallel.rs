@@ -3,30 +3,27 @@
 //! (they built GridFTP, and the send-stall pathology surfaced in their
 //! IGrid2002 demo).
 //!
+//! The workload is data — `scenarios/gridftp_parallel.json` holds the two
+//! runs (standard, per-stream-retuned restricted) and the stream-count
+//! sweep; this example is a thin wrapper that expands the file and renders
+//! the completion table. `rss run scenarios/gridftp_parallel.json` executes
+//! the identical simulations.
+//!
 //! ```text
 //! cargo run --release --example gridftp_parallel
 //! ```
 
 use rss_core::plot::ascii_table;
-use rss_core::{
-    run, stripe_bytes, AppModel, CcAlgorithm, FlowSpec, RssConfig, Scenario, SimDuration, SimTime,
-};
+use rss_core::{run_many, RunReport, Scenario, ScenarioSpec};
+use std::path::Path;
 
-fn transfer(algo: CcAlgorithm, streams: u32, total: u64) -> (Option<f64>, u64, f64) {
-    let mut sc = Scenario::paper_testbed(algo);
-    sc.flows = stripe_bytes(total, streams)
-        .into_iter()
-        .map(|bytes| FlowSpec {
-            algo,
-            app: AppModel::Bulk { bytes: Some(bytes) },
-            start: SimTime::ZERO,
-        })
-        .collect();
-    sc.shared_sender_host = true;
-    sc.stop_when_complete = true;
-    sc.duration = SimDuration::from_secs(60);
-    sc.web100_stride = 16;
-    let r = run(&sc);
+/// Bytes the run's application layer commits (the striped transfer size).
+fn committed_bytes(sc: &Scenario) -> u64 {
+    sc.flows.iter().filter_map(|f| f.app.total_bytes()).sum()
+}
+
+/// Worst completion time across the stripes, total stalls, Jain fairness.
+fn summarize(r: &RunReport) -> (Option<f64>, u64, f64) {
     let completion = r
         .flows
         .iter()
@@ -37,31 +34,34 @@ fn transfer(algo: CcAlgorithm, streams: u32, total: u64) -> (Option<f64>, u64, f
 }
 
 fn main() {
-    let total: u64 = 100 * 1024 * 1024;
-    println!("striping a 100 MB transfer over N parallel streams, one sending host\n");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let spec =
+        ScenarioSpec::load(&root.join("scenarios/gridftp_parallel.json")).expect("load scenario");
+    let expanded = spec.expand().expect("expand scenario");
+
+    let scenarios: Vec<_> = expanded.iter().map(|r| r.scenario.clone()).collect();
+    let reports = run_many(&scenarios);
+
+    // The transfer size comes from the scenario file, not a constant here.
+    let total = committed_bytes(&expanded[0].scenario);
+    println!(
+        "striping a {} MB transfer over N parallel streams, one sending host\n",
+        total / (1024 * 1024)
+    );
     let mut rows = Vec::new();
-    for streams in [1u32, 2, 4, 8] {
-        for (label, algo) in [
-            ("standard", CcAlgorithm::Reno),
-            // Per-flow gains: each stream's loop is tuned to its ACK share
-            // of the shared host (see EXPERIMENTS.md E10).
-            (
-                "restricted",
-                CcAlgorithm::Restricted(RssConfig::tuned_for(100_000_000 / streams as u64, 1500)),
-            ),
-        ] {
-            let (done, stalls, jain) = transfer(algo, streams, total);
-            rows.push(vec![
-                streams.to_string(),
-                label.to_string(),
-                done.map(|t| format!("{t:.2} s"))
-                    .unwrap_or_else(|| "unfinished".into()),
-                done.map(|t| format!("{:.2}", total as f64 * 8.0 / t / 1e6))
-                    .unwrap_or_else(|| "-".into()),
-                stalls.to_string(),
-                format!("{jain:.3}"),
-            ]);
-        }
+    for (er, report) in expanded.iter().zip(&reports) {
+        let total = committed_bytes(&er.scenario);
+        let (done, stalls, jain) = summarize(report);
+        rows.push(vec![
+            er.scenario.flows.len().to_string(),
+            er.label.clone(),
+            done.map(|t| format!("{t:.2} s"))
+                .unwrap_or_else(|| "unfinished".into()),
+            done.map(|t| format!("{:.2}", total as f64 * 8.0 / t / 1e6))
+                .unwrap_or_else(|| "-".into()),
+            stalls.to_string(),
+            format!("{jain:.3}"),
+        ]);
     }
     println!(
         "{}",

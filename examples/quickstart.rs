@@ -1,19 +1,34 @@
-//! Quickstart: the paper's headline experiment in a dozen lines.
+//! Quickstart: the paper's headline experiment, loaded from a scenario file.
 //!
-//! Runs the §4 testbed (100 Mbit/s, 60 ms RTT, txqueuelen 100, 25 s) twice —
-//! standard TCP and Restricted Slow-Start — and prints throughput and
-//! send-stall counts.
+//! The testbed pair (§4: 100 Mbit/s, 60 ms RTT, txqueuelen 100, 25 s;
+//! standard TCP vs Restricted Slow-Start) lives in
+//! `scenarios/quickstart.json` — this example is a thin wrapper that loads
+//! the file, runs it, and prints throughput and send-stall counts. The same
+//! file drives `rss run scenarios/quickstart.json` and the CI scenario
+//! matrix; a workspace test asserts it expands to exactly
+//! `Scenario::paper_testbed_standard()` / `paper_testbed_restricted()`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use rss_core::plot::fmt_bps;
-use rss_core::{run, Scenario};
+use rss_core::{run, ScenarioSpec};
+use std::path::Path;
 
 fn main() {
-    let standard = run(&Scenario::paper_testbed_standard());
-    let restricted = run(&Scenario::paper_testbed_restricted());
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let spec = ScenarioSpec::load(&root.join("scenarios/quickstart.json")).expect("load scenario");
+    let runs = spec.expand().expect("expand scenario");
+    let scenario = |label: &str| {
+        &runs
+            .iter()
+            .find(|r| r.label == label)
+            .expect("run label")
+            .scenario
+    };
+    let standard = run(scenario("standard"));
+    let restricted = run(scenario("restricted"));
 
     let s = &standard.flows[0];
     let r = &restricted.flows[0];
@@ -49,8 +64,9 @@ fn main() {
         restricted.sender_nic_utilization * 100.0
     );
 
-    // Full machine-readable reports, alongside the CSV artifacts.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    // Full machine-readable reports, alongside the CSV artifacts. A fresh
+    // clone has no results/ directory — create it before writing.
+    let dir = root.join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("quickstart_run.json");
     let json = format!(

@@ -1,0 +1,243 @@
+//! `rss` — the scenario-file runner.
+//!
+//! Scenarios are data (`scenarios/*.json`, schema in `rss_core::spec`); this
+//! CLI expands them (sweep grids included), executes them deterministically
+//! in parallel with duplicate cells deduped, and writes the per-flow summary
+//! CSV the golden-gated CI matrix diffs.
+//!
+//! ```text
+//! rss run scenarios/quickstart.json [--out results]
+//! rss list [scenarios]
+//! rss validate scenarios/*.json
+//! ```
+
+use restricted_slow_start::plot::ascii_table;
+use restricted_slow_start::{results_csv, run_many_memo, ScenarioSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rss run <scenario.json> [--out <dir>]   execute and write artifacts\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss validate <scenario.json>...         parse + semantic-check, no execution"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => return usage(),
+                }
+            }
+            a if file.is_none() => file = Some(PathBuf::from(a)),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(file) = file else { return usage() };
+
+    let spec = match ScenarioSpec::load(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runs = match spec.expand() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenarios: Vec<_> = runs.iter().map(|r| r.scenario.clone()).collect();
+    let (reports, unique) = run_many_memo(&scenarios);
+    println!(
+        "{}: {} run(s) across {} cell(s), {} unique simulation(s)",
+        spec.name,
+        runs.len(),
+        spec.cells(),
+        unique
+    );
+    if let Some(comment) = &spec.comment {
+        println!("{comment}");
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .zip(&reports)
+        .map(|(er, rep)| {
+            let sc = &er.scenario;
+            vec![
+                er.cell.to_string(),
+                er.label.clone(),
+                format!("{}", sc.path.rate_bps as f64 / 1e6),
+                format!("{}", sc.path.rtt.as_nanos() as f64 / 1e6),
+                sc.host.txqueuelen.to_string(),
+                sc.flows.len().to_string(),
+                format!("{:.2}", rep.total_goodput_bps() / 1e6),
+                rep.total_stalls().to_string(),
+                rep.events_processed.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "cell",
+                "run",
+                "rate Mbit/s",
+                "RTT ms",
+                "txq",
+                "flows",
+                "goodput Mbit/s",
+                "stalls",
+                "events"
+            ],
+            &rows
+        )
+    );
+
+    // Artifacts: the summary CSV always, full JSON reports on request. The
+    // output directory may not exist on a fresh clone — create it first.
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let csv_path = out_dir.join(spec.csv_name());
+    let csv = results_csv(&spec, &runs, &reports);
+    if let Err(e) = std::fs::write(&csv_path, csv) {
+        eprintln!("error: write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", csv_path.display());
+
+    if let Some(json_name) = spec.output.as_ref().and_then(|o| o.json.clone()) {
+        // Labels/names are user-controlled: escape them properly instead of
+        // interpolating raw (a quote in a label must not break the artifact).
+        let mut doc = String::from("{\"scenario\":");
+        serde::write_json_escaped(&spec.name, &mut doc);
+        doc.push_str(",\"runs\":[");
+        for (i, (er, rep)) in runs.iter().zip(&reports).enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str("{\"label\":");
+            serde::write_json_escaped(&er.label, &mut doc);
+            doc.push_str(&format!(
+                ",\"cell\":{},\"report\":{}}}",
+                er.cell,
+                rep.to_json()
+            ));
+        }
+        doc.push_str("]}\n");
+        let json_path = out_dir.join(json_name);
+        if let Err(e) = std::fs::write(&json_path, doc) {
+            eprintln!("error: write {}: {e}", json_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", json_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn scenario_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("scenarios"));
+    let files = scenario_files(&dir);
+    if files.is_empty() {
+        eprintln!("no scenario files in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut rows = Vec::new();
+    for f in &files {
+        match ScenarioSpec::load(f) {
+            Ok(spec) => rows.push(vec![
+                spec.name.clone(),
+                spec.runs.len().to_string(),
+                spec.cells().to_string(),
+                f.display().to_string(),
+                spec.comment.clone().unwrap_or_default(),
+            ]),
+            Err(e) => rows.push(vec![
+                "<invalid>".into(),
+                "-".into(),
+                "-".into(),
+                f.display().to_string(),
+                e.to_string(),
+            ]),
+        }
+    }
+    println!(
+        "{}",
+        ascii_table(&["name", "runs", "cells", "file", "comment"], &rows)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let mut failed = false;
+    for arg in args {
+        let path = Path::new(arg);
+        // `load` errors already carry the file name; prefix it onto the
+        // semantic (expand-time) errors only.
+        let checked = ScenarioSpec::load(path).and_then(|spec| {
+            spec.validate()
+                .map(|()| spec)
+                .map_err(|e| restricted_slow_start::SpecError {
+                    msg: format!("{}: {e}", path.display()),
+                })
+        });
+        match checked {
+            Ok(spec) => println!(
+                "ok: {} ({} run(s) × {} cell(s))",
+                path.display(),
+                spec.runs.len(),
+                spec.cells()
+            ),
+            Err(e) => {
+                eprintln!("invalid: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

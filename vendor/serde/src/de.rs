@@ -1,0 +1,659 @@
+//! The deserialization half of the vendored serde stand-in: a small JSON
+//! parser plus the machinery `#[derive(Deserialize)]` targets.
+//!
+//! Design goals, in order: *useful errors* (every failure carries the JSON
+//! path and source line — `at $.runs[0].tcp.mss (line 14): …`), *exact
+//! round-trips* (numbers keep their source lexeme, so `u64::MAX` and
+//! shortest-repr `f64`s survive `Serialize → Deserialize` bit-for-bit), and
+//! *no dependencies* (the build environment has no registry access).
+//!
+//! The data model mirrors the `Serialize` half: structs are objects, newtype
+//! structs collapse to their inner value, tuple structs/tuples are arrays,
+//! unit enum variants are `"Variant"` and payload variants are
+//! `{"Variant": …}` (serde's externally-tagged form). Unknown object fields
+//! and unknown variants are hard errors — scenario files fail loudly on
+//! typos instead of silently ignoring a knob.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// One parsed JSON value, annotated with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Value {
+    pub(crate) kind: Kind,
+    line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Kind {
+    Null,
+    Bool(bool),
+    /// Numbers keep the raw lexeme so integer width and float precision are
+    /// decided by the target type, not by an intermediate `f64`.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The 1-based source line this value started on.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// A short noun describing the JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self.kind {
+            Kind::Null => "null",
+            Kind::Bool(_) => "boolean",
+            Kind::Num(_) => "number",
+            Kind::Str(_) => "string",
+            Kind::Arr(_) => "array",
+            Kind::Obj(_) => "object",
+        }
+    }
+
+    /// The object entries, or a type-mismatch error.
+    pub fn expect_object(&self, path: &Path) -> Result<&[(String, Value)], Error> {
+        match &self.kind {
+            Kind::Obj(entries) => Ok(entries),
+            _ => Err(Error::type_mismatch("object", self, path)),
+        }
+    }
+
+    /// The array elements, or a type-mismatch error.
+    pub fn expect_array(&self, path: &Path) -> Result<&[Value], Error> {
+        match &self.kind {
+            Kind::Arr(items) => Ok(items),
+            _ => Err(Error::type_mismatch("array", self, path)),
+        }
+    }
+
+    /// The raw number lexeme, or a type-mismatch error naming `target`.
+    pub fn expect_number(&self, target: &str, path: &Path) -> Result<&str, Error> {
+        match &self.kind {
+            Kind::Num(raw) => Ok(raw),
+            _ => Err(Error::type_mismatch(target, self, path)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and paths
+// ---------------------------------------------------------------------------
+
+/// A deserialization failure: where (JSON path + source line) and what.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// JSON path of the failing value, e.g. `$.runs[0].tcp.mss`.
+    pub path: String,
+    /// 1-based source line of the failing value (0 = unknown).
+    pub line: u32,
+    /// Human-readable description of the failure.
+    pub msg: String,
+}
+
+impl Error {
+    /// Build an error at an explicit location.
+    pub fn new(line: u32, path: &Path, msg: impl Into<String>) -> Self {
+        Error {
+            path: path.render(),
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    fn parse(line: u32, msg: impl Into<String>) -> Self {
+        Error {
+            path: "$".into(),
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// "expected X, found Y" at `v`'s location.
+    pub fn type_mismatch(expected: &str, v: &Value, path: &Path) -> Self {
+        Error::new(
+            v.line(),
+            path,
+            format!("expected {expected}, found {}", v.type_name()),
+        )
+    }
+
+    /// An object field not in the type's field list.
+    pub fn unknown_field(found: &str, allowed: &[&str], line: u32, path: &Path) -> Self {
+        Error::new(
+            line,
+            path,
+            format!(
+                "unknown field `{found}` (expected one of: {})",
+                allowed.join(", ")
+            ),
+        )
+    }
+
+    /// An enum tag not in the type's variant list.
+    pub fn unknown_variant(found: &str, allowed: &[&str], line: u32, path: &Path) -> Self {
+        Error::new(
+            line,
+            path,
+            format!(
+                "unknown variant `{found}` (expected one of: {})",
+                allowed.join(", ")
+            ),
+        )
+    }
+
+    /// A required field absent from the object at `line`.
+    pub fn missing_field(field: &str, line: u32, path: &Path) -> Self {
+        Error::new(line, path, format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "at {}: {}", self.path, self.msg)
+        } else {
+            write!(f, "at {} (line {}): {}", self.path, self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The JSON path to the value currently being deserialized, maintained as a
+/// stack by the generated code.
+#[derive(Debug, Default)]
+pub struct Path(Vec<Seg>);
+
+#[derive(Debug)]
+enum Seg {
+    Field(&'static str),
+    Index(usize),
+}
+
+impl Path {
+    /// The root path (`$`).
+    pub fn root() -> Self {
+        Path(Vec::new())
+    }
+
+    /// Descend into an object field or enum-variant payload.
+    pub fn push_field(&mut self, name: &'static str) {
+        self.0.push(Seg::Field(name));
+    }
+
+    /// Descend into an array element.
+    pub fn push_index(&mut self, i: usize) {
+        self.0.push(Seg::Index(i));
+    }
+
+    /// Ascend one level.
+    pub fn pop(&mut self) {
+        self.0.pop();
+    }
+
+    /// Render as `$.a.b[3].c`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("$");
+        for seg in &self.0 {
+            match seg {
+                Seg::Field(name) => {
+                    out.push('.');
+                    out.push_str(name);
+                }
+                Seg::Index(i) => {
+                    out.push_str(&format!("[{i}]"));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers targeted by the derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Verify `v` is an object whose keys all appear in `allowed`, with no
+/// duplicates. The derive calls this before extracting fields so typos are
+/// reported against the full field list.
+pub fn check_fields(v: &Value, allowed: &[&str], path: &Path) -> Result<(), Error> {
+    let entries = v.expect_object(path)?;
+    for (i, (k, val)) in entries.iter().enumerate() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(Error::unknown_field(k, allowed, val.line(), path));
+        }
+        if entries[..i].iter().any(|(prev, _)| prev == k) {
+            return Err(Error::new(
+                val.line(),
+                path,
+                format!("duplicate field `{k}`"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize field `name` from object `v`. A missing field defers to
+/// [`Deserialize::deserialize_missing`], which errors for required types and
+/// yields `None` for `Option`.
+pub fn field<'de, T: Deserialize<'de>>(
+    v: &Value,
+    name: &'static str,
+    path: &mut Path,
+) -> Result<T, Error> {
+    let entries = v.expect_object(path)?;
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, val)) => {
+            path.push_field(name);
+            let r = T::deserialize_json(val, path);
+            path.pop();
+            r
+        }
+        None => T::deserialize_missing(name, v.line(), path),
+    }
+}
+
+/// Verify `v` is an array of exactly `n` elements (tuples, tuple structs).
+pub fn elements<'a>(v: &'a Value, n: usize, path: &Path) -> Result<&'a [Value], Error> {
+    let items = v.expect_array(path)?;
+    if items.len() != n {
+        return Err(Error::new(
+            v.line(),
+            path,
+            format!("expected an array of {n} elements, found {}", items.len()),
+        ));
+    }
+    Ok(items)
+}
+
+/// Deserialize array element `i` (with path tracking).
+pub fn element<'de, T: Deserialize<'de>>(v: &Value, i: usize, path: &mut Path) -> Result<T, Error> {
+    path.push_index(i);
+    let r = T::deserialize_json(v, path);
+    path.pop();
+    r
+}
+
+/// Verify `v` is JSON `null` (unit structs, unit variants in object form).
+pub fn expect_null(v: &Value, path: &Path) -> Result<(), Error> {
+    match v.kind {
+        Kind::Null => Ok(()),
+        _ => Err(Error::type_mismatch("null", v, path)),
+    }
+}
+
+/// The two externally-tagged enum encodings.
+pub enum EnumForm<'a> {
+    /// `"Variant"` — a unit variant.
+    Unit(&'a str),
+    /// `{"Variant": payload}` — a payload-carrying variant.
+    Tagged(&'a str, &'a Value),
+}
+
+/// Classify `v` as one of the two enum encodings.
+pub fn enum_form<'a>(v: &'a Value, path: &Path) -> Result<EnumForm<'a>, Error> {
+    match &v.kind {
+        Kind::Str(s) => Ok(EnumForm::Unit(s)),
+        Kind::Obj(entries) if entries.len() == 1 => {
+            Ok(EnumForm::Tagged(&entries[0].0, &entries[0].1))
+        }
+        Kind::Obj(entries) => Err(Error::new(
+            v.line(),
+            path,
+            format!(
+                "an enum must be a single-key object, found {} keys",
+                entries.len()
+            ),
+        )),
+        _ => Err(Error::type_mismatch(
+            "a variant string or single-key object",
+            v,
+            path,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Deserialize trait (re-exported at the crate root)
+// ---------------------------------------------------------------------------
+
+/// Deserialization from parsed JSON (stand-in for `serde::Deserialize`).
+///
+/// The lifetime parameter mirrors real serde's signature so call sites and
+/// bounds (`for<'de> Deserialize<'de>`) port over unchanged; this stand-in
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Build `Self` from the parsed value at `path`.
+    fn deserialize_json(v: &Value, path: &mut Path) -> Result<Self, Error>;
+
+    /// Called when a struct field of this type is absent. Errors by default;
+    /// `Option<T>` overrides it to produce `None` (matching real serde,
+    /// where optional fields may be omitted).
+    fn deserialize_missing(field: &'static str, line: u32, path: &Path) -> Result<Self, Error> {
+        Err(Error::missing_field(field, line, path))
+    }
+}
+
+/// Parse a JSON document and deserialize a `T` from it.
+pub fn from_json_str<'de, T: Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let value = parse(input)?;
+    T::deserialize_json(&value, &mut Path::root())
+}
+
+// ---------------------------------------------------------------------------
+// The parser
+// ---------------------------------------------------------------------------
+
+/// Parse one JSON document (object, array, or scalar) with nothing but
+/// whitespace after it.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(
+            p.line,
+            format!(
+                "unexpected trailing characters starting with `{}`",
+                p.peek_desc()
+            ),
+        ));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_desc(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => (b as char).to_string(),
+            Some(b) => format!("byte 0x{b:02x}"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(Error::parse(
+                self.line,
+                format!("expected `{}`, found `{}`", want as char, self.peek_desc()),
+            )),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.line,
+                format!("expected `{word}`, found `{}`", self.peek_desc()),
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        let line = self.line;
+        let kind = match self.peek() {
+            Some(b'{') => self.object()?,
+            Some(b'[') => self.array()?,
+            Some(b'"') => Kind::Str(self.string()?),
+            Some(b't') => {
+                self.keyword("true")?;
+                Kind::Bool(true)
+            }
+            Some(b'f') => {
+                self.keyword("false")?;
+                Kind::Bool(false)
+            }
+            Some(b'n') => {
+                self.keyword("null")?;
+                Kind::Null
+            }
+            Some(b'-' | b'0'..=b'9') => Kind::Num(self.number()?),
+            Some(_) => {
+                return Err(Error::parse(
+                    self.line,
+                    format!("expected a JSON value, found `{}`", self.peek_desc()),
+                ))
+            }
+            None => {
+                return Err(Error::parse(
+                    self.line,
+                    "unexpected end of input (truncated document?)",
+                ))
+            }
+        };
+        Ok(Value { kind, line })
+    }
+
+    fn object(&mut self) -> Result<Kind, Error> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Kind::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Kind::Obj(entries));
+                }
+                _ => {
+                    return Err(Error::parse(
+                        self.line,
+                        format!(
+                            "expected `,` or `}}` in object, found `{}`",
+                            self.peek_desc()
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Kind, Error> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Kind::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Kind::Arr(items));
+                }
+                _ => {
+                    return Err(Error::parse(
+                        self.line,
+                        format!("expected `,` or `]` in array, found `{}`", self.peek_desc()),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(Error::parse(
+                        self.line,
+                        "unterminated string (truncated document?)",
+                    ))
+                }
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let c = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: require a following \uXXXX low half.
+                            self.keyword("\\u")?;
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err(Error::parse(self.line, "invalid low surrogate"));
+                            }
+                            let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                            char::from_u32(code)
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        out.push(c.ok_or_else(|| {
+                            Error::parse(self.line, "invalid \\u escape (not a scalar value)")
+                        })?);
+                    }
+                    other => {
+                        // `other` is the consumed escape byte itself;
+                        // peek_desc() would describe the character after it.
+                        let desc = match other {
+                            Some(b) if b.is_ascii_graphic() => (b as char).to_string(),
+                            Some(b) => format!("byte 0x{b:02x}"),
+                            None => "end of input".into(),
+                        };
+                        return Err(Error::parse(
+                            self.line,
+                            format!("invalid escape `\\{desc}`"),
+                        ));
+                    }
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(Error::parse(
+                        self.line,
+                        "unescaped control character in string",
+                    ))
+                }
+                Some(b) => {
+                    // Copy the raw UTF-8 byte through; input is a &str so
+                    // multi-byte sequences are already valid.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..start + len]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => {
+                    return Err(Error::parse(
+                        self.line,
+                        "invalid \\u escape (need 4 hex digits)",
+                    ))
+                }
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<String, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.bump();
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Validate the lexeme once here so downstream integer/float parsing
+        // only decides width, not grammar.
+        if raw.parse::<f64>().is_err() {
+            return Err(Error::parse(self.line, format!("invalid number `{raw}`")));
+        }
+        Ok(raw.to_string())
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}

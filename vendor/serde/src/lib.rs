@@ -1,18 +1,26 @@
 //! Offline stand-in for `serde`.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the surface it consumes. Unlike the original marker-only stub,
-//! [`Serialize`] is now a *real* trait: it renders the value as JSON through
-//! [`Serialize::serialize_json`], and `#[derive(Serialize)]` (from the
-//! vendored `serde_derive`) generates field-by-field implementations that
+//! vendors the surface it consumes. Both halves are now *real* traits:
+//! [`Serialize`] renders the value as JSON through
+//! [`Serialize::serialize_json`], and [`Deserialize`] rebuilds it from a
+//! parsed JSON document via [`from_json_str`] (see the [`de`] module for the
+//! parser and error model — every failure carries the JSON path and source
+//! line). `#[derive(Serialize)]` / `#[derive(Deserialize)]` (from the
+//! vendored `serde_derive`) generate field-by-field implementations that
 //! follow serde's externally-tagged data model (structs as objects, newtype
 //! structs as their inner value, enum variants as `"Variant"` /
-//! `{"Variant": ...}`). `Deserialize` remains a marker — nothing in the
-//! workspace parses yet.
+//! `{"Variant": ...}`). Optional (`Option<T>`) fields may be omitted and
+//! deserialize to `None`; unknown fields and variants are hard errors.
 //!
 //! When a registry becomes reachable, swap this path dependency for the real
-//! `serde` + `serde_json`; call sites that use [`to_json_string`] are the
-//! only ones that need to migrate (to `serde_json::to_string`).
+//! `serde` + `serde_json`; call sites that use [`to_json_string`] /
+//! [`from_json_str`] are the only ones that need to migrate (to
+//! `serde_json::to_string` / `serde_json::from_str`).
+
+pub mod de;
+
+pub use de::{from_json_str, Deserialize};
 
 /// Render a value as a JSON string.
 pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
@@ -26,9 +34,6 @@ pub trait Serialize {
     /// Append the JSON encoding of `self` to `out`.
     fn serialize_json(&self, out: &mut String);
 }
-
-/// Marker trait mirroring `serde::Deserialize`'s name.
-pub trait Deserialize<'de> {}
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -197,5 +202,125 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMa
             v.serialize_json(out);
         }
         out.push('}');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for the primitive/stdlib types the workspace uses.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_deserialize {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+                let raw = v.expect_number(stringify!($t), path)?;
+                raw.parse::<$t>().map_err(|_| {
+                    de::Error::new(
+                        v.line(),
+                        path,
+                        format!("`{raw}` is not a valid {}", stringify!($t)),
+                    )
+                })
+            }
+        }
+    )*};
+}
+
+int_deserialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        // The parser validated the lexeme as a float already.
+        Ok(v.expect_number("f64", path)?
+            .parse::<f64>()
+            .expect("validated number"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        f64::deserialize_json(v, path).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        match &v.kind {
+            de::Kind::Bool(b) => Ok(*b),
+            _ => Err(de::Error::type_mismatch("boolean", v, path)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        match &v.kind {
+            de::Kind::Str(s) => Ok(s.clone()),
+            _ => Err(de::Error::type_mismatch("string", v, path)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        match &v.kind {
+            de::Kind::Null => Ok(None),
+            _ => T::deserialize_json(v, path).map(Some),
+        }
+    }
+
+    // An absent optional field is `None`, matching real serde.
+    fn deserialize_missing(
+        _field: &'static str,
+        _line: u32,
+        _path: &de::Path,
+    ) -> Result<Self, de::Error> {
+        Ok(None)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        let items = v.expect_array(path)?;
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            out.push(de::element::<T>(item, i, path)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($($n:tt $t:ident),+; $len:expr))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+                let items = de::elements(v, $len, path)?;
+                Ok(($(de::element::<$t>(&items[$n], $n, path)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_deserialize! {
+    (0 A; 1)
+    (0 A, 1 B; 2)
+    (0 A, 1 B, 2 C; 3)
+    (0 A, 1 B, 2 C, 3 D; 4)
+}
+
+impl<'de, K: std::str::FromStr + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize_json(v: &de::Value, path: &mut de::Path) -> Result<Self, de::Error> {
+        let entries = v.expect_object(path)?;
+        let mut out = std::collections::BTreeMap::new();
+        for (k, val) in entries {
+            let key = k
+                .parse::<K>()
+                .map_err(|_| de::Error::new(val.line(), path, format!("invalid map key `{k}`")))?;
+            let value = V::deserialize_json(val, path)?;
+            out.insert(key, value);
+        }
+        Ok(out)
     }
 }

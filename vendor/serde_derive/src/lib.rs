@@ -1,16 +1,17 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! `#[derive(Serialize)]` generates a real implementation of the vendored
-//! `serde::Serialize` trait (JSON via `serialize_json`), following serde's
-//! externally-tagged data model: named structs become objects, newtype
-//! structs collapse to their inner value, tuple structs become arrays, unit
-//! enum variants become `"Variant"` and payload variants become
-//! `{"Variant": ...}`. The derive parses the item's token stream directly —
-//! no `syn`/`quote`, since the build environment has no registry access —
-//! which covers the shapes this workspace derives on: non-generic structs
-//! and enums with named, tuple or unit fields.
-//!
-//! `#[derive(Deserialize)]` remains a no-op marker; nothing parses yet.
+//! `#[derive(Serialize)]` and `#[derive(Deserialize)]` generate real
+//! implementations of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (JSON via `serialize_json` / `deserialize_json`), following
+//! serde's externally-tagged data model: named structs become objects,
+//! newtype structs collapse to their inner value, tuple structs become
+//! arrays, unit enum variants become `"Variant"` and payload variants become
+//! `{"Variant": ...}`. Deserialization rejects unknown fields and variants
+//! with path-qualified errors, and treats absent `Option` fields as `None`.
+//! The derives parse the item's token stream directly — no `syn`/`quote`,
+//! since the build environment has no registry access — which covers the
+//! shapes this workspace derives on: non-generic structs and enums with
+//! named, tuple or unit fields.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -21,10 +22,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     generate(&item).parse().expect("generated impl parses")
 }
 
-/// No-op `#[derive(Deserialize)]`.
+/// Generate `serde::Deserialize` (JSON parsing) for a struct or enum.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
 }
 
 enum Body {
@@ -295,6 +299,120 @@ fn generate(item: &Item) -> String {
         "#[automatically_derived]\n\
          impl serde::Serialize for {name} {{\n\
          fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Emit the expression building one named-field body (`Type` or
+/// `Type::Variant`) from the object value `src`: an unknown-field check
+/// followed by per-field extraction (absent `Option` fields become `None`).
+fn named_build_code(constructor: &str, fields: &[String], src: &str) -> String {
+    let allowed: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    let mut code = format!(
+        "{{\n\
+         serde::de::check_fields({src}, &[{}], __path)?;\n\
+         ::std::result::Result::Ok({constructor} {{\n",
+        allowed.join(", ")
+    );
+    for f in fields {
+        code.push_str(&format!(
+            "{f}: serde::de::field({src}, \"{f}\", __path)?,\n"
+        ));
+    }
+    code.push_str("})\n}\n");
+    code
+}
+
+/// Emit the expression building one tuple body from the array value `src`.
+fn tuple_build_code(constructor: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        // Newtype: the payload is the inner value itself.
+        return format!(
+            "::std::result::Result::Ok({constructor}(serde::Deserialize::deserialize_json({src}, __path)?))\n"
+        );
+    }
+    let mut code = format!(
+        "{{\n\
+         let __items = serde::de::elements({src}, {n}, __path)?;\n\
+         ::std::result::Result::Ok({constructor}(\n"
+    );
+    for k in 0..n {
+        code.push_str(&format!(
+            "serde::de::element(&__items[{k}], {k}, __path)?,\n"
+        ));
+    }
+    code.push_str("))\n}\n");
+    code
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => named_build_code(name, fields, "__v"),
+        Body::Tuple(n) => tuple_build_code(name, *n, "__v"),
+        Body::Unit => format!(
+            "{{ serde::de::expect_null(__v, __path)?; ::std::result::Result::Ok({name}) }}\n"
+        ),
+        Body::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+            let list = variant_names.join(", ");
+            // String form: unit variants only.
+            let mut unit_arms = String::new();
+            for (v, vbody) in variants {
+                if matches!(vbody, Body::Unit) {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            // Object form: payload variants (plus `{\"Unit\": null}` for
+            // symmetry with what a hand-written encoder might emit).
+            let mut tagged_arms = String::new();
+            for (v, vbody) in variants {
+                let build = match vbody {
+                    Body::Unit => format!(
+                        "{{ serde::de::expect_null(__inner, __path)?; ::std::result::Result::Ok({name}::{v}) }}\n"
+                    ),
+                    Body::Named(fields) => {
+                        named_build_code(&format!("{name}::{v}"), fields, "__inner")
+                    }
+                    Body::Tuple(n) => tuple_build_code(&format!("{name}::{v}"), *n, "__inner"),
+                    Body::Enum(_) => unreachable!("nested enum body"),
+                };
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     __path.push_field(\"{v}\");\n\
+                     let __r = {build};\n\
+                     __path.pop();\n\
+                     __r\n\
+                     }}\n"
+                ));
+            }
+            format!(
+                "{{\n\
+                 const __VARIANTS: &[&str] = &[{list}];\n\
+                 match serde::de::enum_form(__v, __path)? {{\n\
+                 serde::de::EnumForm::Unit(__tag) => match __tag {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(serde::de::Error::unknown_variant(__other, __VARIANTS, __v.line(), __path)),\n\
+                 }},\n\
+                 serde::de::EnumForm::Tagged(__tag, __inner) => match __tag {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(serde::de::Error::unknown_variant(__other, __VARIANTS, __v.line(), __path)),\n\
+                 }},\n\
+                 }}\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_json(__v: &serde::de::Value, __path: &mut serde::de::Path) -> ::std::result::Result<Self, serde::de::Error> {{\n\
          {body}\
          }}\n\
          }}\n"
