@@ -1,9 +1,10 @@
 //! E2 — the §4 headline: "our scheme is able to achieve 40 % improvement in
 //! throughput compared to the standard TCP" on the 100 Mbit/s, 60 ms
-//! ANL↔LBNL path.
+//! ANL↔LBNL path — plus the registry's extension variants on the same
+//! testbed for comparison (currently SSthreshless Start, arXiv:1401.7146).
 
 use rss_core::plot::{ascii_table, fmt_bps};
-use rss_core::{run, RunReport, Scenario};
+use rss_core::{run, CcAlgorithm, FlowReport, RunReport, Scenario, SslConfig};
 
 /// Result of the headline-throughput experiment.
 #[derive(Debug, Clone)]
@@ -12,6 +13,9 @@ pub struct HeadlineResult {
     pub standard: RunReport,
     /// Restricted Slow-Start run.
     pub restricted: RunReport,
+    /// SSthreshless Start run (the registry's first extension variant; it
+    /// probes the same pipe delay-based and must also avoid the stalls).
+    pub ssthreshless: RunReport,
 }
 
 /// Run E2 on the paper testbed.
@@ -19,6 +23,9 @@ pub fn run_headline() -> HeadlineResult {
     HeadlineResult {
         standard: run(&Scenario::paper_testbed_standard()),
         restricted: run(&Scenario::paper_testbed_restricted()),
+        ssthreshless: run(&Scenario::paper_testbed(CcAlgorithm::Ssthreshless(
+            SslConfig::default(),
+        ))),
     }
 }
 
@@ -29,27 +36,28 @@ impl HeadlineResult {
         self.restricted.flows[0].goodput_bps / self.standard.flows[0].goodput_bps - 1.0
     }
 
+    /// Throughput improvement of SSthreshless Start over standard.
+    pub fn improvement_ssthreshless(&self) -> f64 {
+        self.ssthreshless.flows[0].goodput_bps / self.standard.flows[0].goodput_bps - 1.0
+    }
+
+    fn row(label: &str, f: &FlowReport) -> Vec<String> {
+        vec![
+            label.to_string(),
+            fmt_bps(f.goodput_bps),
+            format!("{:.1}%", f.utilization * 100.0),
+            f.vars.send_stall.to_string(),
+            f.vars.congestion_signals.to_string(),
+            (f.vars.max_cwnd / 1448).to_string(),
+        ]
+    }
+
     /// Render the headline table.
     pub fn print(&self) -> String {
-        let s = &self.standard.flows[0];
-        let r = &self.restricted.flows[0];
         let rows = vec![
-            vec![
-                "standard".to_string(),
-                fmt_bps(s.goodput_bps),
-                format!("{:.1}%", s.utilization * 100.0),
-                s.vars.send_stall.to_string(),
-                s.vars.congestion_signals.to_string(),
-                (s.vars.max_cwnd / 1448).to_string(),
-            ],
-            vec![
-                "restricted".to_string(),
-                fmt_bps(r.goodput_bps),
-                format!("{:.1}%", r.utilization * 100.0),
-                r.vars.send_stall.to_string(),
-                r.vars.congestion_signals.to_string(),
-                (r.vars.max_cwnd / 1448).to_string(),
-            ],
+            Self::row("standard", &self.standard.flows[0]),
+            Self::row("restricted", &self.restricted.flows[0]),
+            Self::row("ssthreshless", &self.ssthreshless.flows[0]),
         ];
         let mut out = ascii_table(
             &[
@@ -63,31 +71,33 @@ impl HeadlineResult {
             &rows,
         );
         out.push_str(&format!(
-            "\nimprovement: {:+.1}%  (paper: ≈ +40%)\n",
-            self.improvement() * 100.0
+            "\nimprovement: {:+.1}%  (paper: ≈ +40%)   ssthreshless: {:+.1}%\n",
+            self.improvement() * 100.0,
+            self.improvement_ssthreshless() * 100.0
         ));
         out
     }
 
-    /// CSV row pair.
+    /// CSV rows, one per algorithm.
     pub fn to_csv(&self) -> String {
-        let s = &self.standard.flows[0];
-        let r = &self.restricted.flows[0];
-        format!(
-            "algorithm,goodput_bps,utilization,send_stalls,congestion_signals,max_cwnd_bytes\n\
-             standard,{:.0},{:.4},{},{},{}\n\
-             restricted,{:.0},{:.4},{},{},{}\n",
-            s.goodput_bps,
-            s.utilization,
-            s.vars.send_stall,
-            s.vars.congestion_signals,
-            s.vars.max_cwnd,
-            r.goodput_bps,
-            r.utilization,
-            r.vars.send_stall,
-            r.vars.congestion_signals,
-            r.vars.max_cwnd,
-        )
+        let mut out = String::from(
+            "algorithm,goodput_bps,utilization,send_stalls,congestion_signals,max_cwnd_bytes\n",
+        );
+        for (label, f) in [
+            ("standard", &self.standard.flows[0]),
+            ("restricted", &self.restricted.flows[0]),
+            ("ssthreshless", &self.ssthreshless.flows[0]),
+        ] {
+            out.push_str(&format!(
+                "{label},{:.0},{:.4},{},{},{}\n",
+                f.goodput_bps,
+                f.utilization,
+                f.vars.send_stall,
+                f.vars.congestion_signals,
+                f.vars.max_cwnd,
+            ));
+        }
+        out
     }
 }
 
@@ -95,6 +105,8 @@ impl HeadlineResult {
 mod tests {
     use super::*;
 
+    // One test, one `run_headline()`: the three 25 s testbed simulations
+    // dominate this suite's wall time, so every claim shares the result.
     #[test]
     fn headline_improvement_in_papers_ballpark() {
         let r = run_headline();
@@ -107,5 +119,20 @@ mod tests {
         // Mechanism check: the win comes from eliminating stalls.
         assert_eq!(r.restricted.flows[0].vars.send_stall, 0);
         assert!(r.standard.flows[0].vars.send_stall >= 1);
+
+        // The ssthreshless comparison row: the delay probe leaves
+        // slow-start near the pipe size instead of blowing through the
+        // IFQ, so it clearly beats the standard baseline. (Reno congestion
+        // avoidance later re-walks into the 100-packet IFQ like any Reno
+        // flow on this testbed, so a handful of CA-regime stalls are
+        // expected; restricted — which feeds back on the IFQ itself —
+        // stays the testbed champion. SSthreshless's own showcase is the
+        // mis-set-ssthresh LFN scenario.)
+        let ssl = r.improvement_ssthreshless();
+        assert!(ssl > 0.20, "ssthreshless improvement {ssl} too small");
+        assert!(
+            r.ssthreshless.flows[0].vars.send_stall <= r.standard.flows[0].vars.send_stall + 2,
+            "probe must not stall more than the baseline's own CA regime"
+        );
     }
 }

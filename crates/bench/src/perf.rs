@@ -4,7 +4,7 @@
 //! Every figure and table in the reproduction re-runs the 25 s testbed
 //! through `Engine::run_until`, so raw simulator speed bounds how much
 //! scenario space the harness can afford to explore. This module times those
-//! runs, computes events/sec from [`RunReport::events_processed`], and
+//! runs, computes events/sec from [`rss_core::RunReport::events_processed`], and
 //! writes `BENCH_simulator.json` at the workspace root so the perf
 //! trajectory is captured for every PR (CI runs it in `--quick` mode and
 //! uploads the file as an artifact).

@@ -1,0 +1,269 @@
+//! # rss-cc — pluggable congestion control with a variant registry
+//!
+//! The congestion-control layer of the *Restricted Slow-Start for TCP*
+//! reproduction. The transport (`rss-tcp`) owns loss detection and
+//! retransmission; this crate owns the window. Keeping the layer in its own
+//! crate keeps the dependency DAG honest — `rss-cc` sits directly on
+//! `rss-sim` (time) and `rss-control` (the PID machinery Restricted
+//! Slow-Start needs), so `rss-tcp` no longer drags the control library in —
+//! and makes every future slow-start variant a one-crate-local change.
+//!
+//! The four implementations are the paper's comparison set plus the first
+//! extension variant:
+//!
+//! * [`Reno`] — standard slow-start + AIMD congestion avoidance, the
+//!   Linux 2.4.19 baseline the paper measures against;
+//! * [`RestrictedSlowStart`] — the paper's contribution: slow-start growth
+//!   paced by a PID controller on IFQ occupancy;
+//! * [`LimitedSlowStart`] — RFC 3742, the era's other slow-start moderation
+//!   proposal, as an extension baseline;
+//! * [`SsthreshlessStart`] — delay-probed slow-start that dispenses with
+//!   ssthresh estimation entirely (arXiv:1401.7146), the first variant added
+//!   through the registry.
+//!
+//! ## Adding a congestion-control variant
+//!
+//! A new scheme is four small, mostly-local steps:
+//!
+//! 1. **Trait impl** — add `src/<variant>.rs` implementing
+//!    [`CongestionControl`] (wrap [`Reno`] for the loss-response paths the
+//!    scheme does not change, as `restricted.rs` and `ssthreshless.rs` do),
+//!    plus a `Copy + Serialize + Deserialize` config struct if it has
+//!    parameters. Give it phase-transition unit tests in the same file.
+//! 2. **Registry entry** — add an arm to [`CcAlgorithm`] carrying the config
+//!    and one [`registry::Variant`] row to the table in `registry.rs`
+//!    (metadata + `validate` + `build`). Everything downstream — labels,
+//!    `rss list --variants`, dispatch — follows from that row; there is no
+//!    other `match` to extend.
+//! 3. **`CcDef` arm** — mirror the config in `rss_core::spec::CcDef` so
+//!    scenario files can name the variant; its `to_algorithm` resolves the
+//!    spec into the [`CcAlgorithm`] arm and the registry validates it.
+//! 4. **Scenario** — add a `scenarios/<variant>_*.json` file exercising the
+//!    regime the scheme targets and a byte-golden under `scenarios/golden/`
+//!    so CI gates its behavior from day one.
+
+#![warn(missing_docs)]
+
+pub mod limited;
+pub mod registry;
+pub mod reno;
+pub mod restricted;
+pub mod ssthreshless;
+
+pub use limited::LimitedSlowStart;
+pub use registry::{CcError, Variant, VariantInfo};
+pub use reno::Reno;
+pub use restricted::{RestrictedSlowStart, RssConfig};
+pub use ssthreshless::{SslConfig, SsthreshlessStart};
+
+use rss_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Sender state exposed to the congestion controller at decision points.
+#[derive(Debug, Clone, Copy)]
+pub struct CcView {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Maximum segment size, bytes.
+    pub mss: u32,
+    /// Bytes currently in flight (`snd_nxt − snd_una`).
+    pub flight: u64,
+    /// Current depth of the host's interface queue, packets.
+    pub ifq_depth: u32,
+    /// Capacity of the host's interface queue, packets.
+    pub ifq_max: u32,
+    /// Most recent Karn-valid RTT sample, if any (delay-based variants'
+    /// process variable; loss/queue-based variants ignore it).
+    pub last_rtt: Option<SimDuration>,
+    /// Smallest RTT sample seen on the connection, if any (the propagation
+    /// estimate delay-based variants difference against).
+    pub min_rtt: Option<SimDuration>,
+}
+
+/// Congestion signals delivered by the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionEvent {
+    /// Third duplicate ACK — fast retransmit (network congestion).
+    FastRetransmit,
+    /// Retransmission timeout (severe network congestion).
+    Timeout,
+    /// Local send-stall: the IFQ rejected a segment (host congestion).
+    LocalStall,
+}
+
+/// How the sender's congestion control responds to a local send-stall.
+///
+/// The paper says Linux "treats these events in the same way as it would
+/// treat the network congestion" (§2); concretely Linux 2.4's local
+/// congestion path (`tcp_enter_cwr`) halves the effective window without
+/// retransmitting. The alternatives let experiments probe harsher and softer
+/// interpretations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallResponse {
+    /// CWR-style: `ssthresh = max(flight/2, 2·MSS)`, `cwnd = ssthresh`,
+    /// leave slow-start. Linux 2.4 behaviour; the default.
+    Cwr,
+    /// Timeout-style: additionally collapse cwnd to 1 MSS and re-enter
+    /// slow-start (Tahoe-like; worst case).
+    RestartFromOne,
+    /// Pretend it did not happen (upper bound on what ignoring local
+    /// congestion could buy; loses the IFQ signal entirely).
+    Ignore,
+}
+
+/// The window-management interface.
+///
+/// All quantities are in bytes. The sender calls exactly one of the `on_*`
+/// hooks per event; it does not call [`CongestionControl::on_ack`] while in
+/// fast recovery (recovery has its own hooks).
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Current congestion window, bytes.
+    fn cwnd(&self) -> u64;
+
+    /// Current slow-start threshold, bytes.
+    fn ssthresh(&self) -> u64;
+
+    /// True while `cwnd < ssthresh` (the slow-start phase). Variants with a
+    /// different notion of the exponential phase (e.g. ssthresh-free
+    /// probing) override this.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+
+    /// A cumulative ACK advanced `snd_una` by `newly_acked` bytes.
+    fn on_ack(&mut self, view: &CcView, newly_acked: u64);
+
+    /// A congestion signal fired (at most once per window per kind; the
+    /// sender throttles).
+    fn on_congestion(&mut self, view: &CcView, ev: CongestionEvent);
+
+    /// A duplicate ACK arrived while in fast recovery (Reno window
+    /// inflation).
+    fn on_recovery_dupack(&mut self, view: &CcView);
+
+    /// A partial ACK arrived during fast recovery (NewReno deflation).
+    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64);
+
+    /// Fast recovery completed (the full outstanding window was ACKed).
+    fn on_recovery_exit(&mut self, view: &CcView);
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which congestion-control algorithm a flow runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcAlgorithm {
+    /// Standard TCP (the paper's baseline).
+    Reno,
+    /// The paper's Restricted Slow-Start.
+    Restricted(RssConfig),
+    /// RFC 3742 Limited Slow-Start with optional `max_ssthresh` (bytes).
+    Limited {
+        /// `max_ssthresh` in bytes; `None` = RFC default of 100 segments.
+        max_ssthresh: Option<u64>,
+    },
+    /// SSthreshless Start (arXiv:1401.7146): delay-probed slow-start with no
+    /// ssthresh estimation.
+    Ssthreshless(SslConfig),
+}
+
+impl CcAlgorithm {
+    /// Short label for reports — the variant's registry name.
+    pub fn label(&self) -> &'static str {
+        registry::entry_for(self).info.name
+    }
+}
+
+/// Per-connection inputs every variant constructor receives (the transport
+/// derives these from its `TcpConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct CcParams {
+    /// Initial congestion window, bytes.
+    pub initial_cwnd: u64,
+    /// Initial slow-start threshold, bytes (ssthresh-free variants ignore
+    /// it — that is their point).
+    pub initial_ssthresh: u64,
+    /// Maximum segment size, bytes.
+    pub mss: u32,
+    /// Congestion response to local send-stalls.
+    pub stall_response: StallResponse,
+}
+
+/// Construct a boxed congestion controller by algorithm selection,
+/// dispatching through the [`registry`] table. Panics on parameters the
+/// registry's validation rejects (the declarative pipeline validates specs
+/// before they get here; hand-built configs fail loudly, like the old
+/// constructor asserts did).
+pub fn make_cc(algo: &CcAlgorithm, params: &CcParams) -> Box<dyn CongestionControl> {
+    registry::build(algo, params).expect("congestion-control parameters rejected")
+}
+
+#[cfg(test)]
+pub(crate) fn test_view(now_ms: u64, mss: u32, flight: u64) -> CcView {
+    CcView {
+        now: SimTime::from_millis(now_ms),
+        mss,
+        flight,
+        ifq_depth: 0,
+        ifq_max: 100,
+        last_rtt: None,
+        min_rtt: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CcParams {
+        CcParams {
+            initial_cwnd: 2 * 1448,
+            initial_ssthresh: u64::MAX / 2,
+            mss: 1448,
+            stall_response: StallResponse::Cwr,
+        }
+    }
+
+    #[test]
+    fn factory_builds_each_algorithm() {
+        let p = params();
+        assert_eq!(make_cc(&CcAlgorithm::Reno, &p).name(), "reno");
+        assert_eq!(
+            make_cc(&CcAlgorithm::Restricted(RssConfig::tuned()), &p).name(),
+            "restricted-slow-start"
+        );
+        assert_eq!(
+            make_cc(&CcAlgorithm::Limited { max_ssthresh: None }, &p).name(),
+            "limited-slow-start"
+        );
+        assert_eq!(
+            make_cc(&CcAlgorithm::Ssthreshless(SslConfig::default()), &p).name(),
+            "ssthreshless-start"
+        );
+    }
+
+    #[test]
+    fn factory_uses_params_initial_window() {
+        let p = params();
+        let cc = make_cc(&CcAlgorithm::Reno, &p);
+        assert_eq!(cc.cwnd(), p.initial_cwnd);
+    }
+
+    #[test]
+    fn labels_come_from_the_registry() {
+        assert_eq!(CcAlgorithm::Reno.label(), "standard");
+        assert_eq!(
+            CcAlgorithm::Restricted(RssConfig::tuned()).label(),
+            "restricted"
+        );
+        assert_eq!(
+            CcAlgorithm::Limited { max_ssthresh: None }.label(),
+            "limited"
+        );
+        assert_eq!(
+            CcAlgorithm::Ssthreshless(SslConfig::default()).label(),
+            "ssthreshless"
+        );
+    }
+}

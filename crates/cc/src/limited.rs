@@ -4,9 +4,8 @@
 //! RFC 3742 simply caps the exponential phase open-loop once the window
 //! passes `max_ssthresh`.
 
-use super::{CcView, CongestionControl, CongestionEvent};
-use crate::cc::reno::Reno;
-use crate::types::StallResponse;
+use crate::reno::Reno;
+use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
 
 /// RFC 3742 window management: Reno everywhere except the slow-start growth
 /// rule.
@@ -99,7 +98,7 @@ impl CongestionControl for LimitedSlowStart {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cc::test_view;
+    use crate::test_view;
 
     const MSS: u32 = 1000;
 

@@ -1,0 +1,393 @@
+//! The variant registry: one table row per congestion-control scheme.
+//!
+//! Each [`Variant`] bundles display metadata with the scheme's parameter
+//! validation and constructor, keyed by the short name reports and scenario
+//! files use. Downstream layers dispatch through this data instead of
+//! hand-maintained `match`es: [`crate::make_cc`] builds through
+//! [`build`], `rss_core::spec` validates through [`validate`],
+//! `CcAlgorithm::label` reads [`Variant::info`], and `rss list --variants`
+//! prints [`variants`]. Adding a scheme is adding one row here (see the
+//! crate docs for the full four-step recipe).
+
+use crate::{
+    CcAlgorithm, CcParams, CongestionControl, LimitedSlowStart, Reno, RestrictedSlowStart,
+    SsthreshlessStart,
+};
+use std::fmt;
+
+/// An invalid congestion-control parameterisation, caught at validation
+/// time (before any simulation runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcError {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl CcError {
+    fn new(msg: impl Into<String>) -> Self {
+        CcError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Static description of one congestion-control variant.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantInfo {
+    /// Registry key and report label (e.g. `"standard"`).
+    pub name: &'static str,
+    /// The [`CongestionControl::name`] the built controller reports.
+    pub algo: &'static str,
+    /// One-line summary of the scheme.
+    pub summary: &'static str,
+    /// Parameter summary (what the scenario-file arm accepts).
+    pub params: &'static str,
+    /// Where the scheme comes from.
+    pub reference: &'static str,
+}
+
+/// One registry row: metadata plus the data-driven selector, validator and
+/// constructor for a variant.
+pub struct Variant {
+    /// Display/dispatch metadata.
+    pub info: VariantInfo,
+    selects: fn(&CcAlgorithm) -> bool,
+    /// Parameter rules checkable from the algorithm selection alone.
+    validate: fn(&CcAlgorithm) -> Result<(), CcError>,
+    /// Parameter rules that need the connection inputs too (e.g. anything
+    /// measured against the MSS) — the rest of the constructor's contract,
+    /// so nothing the registry admits can panic at build time.
+    validate_params: fn(&CcAlgorithm, &CcParams) -> Result<(), CcError>,
+    build: fn(&CcAlgorithm, &CcParams) -> Box<dyn CongestionControl>,
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Variant").field("info", &self.info).finish()
+    }
+}
+
+fn ok(_: &CcAlgorithm) -> Result<(), CcError> {
+    Ok(())
+}
+
+fn ok_params(_: &CcAlgorithm, _: &CcParams) -> Result<(), CcError> {
+    Ok(())
+}
+
+fn other(algo: &CcAlgorithm) -> ! {
+    unreachable!("registry row selected for foreign algorithm {algo:?}")
+}
+
+/// The registry table. Order is presentation order (`rss list --variants`,
+/// docs): the paper's comparison set first, extensions after.
+static VARIANTS: &[Variant] = &[
+    Variant {
+        info: VariantInfo {
+            name: "standard",
+            algo: "reno",
+            summary: "RFC 5681 slow-start + AIMD (NewReno recovery), the Linux 2.4.19 baseline",
+            params: "none",
+            reference: "RFC 5681",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Reno),
+        validate: ok,
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Reno => Box::new(Reno::new(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+            )),
+            _ => other(algo),
+        },
+    },
+    Variant {
+        info: VariantInfo {
+            name: "restricted",
+            algo: "restricted-slow-start",
+            summary: "slow-start growth paced by a PID controller holding the IFQ at a set point",
+            params: "tuning (ForPath|PerStream|ForRate|Gains), setpoint_frac (0,1]",
+            reference: "Allcock et al., CLUSTER 2005",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Restricted(_)),
+        validate: |algo| match algo {
+            CcAlgorithm::Restricted(cfg) => {
+                if !(cfg.setpoint_frac > 0.0 && cfg.setpoint_frac <= 1.0) {
+                    return Err(CcError::new(format!(
+                        "setpoint_frac must be in (0, 1], got {}",
+                        cfg.setpoint_frac
+                    )));
+                }
+                if !(cfg.max_increment_segments.is_finite() && cfg.max_increment_segments > 0.0) {
+                    return Err(CcError::new(
+                        "max_increment_segments must be positive and finite",
+                    ));
+                }
+                if !(cfg.max_decrement_segments.is_finite() && cfg.max_decrement_segments >= 0.0) {
+                    return Err(CcError::new(
+                        "max_decrement_segments must be non-negative and finite",
+                    ));
+                }
+                if !cfg.gains.is_valid() {
+                    return Err(CcError::new(format!(
+                        "PID gains must satisfy Kp \u{2265} 0 and Td \u{2265} 0 (finite) and \
+                         Ti > 0 (infinity allowed), got kp={} ti={} td={}",
+                        cfg.gains.kp, cfg.gains.ti, cfg.gains.td
+                    )));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        },
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Restricted(cfg) => Box::new(RestrictedSlowStart::new(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+                *cfg,
+            )),
+            _ => other(algo),
+        },
+    },
+    Variant {
+        info: VariantInfo {
+            name: "limited",
+            algo: "limited-slow-start",
+            summary: "slow-start growth capped open-loop past max_ssthresh",
+            params: "max_ssthresh bytes (default 100 segments)",
+            reference: "RFC 3742",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Limited { .. }),
+        validate: ok,
+        validate_params: |algo, p| match algo {
+            CcAlgorithm::Limited {
+                max_ssthresh: Some(t),
+            } if *t < 2 * p.mss as u64 => Err(CcError::new(format!(
+                "max_ssthresh must be at least two segments ({} bytes at MSS {}), got {t}",
+                2 * p.mss as u64,
+                p.mss
+            ))),
+            _ => Ok(()),
+        },
+        build: |algo, p| match algo {
+            CcAlgorithm::Limited { max_ssthresh } => Box::new(LimitedSlowStart::with_max_ssthresh(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+                max_ssthresh.unwrap_or(100 * p.mss as u64),
+            )),
+            _ => other(algo),
+        },
+    },
+    Variant {
+        info: VariantInfo {
+            name: "ssthreshless",
+            algo: "ssthreshless-start",
+            summary: "delay-probed slow-start with no ssthresh estimate; exits at the measured BDP",
+            params: "gamma_segments > 0 (default 8)",
+            reference: "arXiv:1401.7146",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Ssthreshless(_)),
+        validate: |algo| match algo {
+            CcAlgorithm::Ssthreshless(cfg)
+                if !(cfg.gamma_segments.is_finite() && cfg.gamma_segments > 0.0) =>
+            {
+                Err(CcError::new(format!(
+                    "gamma_segments must be positive and finite, got {}",
+                    cfg.gamma_segments
+                )))
+            }
+            _ => Ok(()),
+        },
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Ssthreshless(cfg) => Box::new(SsthreshlessStart::new(
+                p.initial_cwnd,
+                p.mss,
+                p.stall_response,
+                *cfg,
+            )),
+            _ => other(algo),
+        },
+    },
+];
+
+/// All registered variants, in presentation order.
+pub fn variants() -> &'static [Variant] {
+    VARIANTS
+}
+
+/// Look a variant up by its registry name.
+pub fn find(name: &str) -> Option<&'static Variant> {
+    VARIANTS.iter().find(|v| v.info.name == name)
+}
+
+/// The registry row responsible for an algorithm selection.
+pub fn entry_for(algo: &CcAlgorithm) -> &'static Variant {
+    VARIANTS
+        .iter()
+        .find(|v| (v.selects)(algo))
+        .unwrap_or_else(|| panic!("no registry entry for {algo:?}"))
+}
+
+/// Validate a parameterisation against its variant's selection-only rules
+/// (see [`validate_params`] for the rules that need connection inputs).
+pub fn validate(algo: &CcAlgorithm) -> Result<(), CcError> {
+    let v = entry_for(algo);
+    (v.validate)(algo)
+}
+
+/// Full validation: the selection-only rules plus the variant's
+/// params-dependent rules — everything [`build`] checks, so a
+/// parameterisation that passes here cannot panic at construction time.
+pub fn validate_params(algo: &CcAlgorithm, params: &CcParams) -> Result<(), CcError> {
+    let v = entry_for(algo);
+    (v.validate)(algo)?;
+    (v.validate_params)(algo, params)
+}
+
+/// Validate (both rule sets), then construct the boxed controller for
+/// `algo`.
+pub fn build(algo: &CcAlgorithm, params: &CcParams) -> Result<Box<dyn CongestionControl>, CcError> {
+    let v = entry_for(algo);
+    (v.validate)(algo)?;
+    (v.validate_params)(algo, params)?;
+    Ok((v.build)(algo, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RssConfig, SslConfig, StallResponse};
+
+    fn params() -> CcParams {
+        CcParams {
+            initial_cwnd: 2 * 1448,
+            initial_ssthresh: u64::MAX / 2,
+            mss: 1448,
+            stall_response: StallResponse::Cwr,
+        }
+    }
+
+    #[test]
+    fn every_variant_is_listed_once_and_buildable() {
+        let names: Vec<_> = variants().iter().map(|v| v.info.name).collect();
+        assert_eq!(
+            names,
+            ["standard", "restricted", "limited", "ssthreshless"],
+            "presentation order is part of the contract"
+        );
+        let algos = [
+            CcAlgorithm::Reno,
+            CcAlgorithm::Restricted(RssConfig::tuned()),
+            CcAlgorithm::Limited { max_ssthresh: None },
+            CcAlgorithm::Ssthreshless(SslConfig::default()),
+        ];
+        for algo in &algos {
+            let v = entry_for(algo);
+            let built = build(algo, &params()).expect("defaults validate");
+            assert_eq!(built.name(), v.info.algo, "metadata matches the impl");
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert_eq!(
+            find("ssthreshless").unwrap().info.algo,
+            "ssthreshless-start"
+        );
+        assert!(find("vegas").is_none());
+    }
+
+    #[test]
+    fn restricted_validation_rejects_bad_setpoint_and_gains() {
+        let mut cfg = RssConfig::tuned();
+        cfg.setpoint_frac = 1.5;
+        let err = validate(&CcAlgorithm::Restricted(cfg)).unwrap_err();
+        assert!(err.msg.contains("setpoint_frac"), "{}", err.msg);
+
+        // Everything PidGains::is_valid rejects must fail validation —
+        // these used to pass the weaker finiteness check and then panic in
+        // PidController::new mid-run.
+        for (kp, ti, td) in [
+            (f64::NAN, 1.0, 0.1),
+            (-1.0, 1.0, 0.1),
+            (1.0, 0.0, 0.1),
+            (1.0, -2.0, 0.1),
+            (1.0, 1.0, -0.1),
+            (1.0, 1.0, f64::INFINITY),
+        ] {
+            let mut cfg = RssConfig::tuned();
+            cfg.gains = rss_control::PidGains::pid(kp, ti, td);
+            let err = validate(&CcAlgorithm::Restricted(cfg)).unwrap_err();
+            assert!(err.msg.contains("PID gains"), "{kp}/{ti}/{td}: {}", err.msg);
+        }
+        // Ti = ∞ (integral term disabled) stays legal.
+        let mut cfg = RssConfig::tuned();
+        cfg.gains = rss_control::PidGains::pid(1.0, f64::INFINITY, 0.1);
+        assert!(validate(&CcAlgorithm::Restricted(cfg)).is_ok());
+    }
+
+    #[test]
+    fn limited_validation_rejects_sub_two_segment_thresholds() {
+        // Anything below the constructor's 2·MSS floor must be caught at
+        // validation time, not by the assert at build time.
+        for t in [0u64, 1, 1000, 2 * 1448 - 1] {
+            let err = validate_params(
+                &CcAlgorithm::Limited {
+                    max_ssthresh: Some(t),
+                },
+                &params(),
+            )
+            .unwrap_err();
+            assert!(err.msg.contains("max_ssthresh"), "{t}: {}", err.msg);
+            assert!(
+                build(
+                    &CcAlgorithm::Limited {
+                        max_ssthresh: Some(t)
+                    },
+                    &params()
+                )
+                .is_err(),
+                "{t} must not reach the constructor"
+            );
+        }
+        for algo in [
+            CcAlgorithm::Limited { max_ssthresh: None },
+            CcAlgorithm::Limited {
+                max_ssthresh: Some(2 * 1448),
+            },
+        ] {
+            assert!(validate_params(&algo, &params()).is_ok());
+        }
+    }
+
+    #[test]
+    fn ssthreshless_validation_rejects_nonpositive_gamma() {
+        for gamma in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let algo = CcAlgorithm::Ssthreshless(SslConfig {
+                gamma_segments: gamma,
+            });
+            let err = validate(&algo).unwrap_err();
+            assert!(err.msg.contains("gamma_segments"), "{}", err.msg);
+        }
+    }
+
+    #[test]
+    fn build_surfaces_validation_errors() {
+        let mut cfg = RssConfig::tuned();
+        cfg.setpoint_frac = 0.0;
+        assert!(build(&CcAlgorithm::Restricted(cfg), &params()).is_err());
+    }
+}

@@ -2,8 +2,7 @@
 //! avoidance, NewReno-style recovery window management) — the Linux 2.4.19
 //! baseline of the paper's §4, including its response to local send-stalls.
 
-use super::{CcView, CongestionControl, CongestionEvent};
-use crate::types::StallResponse;
+use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
 
 /// Reno/NewReno window management.
 #[derive(Debug, Clone)]
@@ -44,6 +43,13 @@ impl Reno {
     /// compute their own slow-start growth, e.g. restricted slow-start).
     pub(crate) fn force_cwnd(&mut self, cwnd: u64) {
         self.cwnd = cwnd;
+    }
+
+    /// Overwrite the threshold directly (used by wrapping algorithms that
+    /// derive their own exit point, e.g. ssthreshless start pinning
+    /// `ssthresh = cwnd` when its probe completes).
+    pub(crate) fn force_ssthresh(&mut self, ssthresh: u64) {
+        self.ssthresh = ssthresh;
     }
 
     pub(crate) fn slow_start_ack(&mut self, newly_acked: u64) {
@@ -142,7 +148,7 @@ impl CongestionControl for Reno {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cc::test_view;
+    use crate::test_view;
 
     const MSS: u32 = 1000;
 

@@ -15,9 +15,8 @@
 //! off. Outside slow-start (after any loss event) behaviour is plain Reno —
 //! the paper modifies only the slow-start phase.
 
-use super::{CcView, CongestionControl, CongestionEvent};
-use crate::cc::reno::Reno;
-use crate::types::StallResponse;
+use crate::reno::Reno;
+use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
 use rss_control::{PidConfig, PidController, PidGains};
 use serde::{Deserialize, Serialize};
 
@@ -259,6 +258,8 @@ mod tests {
             flight: 0,
             ifq_depth,
             ifq_max: 100,
+            last_rtt: None,
+            min_rtt: None,
         }
     }
 

@@ -8,8 +8,8 @@
 //! large bandwidth-delay paths.
 //!
 //! This crate assembles the substrates (`rss-sim`, `rss-net`, `rss-host`,
-//! `rss-tcp`, `rss-control`, `rss-web100`, `rss-workload`) into runnable
-//! experiments:
+//! `rss-tcp`, `rss-cc`, `rss-control`, `rss-web100`, `rss-workload`) into
+//! runnable experiments:
 //!
 //! * [`Scenario`] — a declarative experiment description;
 //!   [`Scenario::paper_testbed`] is §4 of the paper (100 Mbit/s, 60 ms RTT,
@@ -56,6 +56,7 @@ pub use world::{Ev, World};
 
 // Re-export the pieces downstream users need to compose scenarios without
 // depending on every substrate crate directly.
+pub use rss_cc::{registry as cc_registry, CcError, CcParams, SslConfig};
 pub use rss_control::{
     find_ultimate_gain, simulate_closed_loop, step_metrics, DeadTimePlant, FirstOrderPlant,
     IntegratorPlant, PidConfig, PidController, PidGains, Plant, SecondOrderPlant, StepMetrics,

@@ -30,11 +30,7 @@ pub fn run(sc: &Scenario) -> RunReport {
         let goodput = w.goodput_bps(end);
         flows.push(FlowReport {
             conn: i as u32,
-            algo: match sc.flows[i].algo {
-                rss_tcp::CcAlgorithm::Reno => "standard".into(),
-                rss_tcp::CcAlgorithm::Restricted(_) => "restricted".into(),
-                rss_tcp::CcAlgorithm::Limited { .. } => "limited".into(),
-            },
+            algo: sc.flows[i].algo.label().into(),
             vars,
             goodput_bps: goodput,
             utilization: goodput / sc.path.rate_bps as f64,

@@ -150,9 +150,10 @@ pub struct FlowDef {
     pub start_s: Option<f64>,
 }
 
-/// The slow-start variant under test — an **open** enum: adding a variant
-/// here (e.g. SSthreshless Start, arXiv:1401.7146) is the whole integration
-/// surface for a new scheme, and scenario files using it stay data.
+/// The slow-start variant under test — an **open** enum mirroring the
+/// variants registered in [`rss_cc::registry`]: a new scheme adds one arm
+/// here (resolved and validated through the registry), and scenario files
+/// using it stay data.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum CcDef {
     /// Standard TCP (Reno/NewReno, the paper's baseline).
@@ -169,6 +170,14 @@ pub enum CcDef {
     Limited {
         /// `max_ssthresh` in bytes; omitted = the RFC's 100 segments.
         max_ssthresh: Option<u64>,
+    },
+    /// SSthreshless Start (arXiv:1401.7146): delay-probed slow-start with no
+    /// ssthresh estimate — doubles until the measured path backlog crosses
+    /// `gamma_segments`, then steps into congestion avoidance at the
+    /// measured BDP.
+    Ssthreshless {
+        /// Probe-exit backlog threshold, segments (default 8).
+        gamma_segments: Option<f64>,
     },
 }
 
@@ -327,13 +336,16 @@ fn secs_to_time(s: f64, what: &str) -> Result<SimTime, SpecError> {
 impl CcDef {
     /// Resolve to a concrete algorithm for a flow on a `path_rate_bps` path
     /// with `wire_pkt_bytes` packets, one of `n_flows` on its sending host.
+    /// Parameter validation is the registry's
+    /// ([`rss_cc::registry::validate`]) — per-variant rules live beside the
+    /// variant, not here.
     pub fn to_algorithm(
         &self,
         path_rate_bps: u64,
         wire_pkt_bytes: u32,
         n_flows: u32,
     ) -> Result<CcAlgorithm, SpecError> {
-        Ok(match *self {
+        let algo = match *self {
             CcDef::Standard => CcAlgorithm::Reno,
             CcDef::Restricted {
                 tuning,
@@ -352,28 +364,25 @@ impl CcDef {
                         wire_pkt_bytes,
                     ),
                     TuningDef::Gains { kp, ti, td } => {
-                        // Ti may be +inf (integral term disabled); nothing
-                        // may be NaN.
-                        if !kp.is_finite() || !td.is_finite() || ti.is_nan() {
-                            return Err(SpecError::new(
-                                "PID gains must be finite (Ti may be infinite)",
-                            ));
-                        }
                         RssConfig::with_gains(rss_control::PidGains::pid(kp, ti, td))
                     }
                 };
                 if let Some(sp) = setpoint_frac {
-                    if !(sp > 0.0 && sp <= 1.0) {
-                        return Err(SpecError::new(format!(
-                            "setpoint_frac must be in (0, 1], got {sp}"
-                        )));
-                    }
                     cfg.setpoint_frac = sp;
                 }
                 CcAlgorithm::Restricted(cfg)
             }
             CcDef::Limited { max_ssthresh } => CcAlgorithm::Limited { max_ssthresh },
-        })
+            CcDef::Ssthreshless { gamma_segments } => {
+                let mut cfg = rss_cc::SslConfig::default();
+                if let Some(g) = gamma_segments {
+                    cfg.gamma_segments = g;
+                }
+                CcAlgorithm::Ssthreshless(cfg)
+            }
+        };
+        rss_cc::registry::validate(&algo).map_err(|e| SpecError::new(e.msg))?;
+        Ok(algo)
     }
 }
 
@@ -519,6 +528,14 @@ impl RunSpec {
                 })
             })
             .collect::<Result<_, SpecError>>()?;
+
+        // Full registry validation against the resolved connection inputs:
+        // a flow that passes here cannot panic in a variant constructor at
+        // run time (e.g. a `max_ssthresh` below the 2·MSS floor).
+        for (i, f) in flows.iter().enumerate() {
+            rss_cc::registry::validate_params(&f.algo, &tcp.cc_params())
+                .map_err(|e| SpecError::new(format!("flows[{i}]: {}", e.msg)))?;
+        }
 
         let web100_stride = self.web100_stride.unwrap_or(1);
         if web100_stride == 0 {
@@ -798,20 +815,66 @@ mod tests {
 
     #[test]
     fn unknown_variant_is_rejected_with_the_open_enum_list() {
-        let err = ScenarioSpec::from_json(&minimal(
-            r#"[{"label":"x","flows":[{"cc":"Ssthreshless"}]}]"#,
+        let err = ScenarioSpec::from_json(&minimal(r#"[{"label":"x","flows":[{"cc":"Vegas"}]}]"#))
+            .unwrap_err();
+        assert!(err.msg.contains("unknown variant `Vegas`"), "{}", err.msg);
+        assert!(
+            err.msg
+                .contains("Standard, Restricted, Limited, Ssthreshless"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn validate_catches_everything_the_constructors_would_panic_on() {
+        // `rss validate` must reject what `rss run` cannot build: a
+        // max_ssthresh below the 2·MSS constructor floor...
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"tiny","flows":[{"cc":{"Limited":{"max_ssthresh":1000}}}]}]"#,
         ))
-        .unwrap_err();
-        assert!(
-            err.msg.contains("unknown variant `Ssthreshless`"),
-            "{}",
-            err.msg
-        );
-        assert!(
-            err.msg.contains("Standard, Restricted, Limited"),
-            "{}",
-            err.msg
-        );
+        .unwrap();
+        let err = spec.validate().unwrap_err();
+        assert!(err.msg.contains("max_ssthresh"), "{}", err.msg);
+        assert!(err.msg.contains("run `tiny`"), "{}", err.msg);
+        // ...and PID gains PidController::new would assert on (Ti = 0).
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"zeroti","flows":[{"cc":{"Restricted":{
+                 "tuning":{"Gains":{"kp":1.0,"ti":0.0,"td":0.0}}}}}]}]"#,
+        ))
+        .unwrap();
+        let err = spec.validate().unwrap_err();
+        assert!(err.msg.contains("PID gains"), "{}", err.msg);
+    }
+
+    #[test]
+    fn ssthreshless_arm_resolves_and_validates_through_the_registry() {
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"ssl","flows":[{"cc":{"Ssthreshless":{"gamma_segments":4.0}}}]}]"#,
+        ))
+        .unwrap();
+        let runs = spec.expand().unwrap();
+        match runs[0].scenario.flows[0].algo {
+            CcAlgorithm::Ssthreshless(cfg) => assert_eq!(cfg.gamma_segments, 4.0),
+            ref other => panic!("wrong algo {other:?}"),
+        }
+        // Default γ when the params block is empty.
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"ssl","flows":[{"cc":{"Ssthreshless":{}}}]}]"#,
+        ))
+        .unwrap();
+        match spec.expand().unwrap()[0].scenario.flows[0].algo {
+            CcAlgorithm::Ssthreshless(cfg) => assert_eq!(cfg.gamma_segments, 8.0),
+            ref other => panic!("wrong algo {other:?}"),
+        }
+        // Registry validation surfaces as a named spec error.
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"bad","flows":[{"cc":{"Ssthreshless":{"gamma_segments":0.0}}}]}]"#,
+        ))
+        .unwrap();
+        let err = spec.validate().unwrap_err();
+        assert!(err.msg.contains("run `bad`"), "{}", err.msg);
+        assert!(err.msg.contains("gamma_segments"), "{}", err.msg);
     }
 
     #[test]

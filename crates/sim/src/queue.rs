@@ -10,7 +10,7 @@
 //! A paper-testbed run dispatches ~10^6 events, so the queue is the hottest
 //! structure in the simulator. Pending events live in a slab of reusable
 //! slots; ordering is kept by a single-revolution calendar wheel — a ring of
-//! [`WHEEL_BUCKETS`] buckets of [`GRANULE_NANOS`] each, covering a sliding
+//! `WHEEL_BUCKETS` buckets of `GRANULE_NANOS` each, covering a sliding
 //! window of roughly 134 ms — with a binary heap as the fallback for events
 //! beyond the wheel horizon (retransmission timers and the like). Bucket
 //! membership is a plain `Vec<u32>` of slot indices kept sorted by

@@ -113,7 +113,7 @@ impl SimRng {
         lo + self.next_below(span + 1)
     }
 
-    /// Bernoulli trial with probability `p` (clamped to [0,1]).
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;

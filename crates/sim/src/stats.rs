@@ -131,7 +131,7 @@ impl Histogram {
         &self.bins
     }
 
-    /// Approximate quantile (by linear walk over bins); `q` in [0,1].
+    /// Approximate quantile (by linear walk over bins); `q` in `[0,1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;

@@ -9,12 +9,13 @@
 //! **send-stall** signal and (configurably, like Linux 2.4) treats it as
 //! congestion.
 //!
-//! Congestion control is a trait ([`CongestionControl`]) with three
-//! implementations:
-//!
-//! * [`Reno`] — the standard baseline (RFC 5681);
-//! * [`RestrictedSlowStart`] — the paper's PID-paced slow-start;
-//! * [`LimitedSlowStart`] — RFC 3742, an era-appropriate comparator.
+//! Congestion control is the separate [`rss_cc`] layer (re-exported here as
+//! [`cc`]): the sender drives any [`CongestionControl`] implementation
+//! through per-ACK/per-congestion hooks and surfaces everything a variant
+//! can pace on — IFQ occupancy for the paper's [`RestrictedSlowStart`],
+//! RTT extremes for delay-based schemes like [`SsthreshlessStart`] — in the
+//! [`CcView`] it hands to each hook. Variants register in [`rss_cc::registry`]; see that
+//! crate's docs for the how-to.
 //!
 //! The sender and receiver are sans-IO state machines: an embedding world
 //! model (see `rss-core`) moves segments between them through the simulated
@@ -22,68 +23,27 @@
 
 #![warn(missing_docs)]
 
-pub mod cc;
+pub use rss_cc as cc;
+
 pub mod receiver;
 pub mod rtt;
 pub mod sender;
 pub mod types;
 
 pub use cc::{
-    CcView, CongestionControl, CongestionEvent, LimitedSlowStart, Reno, RestrictedSlowStart,
-    RssConfig,
+    CcAlgorithm, CcParams, CcView, CongestionControl, CongestionEvent, LimitedSlowStart, Reno,
+    RestrictedSlowStart, RssConfig, SslConfig, SsthreshlessStart, StallResponse,
 };
 pub use receiver::{AckToSend, ReceiverStats, TcpReceiver};
 pub use rtt::RttEstimator;
 pub use sender::{IfqSnapshot, TcpSender, TxPlan};
-pub use types::{AckPolicy, ConnId, SegKind, StallResponse, TcpConfig, TcpSegment};
+pub use types::{AckPolicy, ConnId, SegKind, TcpConfig, TcpSegment};
 
-/// Construct a boxed congestion controller by algorithm selection — the
-/// convenience entry point the scenario builder uses.
+/// Construct a boxed congestion controller for a connection configured by
+/// `cfg` — a convenience wrapper deriving [`CcParams`] from the transport
+/// config and dispatching through the [`rss_cc::registry`] table.
 pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> Box<dyn CongestionControl> {
-    let iw = cfg.initial_cwnd();
-    let ssthresh = cfg.effective_initial_ssthresh();
-    match algo {
-        CcAlgorithm::Reno => Box::new(Reno::new(iw, ssthresh, cfg.mss, cfg.stall_response)),
-        CcAlgorithm::Restricted(rss) => Box::new(RestrictedSlowStart::new(
-            iw,
-            ssthresh,
-            cfg.mss,
-            cfg.stall_response,
-            rss,
-        )),
-        CcAlgorithm::Limited { max_ssthresh } => Box::new(LimitedSlowStart::with_max_ssthresh(
-            iw,
-            ssthresh,
-            cfg.mss,
-            cfg.stall_response,
-            max_ssthresh.unwrap_or(100 * cfg.mss as u64),
-        )),
-    }
-}
-
-/// Which congestion-control algorithm a flow runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum CcAlgorithm {
-    /// Standard TCP (the paper's baseline).
-    Reno,
-    /// The paper's Restricted Slow-Start.
-    Restricted(RssConfig),
-    /// RFC 3742 Limited Slow-Start with optional `max_ssthresh` (bytes).
-    Limited {
-        /// `max_ssthresh` in bytes; `None` = RFC default of 100 segments.
-        max_ssthresh: Option<u64>,
-    },
-}
-
-impl CcAlgorithm {
-    /// Short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            CcAlgorithm::Reno => "standard",
-            CcAlgorithm::Restricted(_) => "restricted",
-            CcAlgorithm::Limited { .. } => "limited",
-        }
-    }
+    rss_cc::make_cc(&algo, &cfg.cc_params())
 }
 
 #[cfg(test)]
@@ -102,6 +62,10 @@ mod tests {
             make_cc(CcAlgorithm::Limited { max_ssthresh: None }, &cfg).name(),
             "limited-slow-start"
         );
+        assert_eq!(
+            make_cc(CcAlgorithm::Ssthreshless(SslConfig::default()), &cfg).name(),
+            "ssthreshless-start"
+        );
     }
 
     #[test]
@@ -112,15 +76,12 @@ mod tests {
     }
 
     #[test]
-    fn labels() {
-        assert_eq!(CcAlgorithm::Reno.label(), "standard");
-        assert_eq!(
-            CcAlgorithm::Restricted(RssConfig::tuned()).label(),
-            "restricted"
-        );
-        assert_eq!(
-            CcAlgorithm::Limited { max_ssthresh: None }.label(),
-            "limited"
-        );
+    fn cc_params_mirror_the_config() {
+        let cfg = TcpConfig::default();
+        let p = cfg.cc_params();
+        assert_eq!(p.initial_cwnd, cfg.initial_cwnd());
+        assert_eq!(p.initial_ssthresh, cfg.effective_initial_ssthresh());
+        assert_eq!(p.mss, cfg.mss);
+        assert_eq!(p.stall_response, cfg.stall_response);
     }
 }

@@ -77,6 +77,12 @@ pub struct TcpSender {
     /// per-ACK bookkeeping is O(acked segments) with no tree rebalancing.
     sent_times: VecDeque<(u64, SentInfo)>,
 
+    /// Latest Karn-valid RTT sample and the connection minimum, surfaced to
+    /// the congestion controller through [`CcView`] (delay-based variants
+    /// pace on them; the RFC 6298 estimator keeps its own smoothing).
+    last_rtt: Option<SimDuration>,
+    min_rtt: Option<SimDuration>,
+
     rto_deadline: Option<SimTime>,
     /// No transmission before this time after a stall (driver-retry model).
     stall_until: Option<SimTime>,
@@ -114,6 +120,8 @@ impl TcpSender {
             recovery: None,
             retx_queue: VecDeque::new(),
             sent_times: VecDeque::new(),
+            last_rtt: None,
+            min_rtt: None,
             rto_deadline: None,
             stall_until: None,
             stall_signal_gate: 0,
@@ -212,6 +220,8 @@ impl TcpSender {
             flight: self.flight(),
             ifq_depth: ifq.depth,
             ifq_max: ifq.max,
+            last_rtt: self.last_rtt,
+            min_rtt: self.min_rtt,
         }
     }
 
@@ -428,6 +438,8 @@ impl TcpSender {
             }
         }
         if let Some(rtt) = sample {
+            self.last_rtt = Some(rtt);
+            self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
             self.rtt.on_sample(rtt);
             let srtt = self.rtt.srtt().unwrap_or(rtt);
             self.web100.on_rtt(

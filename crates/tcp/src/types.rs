@@ -77,25 +77,9 @@ pub enum AckPolicy {
     },
 }
 
-/// How the sender's congestion control responds to a local send-stall.
-///
-/// The paper says Linux "treats these events in the same way as it would
-/// treat the network congestion" (§2); concretely Linux 2.4's local
-/// congestion path (`tcp_enter_cwr`) halves the effective window without
-/// retransmitting. The alternatives let experiments probe harsher and softer
-/// interpretations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum StallResponse {
-    /// CWR-style: `ssthresh = max(flight/2, 2·MSS)`, `cwnd = ssthresh`,
-    /// leave slow-start. Linux 2.4 behaviour; the default.
-    Cwr,
-    /// Timeout-style: additionally collapse cwnd to 1 MSS and re-enter
-    /// slow-start (Tahoe-like; worst case).
-    RestartFromOne,
-    /// Pretend it did not happen (upper bound on what ignoring local
-    /// congestion could buy; loses the IFQ signal entirely).
-    Ignore,
-}
+// The congestion layer owns the stall-response policy (its Reno base acts on
+// it); the transport re-exports it because `TcpConfig` carries it.
+pub use rss_cc::StallResponse;
 
 /// Static TCP configuration shared by sender and receiver.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -153,6 +137,16 @@ impl TcpConfig {
     /// The effective "infinite" ssthresh used when none is configured.
     pub fn effective_initial_ssthresh(&self) -> u64 {
         self.initial_ssthresh.unwrap_or(u64::MAX / 2)
+    }
+
+    /// The congestion-control constructor inputs this configuration implies.
+    pub fn cc_params(&self) -> rss_cc::CcParams {
+        rss_cc::CcParams {
+            initial_cwnd: self.initial_cwnd(),
+            initial_ssthresh: self.effective_initial_ssthresh(),
+            mss: self.mss,
+            stall_response: self.stall_response,
+        }
     }
 }
 

@@ -1,10 +1,10 @@
 //! Property-based tests for the TCP state machines.
 
 use proptest::prelude::*;
-use rss_sim::SimTime;
+use rss_sim::{SimDuration, SimTime};
 use rss_tcp::{
-    make_cc, AckPolicy, CcAlgorithm, CcView, ConnId, RssConfig, StallResponse, TcpConfig,
-    TcpReceiver,
+    make_cc, AckPolicy, CcAlgorithm, CcView, ConnId, RssConfig, SslConfig, StallResponse,
+    TcpConfig, TcpReceiver,
 };
 
 fn cfg_every() -> TcpConfig {
@@ -66,13 +66,14 @@ proptest! {
     /// [1 MSS, initial + total_acked + inflation] and never hits zero.
     #[test]
     fn cc_window_stays_sane(
-        algo_pick in 0u8..3,
+        algo_pick in 0u8..4,
         events in prop::collection::vec((0u8..4, 1u64..20_000), 1..300),
     ) {
         let cfg = TcpConfig::default();
         let algo = match algo_pick {
             0 => CcAlgorithm::Reno,
             1 => CcAlgorithm::Restricted(RssConfig::tuned()),
+            2 => CcAlgorithm::Ssthreshless(SslConfig::default()),
             _ => CcAlgorithm::Limited { max_ssthresh: None },
         };
         let mut cc = make_cc(algo, &cfg);
@@ -86,6 +87,11 @@ proptest! {
                 flight: arg.min(cc.cwnd()),
                 ifq_depth: (arg % 120) as u32,
                 ifq_max: 100,
+                // Exercise the delay-based arm: RTTs wander up to ~4x above
+                // a fixed floor, so the ssthreshless probe exit fires on
+                // some trajectories and not others.
+                last_rtt: Some(SimDuration::from_micros(60_000 + (arg * 7919) % 180_000)),
+                min_rtt: Some(SimDuration::from_micros(60_000)),
             };
             match kind {
                 0 => cc.on_ack(&view, arg.min(3 * mss)),
@@ -119,6 +125,8 @@ proptest! {
                 flight: prev,
                 ifq_depth: d.min(100),
                 ifq_max: 100,
+                last_rtt: None,
+                min_rtt: None,
             };
             cc.on_ack(&view, mss);
             prop_assert!(

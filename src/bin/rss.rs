@@ -8,19 +8,40 @@
 //! ```text
 //! rss run scenarios/quickstart.json [--out results]
 //! rss list [scenarios]
+//! rss list --variants
+//! rss validate scenarios            # a directory validates every *.json inside
 //! rss validate scenarios/*.json
 //! ```
 
 use restricted_slow_start::plot::ascii_table;
-use restricted_slow_start::{results_csv, run_many_memo, ScenarioSpec};
+use restricted_slow_start::{cc_registry, results_csv, run_many_memo, ScenarioSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rss run <scenario.json> [--out <dir>]   execute and write artifacts\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss validate <scenario.json>...         parse + semantic-check, no execution"
+        "usage:\n  rss run <scenario.json> [--out <dir>]   execute and write artifacts\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants                     list the registered congestion-control variants\n  rss validate <path>...                  parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it)"
     );
     ExitCode::from(2)
+}
+
+/// Friendly pre-flight for a scenario-file argument: a missing path or a
+/// non-`.json` file gets a message naming the path and pointing at
+/// `rss list`, instead of a raw parser/IO error.
+fn check_scenario_path(path: &Path) -> Result<(), String> {
+    if !path.exists() {
+        return Err(format!(
+            "scenario file `{}` does not exist — `rss list` shows the available scenario files",
+            path.display()
+        ));
+    }
+    if path.extension().is_none_or(|x| x != "json") {
+        return Err(format!(
+            "`{}` is not a .json scenario file — `rss list` shows the available scenario files",
+            path.display()
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -52,6 +73,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
         i += 1;
     }
     let Some(file) = file else { return usage() };
+    if let Err(msg) = check_scenario_path(&file) {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
 
     let spec = match ScenarioSpec::load(&file) {
         Ok(s) => s,
@@ -173,7 +198,35 @@ fn scenario_files(dir: &Path) -> Vec<PathBuf> {
     files
 }
 
+/// `rss list --variants`: the congestion-control registry as a table — the
+/// full menu a scenario file's `cc` field accepts.
+fn cmd_list_variants() -> ExitCode {
+    let rows: Vec<Vec<String>> = cc_registry::variants()
+        .iter()
+        .map(|v| {
+            vec![
+                v.info.name.to_string(),
+                v.info.algo.to_string(),
+                v.info.summary.to_string(),
+                v.info.params.to_string(),
+                v.info.reference.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["variant", "algorithm", "summary", "params", "reference"],
+            &rows
+        )
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_list(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("--variants") {
+        return cmd_list_variants();
+    }
     let dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("scenarios"));
     let files = scenario_files(&dir);
     if files.is_empty() {
@@ -206,6 +259,35 @@ fn cmd_list(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn validate_one(path: &Path, failed: &mut bool) {
+    if let Err(msg) = check_scenario_path(path) {
+        eprintln!("invalid: {msg}");
+        *failed = true;
+        return;
+    }
+    // `load` errors already carry the file name; prefix it onto the
+    // semantic (expand-time) errors only.
+    let checked = ScenarioSpec::load(path).and_then(|spec| {
+        spec.validate()
+            .map(|()| spec)
+            .map_err(|e| restricted_slow_start::SpecError {
+                msg: format!("{}: {e}", path.display()),
+            })
+    });
+    match checked {
+        Ok(spec) => println!(
+            "ok: {} ({} run(s) × {} cell(s))",
+            path.display(),
+            spec.runs.len(),
+            spec.cells()
+        ),
+        Err(e) => {
+            eprintln!("invalid: {e}");
+            *failed = true;
+        }
+    }
+}
+
 fn cmd_validate(args: &[String]) -> ExitCode {
     if args.is_empty() {
         return usage();
@@ -213,31 +295,59 @@ fn cmd_validate(args: &[String]) -> ExitCode {
     let mut failed = false;
     for arg in args {
         let path = Path::new(arg);
-        // `load` errors already carry the file name; prefix it onto the
-        // semantic (expand-time) errors only.
-        let checked = ScenarioSpec::load(path).and_then(|spec| {
-            spec.validate()
-                .map(|()| spec)
-                .map_err(|e| restricted_slow_start::SpecError {
-                    msg: format!("{}: {e}", path.display()),
-                })
-        });
-        match checked {
-            Ok(spec) => println!(
-                "ok: {} ({} run(s) × {} cell(s))",
-                path.display(),
-                spec.runs.len(),
-                spec.cells()
-            ),
-            Err(e) => {
-                eprintln!("invalid: {e}");
+        if path.is_dir() {
+            // A directory argument validates every scenario file inside it
+            // (the CI matrix passes `scenarios` as one argument).
+            let files = scenario_files(path);
+            if files.is_empty() {
+                eprintln!("invalid: no *.json scenario files in `{}`", path.display());
                 failed = true;
+                continue;
             }
+            for f in &files {
+                validate_one(f, &mut failed);
+            }
+        } else {
+            validate_one(path, &mut failed);
         }
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_path_error_names_the_path_and_suggests_list() {
+        let err = check_scenario_path(Path::new("scenarios/no_such_file.json")).unwrap_err();
+        assert!(
+            err.contains("`scenarios/no_such_file.json` does not exist"),
+            "{err}"
+        );
+        assert!(err.contains("rss list"), "{err}");
+    }
+
+    #[test]
+    fn non_json_path_error_names_the_path_and_suggests_list() {
+        // Any checked-in non-JSON file works as the probe.
+        let err = check_scenario_path(Path::new("README.md")).unwrap_err();
+        assert!(
+            err.contains("`README.md` is not a .json scenario file"),
+            "{err}"
+        );
+        assert!(err.contains("rss list"), "{err}");
+        // Extensionless paths get the same treatment.
+        let err = check_scenario_path(Path::new("Cargo.lock")).unwrap_err();
+        assert!(err.contains("not a .json scenario file"), "{err}");
+    }
+
+    #[test]
+    fn existing_scenario_passes_the_preflight() {
+        assert!(check_scenario_path(Path::new("scenarios/quickstart.json")).is_ok());
     }
 }

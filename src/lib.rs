@@ -15,9 +15,10 @@
 //! the crate diagram): it re-exports the whole public API of [`rss_core`],
 //! which assembles the substrate crates — `rss-sim` (deterministic
 //! discrete-event engine), `rss-net` (links/queues/topologies), `rss-host`
-//! (the IFQ transmit path), `rss-tcp` (sans-IO transport + congestion
-//! control), `rss-control` (PID + Ziegler–Nichols), `rss-web100`
-//! (instrumentation) and `rss-workload` (application models).
+//! (the IFQ transmit path), `rss-tcp` (sans-IO transport), `rss-cc`
+//! (pluggable congestion control with a variant registry), `rss-control`
+//! (PID + Ziegler–Nichols), `rss-web100` (instrumentation) and
+//! `rss-workload` (application models).
 //!
 //! ## Quick start
 //!
@@ -39,7 +40,7 @@
 //! `paper_testbed*` constructors), [`run`] / [`run_many`] (deterministic,
 //! optionally multi-threaded execution), [`RunReport`] / [`FlowReport`]
 //! (Web100 snapshots, stall logs, cwnd/IFQ/goodput series) and
-//! [`plot`](rss_core::plot) for terminal rendering. Reproduce the paper's
+//! [`plot`] for terminal rendering. Reproduce the paper's
 //! figures with `cargo run --release --example figure1_send_stalls` or
 //! `cargo run --release -p rss-bench --bin experiments -- all`.
 

@@ -36,7 +36,7 @@ fn every_checked_in_scenario_parses_and_validates() {
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     files.sort();
-    assert!(files.len() >= 5, "expected the five shipped scenarios");
+    assert!(files.len() >= 6, "expected the six shipped scenarios");
     for f in files {
         let spec = ScenarioSpec::load(&f).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
         spec.validate()
@@ -151,6 +151,36 @@ fn gridftp_spec_matches_the_hand_built_striping() {
     for (i, (got, want)) in runs.iter().zip(&expected).enumerate() {
         assert_eq!(dbg(&got.scenario), dbg(want), "cell {i} diverged");
     }
+}
+
+/// The SSthreshless LFN scenario's claim, asserted end-to-end: with the
+/// classic mis-set 64 KiB initial ssthresh on a 200 Mbit/s × 120 ms path,
+/// the ssthresh-free probe finishes the bounded transfer several times
+/// sooner than both Standard (which slow-starts only to 64 KiB) and
+/// Restricted (whose PID also only paces the sub-ssthresh phase) — and does
+/// it without a single send-stall.
+#[test]
+fn ssthreshless_beats_standard_and_restricted_on_the_lfn_path() {
+    let runs = load("ssthreshless_lfn.json").expand().unwrap();
+    assert_eq!(runs.len(), 3);
+    let reports: Vec<_> = runs.iter().map(|r| run(&r.scenario)).collect();
+    let completed: Vec<f64> = reports
+        .iter()
+        .map(|r| r.flows[0].completed_at_s.expect("transfer completes"))
+        .collect();
+    let (std_t, rss_t, ssl_t) = (completed[0], completed[1], completed[2]);
+    assert!(
+        ssl_t * 3.0 < std_t,
+        "ssthreshless {ssl_t} s should finish at least 3x sooner than standard {std_t} s"
+    );
+    assert!(
+        ssl_t * 3.0 < rss_t,
+        "ssthreshless {ssl_t} s should finish at least 3x sooner than restricted {rss_t} s"
+    );
+    assert_eq!(
+        reports[2].flows[0].vars.send_stall, 0,
+        "the delay probe must not overflow the IFQ"
+    );
 }
 
 /// End-to-end: running the spec-loaded headline pair reproduces the
