@@ -83,6 +83,13 @@ fn fairness() {
     let r = run_friendliness();
     println!("\nE9b — network-congestion boundary\n{}", r.print());
     let p = write_csv("e9b_network_bottleneck.csv", &r.to_csv());
+    println!("wrote {}", p.display());
+    let r = run_cross_variant();
+    println!(
+        "\nE9c — cross-variant pairs on one bottleneck (Jain over 1 s windows, \u{3b5} = 0.05)\n{}",
+        r.print()
+    );
+    let p = write_csv("e9c_cross_variant.csv", &r.to_csv());
     println!("wrote {}\n", p.display());
 }
 

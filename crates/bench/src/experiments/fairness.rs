@@ -1,6 +1,6 @@
 //! E9 — fairness among flows and the network-congestion boundary.
 //!
-//! Two questions the paper gestures at but does not measure:
+//! Three questions the paper gestures at but does not measure:
 //!
 //! * **E9a fairness**: when several flows share one sending host (the
 //!   authors' GridFTP world), restricted flows collectively avoid most
@@ -13,11 +13,20 @@
 //!   degenerates to standard TCP: same loss-driven behaviour, no benefit.
 //!   This negative result delimits the paper's contribution: it fixes *host*
 //!   congestion, not network congestion.
+//! * **E9c cross-variant**: pairs of *different* registry variants sharing
+//!   one network bottleneck — the first measurement of how the schemes
+//!   interact rather than how each behaves alone. Per pair: run-level Jain
+//!   index, convergence-to-ε time over the windowed goodput series
+//!   ([`FairnessReport`]), and per-variant goodput/stall aggregates. The
+//!   declarative twin is `scenarios/fairness_shared_bottleneck.json`
+//!   (golden-gated); this experiment keeps the pair list easy to extend and
+//!   asserts the headline findings (AIMD pairs converge; MIMD vs AIMD does
+//!   not).
 
 use rss_core::plot::ascii_table;
 use rss_core::{
-    run, CcAlgorithm, CrossSpec, FlowSpec, RssConfig, Scenario, SimDuration, SimTime,
-    TrafficPattern,
+    run, CcAlgorithm, CrossSpec, FairnessReport, FlowSpec, RssConfig, ScalableConfig, Scenario,
+    SimDuration, SimTime, SslConfig, TrafficPattern,
 };
 
 /// One row of the fairness table.
@@ -116,6 +125,154 @@ impl FairnessResult {
                 "{},{},{:.6},{:.0},{}\n",
                 r.algo, r.n_flows, r.jain, r.aggregate_goodput_bps, r.stalls
             ));
+        }
+        out
+    }
+}
+
+/// One row of E9c: a pair of (possibly different) variants on one network
+/// bottleneck.
+#[derive(Debug, Clone)]
+pub struct CrossVariantRow {
+    /// Pair label, e.g. `"restricted vs ssthreshless"`.
+    pub pair: String,
+    /// The run's fairness metrics (windowed Jain, convergence, per-variant
+    /// aggregates).
+    pub fairness: FairnessReport,
+    /// Aggregate goodput of both flows, bits/s.
+    pub aggregate_goodput_bps: f64,
+}
+
+/// Result of E9c: cross-variant pairs sharing one bottleneck.
+#[derive(Debug, Clone)]
+pub struct CrossVariantResult {
+    /// One row per pair, in the order run.
+    pub rows: Vec<CrossVariantRow>,
+}
+
+/// The E9c testbed: the paper's 100 Mbit/s × 60 ms path behind 1 Gbit/s
+/// access links and NICs, so the shared bottleneck is the router queue —
+/// the same topology as `scenarios/fairness_shared_bottleneck.json`.
+fn cross_variant_testbed(a: CcAlgorithm, b: CcAlgorithm) -> Scenario {
+    let mut sc = Scenario::paper_testbed(a);
+    sc.flows = vec![FlowSpec::bulk(a), FlowSpec::bulk(b)];
+    sc.path.access_rate_bps = Some(1_000_000_000);
+    sc.host.nic_rate_bps = 1_000_000_000;
+    sc.path.router_queue_pkts = 100;
+    sc.duration = SimDuration::from_secs(30);
+    sc.web100_stride = 8;
+    sc.with_auto_rwnd()
+}
+
+/// Run E9c: each pair shares the bottleneck for 30 s; fairness is measured
+/// over 1 s goodput windows with ε = 0.05.
+pub fn run_cross_variant() -> CrossVariantResult {
+    let pairs: [(&str, CcAlgorithm, CcAlgorithm); 4] = [
+        ("standard vs standard", CcAlgorithm::Reno, CcAlgorithm::Reno),
+        (
+            "restricted vs ssthreshless",
+            CcAlgorithm::Restricted(RssConfig::tuned()),
+            CcAlgorithm::Ssthreshless(SslConfig::default()),
+        ),
+        (
+            "highspeed vs scalable",
+            CcAlgorithm::HighSpeed,
+            CcAlgorithm::Scalable(ScalableConfig::default()),
+        ),
+        (
+            "standard vs scalable",
+            CcAlgorithm::Reno,
+            CcAlgorithm::Scalable(ScalableConfig::default()),
+        ),
+    ];
+    let rows = pairs
+        .into_iter()
+        .map(|(label, a, b)| {
+            let r = run(&cross_variant_testbed(a, b));
+            CrossVariantRow {
+                pair: label.to_string(),
+                fairness: FairnessReport::from_run(&r, 1.0, 0.05),
+                aggregate_goodput_bps: r.total_goodput_bps(),
+            }
+        })
+        .collect();
+    CrossVariantResult { rows }
+}
+
+impl CrossVariantResult {
+    /// Row lookup by pair label.
+    pub fn pair(&self, label: &str) -> &CrossVariantRow {
+        self.rows
+            .iter()
+            .find(|r| r.pair == label)
+            .expect("missing pair")
+    }
+
+    /// Render as a table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let variants = r
+                    .fairness
+                    .variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{} {:.2} Mbit/s / {} stalls",
+                            v.algo,
+                            v.goodput_bps / 1e6,
+                            v.stalls
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                vec![
+                    r.pair.clone(),
+                    format!("{:.4}", r.fairness.jain),
+                    r.fairness
+                        .convergence_s
+                        .map(|t| format!("{t:.1}"))
+                        .unwrap_or_else(|| "never".into()),
+                    format!("{:.2}", r.aggregate_goodput_bps / 1e6),
+                    variants,
+                ]
+            })
+            .collect();
+        ascii_table(
+            &[
+                "pair",
+                "Jain index",
+                "converged s",
+                "aggregate Mbit/s",
+                "per-variant",
+            ],
+            &rows,
+        )
+    }
+
+    /// CSV rows (one per pair × variant, with the pair metrics repeated).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "pair,jain,convergence_s,aggregate_goodput_bps,variant,variant_goodput_bps,variant_stalls\n",
+        );
+        for r in &self.rows {
+            for v in &r.fairness.variants {
+                out.push_str(&format!(
+                    "{},{:.6},{},{:.0},{},{:.0},{}\n",
+                    r.pair,
+                    r.fairness.jain,
+                    r.fairness
+                        .convergence_s
+                        .map(|t| format!("{t:.2}"))
+                        .unwrap_or_default(),
+                    r.aggregate_goodput_bps,
+                    v.algo,
+                    v.goodput_bps,
+                    v.stalls
+                ));
+            }
         }
         out
     }
@@ -245,6 +402,46 @@ mod tests {
             rss2.jain
         );
         assert_eq!(rss2.stalls, 0);
+    }
+
+    #[test]
+    fn cross_variant_pairs_pin_the_convergence_findings() {
+        let r = run_cross_variant();
+        assert_eq!(r.rows.len(), 4);
+        // A symmetric AIMD pair is the fairness baseline: near-perfect index
+        // and a measured convergence time.
+        let base = r.pair("standard vs standard");
+        assert!(base.fairness.jain > 0.99, "jain {}", base.fairness.jain);
+        assert!(base.fairness.convergence_s.is_some(), "AIMD must converge");
+        // MIMD against AIMD captures the bottleneck: the index drops well
+        // below the baseline and scalable out-carries standard.
+        let mixed = r.pair("standard vs scalable");
+        assert!(
+            mixed.fairness.jain < base.fairness.jain - 0.05,
+            "expected the documented MIMD capture: {} vs {}",
+            mixed.fairness.jain,
+            base.fairness.jain
+        );
+        let std_v = &mixed.fairness.variants[0];
+        let sc_v = &mixed.fairness.variants[1];
+        assert_eq!(std_v.algo, "standard");
+        assert_eq!(sc_v.algo, "scalable");
+        assert!(
+            sc_v.goodput_bps > std_v.goodput_bps,
+            "scalable should out-carry standard: {} vs {}",
+            sc_v.goodput_bps,
+            std_v.goodput_bps
+        );
+        // Every pair keeps the shared link busy — the fairness question is
+        // about the split, not about wasting the bottleneck.
+        for row in &r.rows {
+            assert!(
+                row.aggregate_goodput_bps > 30e6,
+                "{}: aggregate collapsed to {}",
+                row.pair,
+                row.aggregate_goodput_bps
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | E6  | Ziegler–Nichols tuning trace (§3) | [`zn`] |
 //! | E7  | controller ablation (§3) | [`ablation`] |
 //! | E8  | vs RFC 3742 Limited Slow-Start | [`lss`] |
-//! | E9  | fairness & network-congestion boundary | [`fairness`] |
+//! | E9  | fairness, cross-variant pairs & network-congestion boundary | [`fairness`] |
 //! | E10 | GridFTP-style parallel streams | [`parallel`] |
 
 pub mod ablation;
@@ -23,7 +23,10 @@ pub mod sweeps;
 pub mod zn;
 
 pub use ablation::{run_ablation, AblationResult};
-pub use fairness::{run_fairness, run_friendliness, FairnessResult, FriendlinessResult};
+pub use fairness::{
+    run_cross_variant, run_fairness, run_friendliness, CrossVariantResult, CrossVariantRow,
+    FairnessResult, FriendlinessResult,
+};
 pub use fig1::{run_fig1, Fig1Result};
 pub use headline::{run_headline, HeadlineResult};
 pub use lss::{run_lss, LssResult};

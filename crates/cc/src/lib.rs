@@ -8,8 +8,8 @@
 //! Slow-Start needs), so `rss-tcp` no longer drags the control library in —
 //! and makes every future slow-start variant a one-crate-local change.
 //!
-//! The four implementations are the paper's comparison set plus the first
-//! extension variant:
+//! The six implementations are the paper's comparison set plus the
+//! extension variants added through the registry:
 //!
 //! * [`Reno`] — standard slow-start + AIMD congestion avoidance, the
 //!   Linux 2.4.19 baseline the paper measures against;
@@ -19,7 +19,11 @@
 //!   proposal, as an extension baseline;
 //! * [`SsthreshlessStart`] — delay-probed slow-start that dispenses with
 //!   ssthresh estimation entirely (arXiv:1401.7146), the first variant added
-//!   through the registry.
+//!   through the registry;
+//! * [`HighSpeedTcp`] — RFC 3649's table-driven a(w)/b(w) response bend for
+//!   large windows (the LFN survey's AIMD representative);
+//! * [`ScalableTcp`] — Kelly's MIMD scheme: fixed-fraction growth, fixed
+//!   1/8 backoff (the survey's MIMD representative).
 //!
 //! ## Adding a congestion-control variant
 //!
@@ -44,16 +48,20 @@
 
 #![warn(missing_docs)]
 
+pub mod highspeed;
 pub mod limited;
 pub mod registry;
 pub mod reno;
 pub mod restricted;
+pub mod scalable;
 pub mod ssthreshless;
 
+pub use highspeed::HighSpeedTcp;
 pub use limited::LimitedSlowStart;
-pub use registry::{CcError, Variant, VariantInfo};
+pub use registry::{CcError, ParamInfo, Variant, VariantInfo};
 pub use reno::Reno;
 pub use restricted::{RestrictedSlowStart, RssConfig};
+pub use scalable::{ScalableConfig, ScalableTcp};
 pub use ssthreshless::{SslConfig, SsthreshlessStart};
 
 use rss_sim::{SimDuration, SimTime};
@@ -166,6 +174,11 @@ pub enum CcAlgorithm {
     /// SSthreshless Start (arXiv:1401.7146): delay-probed slow-start with no
     /// ssthresh estimation.
     Ssthreshless(SslConfig),
+    /// HighSpeed TCP (RFC 3649): the a(w)/b(w) response-table bend for large
+    /// windows. No parameters — the RFC's constants.
+    HighSpeed,
+    /// Scalable TCP (Kelly 2003): MIMD growth with a fixed 1/8 backoff.
+    Scalable(ScalableConfig),
 }
 
 impl CcAlgorithm {
@@ -241,6 +254,11 @@ mod tests {
             make_cc(&CcAlgorithm::Ssthreshless(SslConfig::default()), &p).name(),
             "ssthreshless-start"
         );
+        assert_eq!(make_cc(&CcAlgorithm::HighSpeed, &p).name(), "highspeed-tcp");
+        assert_eq!(
+            make_cc(&CcAlgorithm::Scalable(ScalableConfig::default()), &p).name(),
+            "scalable-tcp"
+        );
     }
 
     #[test]
@@ -264,6 +282,11 @@ mod tests {
         assert_eq!(
             CcAlgorithm::Ssthreshless(SslConfig::default()).label(),
             "ssthreshless"
+        );
+        assert_eq!(CcAlgorithm::HighSpeed.label(), "highspeed");
+        assert_eq!(
+            CcAlgorithm::Scalable(ScalableConfig::default()).label(),
+            "scalable"
         );
     }
 }

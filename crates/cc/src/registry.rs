@@ -10,8 +10,8 @@
 //! crate docs for the full four-step recipe).
 
 use crate::{
-    CcAlgorithm, CcParams, CongestionControl, LimitedSlowStart, Reno, RestrictedSlowStart,
-    SsthreshlessStart,
+    CcAlgorithm, CcParams, CongestionControl, HighSpeedTcp, LimitedSlowStart, Reno,
+    RestrictedSlowStart, ScalableTcp, SsthreshlessStart,
 };
 use std::fmt;
 
@@ -37,6 +37,20 @@ impl fmt::Display for CcError {
 
 impl std::error::Error for CcError {}
 
+/// Static description of one scenario-file parameter of a variant — the
+/// rows of the generated variant gallery (`docs/VARIANTS.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct ParamInfo {
+    /// JSON field name inside the variant's `cc` object.
+    pub name: &'static str,
+    /// Default when the field is omitted.
+    pub default: &'static str,
+    /// Valid range (what `validate`/`validate_params` enforces).
+    pub range: &'static str,
+    /// What the knob does.
+    pub doc: &'static str,
+}
+
 /// Static description of one congestion-control variant.
 #[derive(Debug, Clone, Copy)]
 pub struct VariantInfo {
@@ -48,8 +62,13 @@ pub struct VariantInfo {
     pub summary: &'static str,
     /// Parameter summary (what the scenario-file arm accepts).
     pub params: &'static str,
+    /// Per-parameter metadata: JSON name, default, valid range, doc line.
+    pub params_detail: &'static [ParamInfo],
     /// Where the scheme comes from.
     pub reference: &'static str,
+    /// The scenario file (or experiment command) that shows the variant in
+    /// the regime it targets.
+    pub showcase: &'static str,
 }
 
 /// One registry row: metadata plus the data-driven selector, validator and
@@ -94,7 +113,9 @@ static VARIANTS: &[Variant] = &[
             algo: "reno",
             summary: "RFC 5681 slow-start + AIMD (NewReno recovery), the Linux 2.4.19 baseline",
             params: "none",
+            params_detail: &[],
             reference: "RFC 5681",
+            showcase: "scenarios/quickstart.json",
         },
         selects: |a| matches!(a, CcAlgorithm::Reno),
         validate: ok,
@@ -115,7 +136,22 @@ static VARIANTS: &[Variant] = &[
             algo: "restricted-slow-start",
             summary: "slow-start growth paced by a PID controller holding the IFQ at a set point",
             params: "tuning (ForPath|PerStream|ForRate|Gains), setpoint_frac (0,1]",
+            params_detail: &[
+                ParamInfo {
+                    name: "tuning",
+                    default: "\"ForPath\"",
+                    range: "ForPath | PerStream | ForRate{rate_mbps, wire_pkt_bytes} | Gains{kp, ti, td}",
+                    doc: "how the PID gains are chosen (Ziegler\u{2013}Nichols per path/stream/rate, or explicit)",
+                },
+                ParamInfo {
+                    name: "setpoint_frac",
+                    default: "0.9",
+                    range: "(0, 1]",
+                    doc: "IFQ set point as a fraction of txqueuelen",
+                },
+            ],
             reference: "Allcock et al., CLUSTER 2005",
+            showcase: "scenarios/headline.json",
         },
         selects: |a| matches!(a, CcAlgorithm::Restricted(_)),
         validate: |algo| match algo {
@@ -165,7 +201,14 @@ static VARIANTS: &[Variant] = &[
             algo: "limited-slow-start",
             summary: "slow-start growth capped open-loop past max_ssthresh",
             params: "max_ssthresh bytes (default 100 segments)",
+            params_detail: &[ParamInfo {
+                name: "max_ssthresh",
+                default: "100 \u{b7} MSS bytes",
+                range: "\u{2265} 2 \u{b7} MSS bytes",
+                doc: "window above which slow-start growth is capped to max_ssthresh/2 segments per RTT",
+            }],
             reference: "RFC 3742",
+            showcase: "experiments -- lss (E8)",
         },
         selects: |a| matches!(a, CcAlgorithm::Limited { .. }),
         validate: ok,
@@ -196,7 +239,14 @@ static VARIANTS: &[Variant] = &[
             algo: "ssthreshless-start",
             summary: "delay-probed slow-start with no ssthresh estimate; exits at the measured BDP",
             params: "gamma_segments > 0 (default 8)",
+            params_detail: &[ParamInfo {
+                name: "gamma_segments",
+                default: "8",
+                range: "> 0, finite",
+                doc: "backlog (segments) at which the delay probe stops doubling, then confirms a standing queue of 2\u{b7}\u{3b3}",
+            }],
             reference: "arXiv:1401.7146",
+            showcase: "scenarios/ssthreshless_lfn.json",
         },
         selects: |a| matches!(a, CcAlgorithm::Ssthreshless(_)),
         validate: |algo| match algo {
@@ -221,11 +271,112 @@ static VARIANTS: &[Variant] = &[
             _ => other(algo),
         },
     },
+    Variant {
+        info: VariantInfo {
+            name: "highspeed",
+            algo: "highspeed-tcp",
+            summary: "RFC 3649 a(w)/b(w) response tables: faster growth, gentler backoff at large windows",
+            params: "none (the RFC's constants)",
+            params_detail: &[],
+            reference: "RFC 3649; arXiv:1705.08929",
+            showcase: "scenarios/fairness_staggered.json",
+        },
+        selects: |a| matches!(a, CcAlgorithm::HighSpeed),
+        validate: ok,
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::HighSpeed => Box::new(HighSpeedTcp::new(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+            )),
+            _ => other(algo),
+        },
+    },
+    Variant {
+        info: VariantInfo {
+            name: "scalable",
+            algo: "scalable-tcp",
+            summary: "Kelly's MIMD: grow by acked/ai_cnt per ACK, fixed 1/8 backoff on congestion",
+            params: "ai_cnt \u{2265} 1 (default 100)",
+            params_detail: &[ParamInfo {
+                name: "ai_cnt",
+                default: "100",
+                range: "\u{2265} 1",
+                doc: "increase denominator: the window grows by newly_acked/ai_cnt bytes per ACK",
+            }],
+            reference: "Kelly, CCR 2003; arXiv:1705.08929",
+            showcase: "scenarios/fairness_shared_bottleneck.json",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Scalable(_)),
+        validate: |algo| match algo {
+            CcAlgorithm::Scalable(cfg) if cfg.ai_cnt == 0 => {
+                Err(CcError::new("ai_cnt must be at least 1, got 0"))
+            }
+            _ => Ok(()),
+        },
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Scalable(cfg) => Box::new(ScalableTcp::new(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+                *cfg,
+            )),
+            _ => other(algo),
+        },
+    },
 ];
 
 /// All registered variants, in presentation order.
 pub fn variants() -> &'static [Variant] {
     VARIANTS
+}
+
+/// Render the registry as the variant-gallery markdown document
+/// (`docs/VARIANTS.md`). Generated, never hand-edited: `rss list --variants
+/// --markdown` emits exactly this string and CI diffs the committed file
+/// against it, so the gallery cannot drift from the table.
+pub fn markdown_gallery() -> String {
+    let mut out = String::from(
+        "# Congestion-control variant gallery\n\n\
+         <!-- GENERATED FILE — do not edit. Regenerate with:\n     \
+         cargo run --release --bin rss -- list --variants --markdown > docs/VARIANTS.md -->\n\n\
+         Every congestion-control variant a scenario file's `cc` field accepts,\n\
+         straight from the `rss_cc::registry` table (`rss list --variants`).\n\
+         Adding a variant is a trait impl + one registry row + a `CcDef` arm +\n\
+         a scenario; the `rss-cc` crate docs walk through it.\n",
+    );
+    for v in VARIANTS {
+        let i = &v.info;
+        out.push_str(&format!(
+            "\n## `{}` \u{2014} {}\n\n{}\n\n- **Reference:** {}\n- **Showcase:** `{}`\n",
+            i.name, i.algo, i.summary, i.reference, i.showcase
+        ));
+        if i.params_detail.is_empty() {
+            out.push_str("- **Parameters:** none\n");
+        } else {
+            out.push_str(
+                "\n| parameter | default | valid range | meaning |\n\
+                 |-----------|---------|-------------|---------|\n",
+            );
+            // Literal `|` in cell text (e.g. variant alternatives) must not
+            // split the table cell.
+            let esc = |s: &str| s.replace('|', "\\|");
+            for p in i.params_detail {
+                out.push_str(&format!(
+                    "| `{}` | {} | {} | {} |\n",
+                    p.name,
+                    esc(p.default),
+                    esc(p.range),
+                    esc(p.doc)
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Look a variant up by its registry name.
@@ -269,7 +420,7 @@ pub fn build(algo: &CcAlgorithm, params: &CcParams) -> Result<Box<dyn Congestion
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{RssConfig, SslConfig, StallResponse};
+    use crate::{RssConfig, ScalableConfig, SslConfig, StallResponse};
 
     fn params() -> CcParams {
         CcParams {
@@ -285,7 +436,14 @@ mod tests {
         let names: Vec<_> = variants().iter().map(|v| v.info.name).collect();
         assert_eq!(
             names,
-            ["standard", "restricted", "limited", "ssthreshless"],
+            [
+                "standard",
+                "restricted",
+                "limited",
+                "ssthreshless",
+                "highspeed",
+                "scalable"
+            ],
             "presentation order is part of the contract"
         );
         let algos = [
@@ -293,7 +451,10 @@ mod tests {
             CcAlgorithm::Restricted(RssConfig::tuned()),
             CcAlgorithm::Limited { max_ssthresh: None },
             CcAlgorithm::Ssthreshless(SslConfig::default()),
+            CcAlgorithm::HighSpeed,
+            CcAlgorithm::Scalable(ScalableConfig::default()),
         ];
+        assert_eq!(algos.len(), variants().len(), "one probe per registry row");
         for algo in &algos {
             let v = entry_for(algo);
             let built = build(algo, &params()).expect("defaults validate");
@@ -381,6 +542,47 @@ mod tests {
             });
             let err = validate(&algo).unwrap_err();
             assert!(err.msg.contains("gamma_segments"), "{}", err.msg);
+        }
+    }
+
+    #[test]
+    fn scalable_validation_rejects_zero_ai_cnt() {
+        let err = validate(&CcAlgorithm::Scalable(ScalableConfig { ai_cnt: 0 })).unwrap_err();
+        assert!(err.msg.contains("ai_cnt"), "{}", err.msg);
+        assert!(validate(&CcAlgorithm::Scalable(ScalableConfig { ai_cnt: 1 })).is_ok());
+    }
+
+    #[test]
+    fn markdown_gallery_covers_every_row_and_every_parameter() {
+        let md = markdown_gallery();
+        assert!(md.starts_with("# Congestion-control variant gallery"));
+        assert!(md.contains("GENERATED FILE"), "must mark itself generated");
+        for v in variants() {
+            assert!(
+                md.contains(&format!("## `{}` \u{2014} {}", v.info.name, v.info.algo)),
+                "missing section for {}",
+                v.info.name
+            );
+            assert!(md.contains(v.info.reference), "{} reference", v.info.name);
+            assert!(md.contains(v.info.showcase), "{} showcase", v.info.name);
+            for p in v.info.params_detail {
+                assert!(
+                    md.contains(&format!("| `{}` |", p.name)),
+                    "{}: missing param row {}",
+                    v.info.name,
+                    p.name
+                );
+            }
+        }
+        // Table cells must escape literal pipes or the gallery renders
+        // broken (the Restricted tuning alternatives carry them).
+        for line in md.lines().filter(|l| l.starts_with("| `")) {
+            let unescaped = line.replace("\\|", "");
+            assert_eq!(
+                unescaped.matches('|').count(),
+                5,
+                "table row has stray pipes: {line}"
+            );
         }
     }
 

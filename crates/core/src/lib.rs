@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod body;
+pub mod fairness;
 pub mod plot;
 pub mod report;
 pub mod runner;
@@ -45,18 +46,19 @@ pub mod spec;
 pub mod world;
 
 pub use body::WireBody;
+pub use fairness::{fairness_csv, fairness_reports, FairnessReport, FlowFairness, VariantFairness};
 pub use report::{FlowReport, RunReport};
 pub use runner::{run, run_many, run_many_memo};
 pub use scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
 pub use spec::{
-    results_csv, CcDef, CrossDef, ExpandedRun, FlowDef, GridFtpDef, HostDef, OutputSpec, PathDef,
-    RunSpec, ScenarioSpec, SpecError, SweepSpec, TcpDef, TuningDef,
+    results_csv, CcDef, CrossDef, ExpandedRun, FairnessDef, FlowDef, GridFtpDef, HostDef,
+    OutputSpec, PathDef, RunSpec, ScenarioSpec, SpecError, SweepSpec, TcpDef, TuningDef,
 };
 pub use world::{Ev, World};
 
 // Re-export the pieces downstream users need to compose scenarios without
 // depending on every substrate crate directly.
-pub use rss_cc::{registry as cc_registry, CcError, CcParams, SslConfig};
+pub use rss_cc::{registry as cc_registry, CcError, CcParams, ScalableConfig, SslConfig};
 pub use rss_control::{
     find_ultimate_gain, simulate_closed_loop, step_metrics, DeadTimePlant, FirstOrderPlant,
     IntegratorPlant, PidConfig, PidController, PidGains, Plant, SecondOrderPlant, StepMetrics,
@@ -64,7 +66,7 @@ pub use rss_control::{
 };
 pub use rss_host::{HostConfig, NicStats};
 pub use rss_net::{LinkParams, TrafficPattern};
-pub use rss_sim::{SimDuration, SimTime};
+pub use rss_sim::{convergence_time, jain_fairness, SimDuration, SimTime};
 pub use rss_tcp::{AckPolicy, CcAlgorithm, RssConfig, StallResponse, TcpConfig};
 pub use rss_web100::Web100Vars;
 pub use rss_workload::{stripe_bytes, AppModel};

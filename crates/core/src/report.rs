@@ -52,6 +52,31 @@ impl FlowReport {
         out
     }
 
+    /// The per-flow goodput timeseries: mean goodput over each consecutive
+    /// `window_s`-second window of `[0, end_s]`, bits/s, derived from the
+    /// cumulative acked series in one pass. Points are labelled with the
+    /// window's *end* time, so `(2.0, g)` is the goodput over `[1, 2]` s at
+    /// `window_s = 1`. This is the series the fairness subsystem compares
+    /// across flows.
+    pub fn goodput_series_bps(&self, window_s: f64, end_s: f64) -> Vec<(f64, f64)> {
+        assert!(window_s > 0.0, "window must be positive");
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let mut cum = 0.0; // cumulative acked bytes at the current window end
+        let mut cum_prev = 0.0; // ... at the previous window end
+        let mut t = window_s;
+        while t <= end_s + 1e-9 {
+            while i < self.acked_series.len() && self.acked_series[i].0 <= t {
+                cum = self.acked_series[i].1;
+                i += 1;
+            }
+            out.push((t, (cum - cum_prev) * 8.0 / window_s));
+            cum_prev = cum;
+            t += window_s;
+        }
+        out
+    }
+
     /// Goodput over a window `[a_s, b_s]`, bits/s, from the acked series.
     pub fn goodput_in_window_bps(&self, a_s: f64, b_s: f64) -> f64 {
         assert!(b_s > a_s);
@@ -181,6 +206,19 @@ mod tests {
         // Between t=1 and t=2: 250 kB = 2 Mbit/s.
         let g = f.goodput_in_window_bps(1.0, 2.0);
         assert!((g - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn goodput_series_matches_the_window_function() {
+        let f = flow(vec![], 1e6);
+        let series = f.goodput_series_bps(1.0, 3.0);
+        assert_eq!(series.len(), 3);
+        for &(t, g) in &series {
+            let want = f.goodput_in_window_bps(t - 1.0, t);
+            assert!((g - want).abs() < 1e-6, "window ending {t}: {g} vs {want}");
+        }
+        // Past the last sample the cumulative series is flat: zero goodput.
+        assert_eq!(series[2].1, 0.0);
     }
 
     #[test]

@@ -19,6 +19,55 @@
 //! carrying the JSON path and source line (`at $.runs[0].tcp.mss (line 14):
 //! …`) — a typo in a scenario file fails loudly instead of silently running
 //! the default.
+//!
+//! Every field's rustdoc states its JSON name (always the Rust field name —
+//! the vendored serde derives use externally-tagged field names verbatim),
+//! its default, and its units, so the docs double as the file-format
+//! reference.
+//!
+//! # Worked example
+//!
+//! A two-variant fairness comparison on a 50 Mbit/s path, swept over two
+//! RTTs — everything a scenario file can say, in miniature:
+//!
+//! ```
+//! use rss_core::{CcAlgorithm, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::from_json(
+//!     r#"{
+//!       "name": "worked_example",
+//!       "comment": "standard vs scalable sharing one bottleneck",
+//!       "runs": [{
+//!         "label": "pair",
+//!         "path": { "rate_mbps": 50, "rtt_ms": 40 },
+//!         "flows": [
+//!           { "cc": "Standard" },
+//!           { "cc": { "Scalable": { "ai_cnt": 100 } }, "start_s": 2.0 }
+//!         ],
+//!         "duration_s": 10
+//!       }],
+//!       "sweep": { "rtt_ms": [40, 80] },
+//!       "fairness": { "window_s": 1.0, "eps": 0.05 }
+//!     }"#,
+//! )
+//! .expect("parses");
+//!
+//! // One run × two sweep cells; knobs land where the docs say they do.
+//! assert_eq!(spec.cells(), 2);
+//! let runs = spec.expand().expect("validates");
+//! assert_eq!(runs.len(), 2);
+//! assert_eq!(runs[0].scenario.path.rate_bps, 50_000_000);
+//! assert_eq!(runs[1].scenario.path.rtt.as_nanos(), 80_000_000);
+//! assert!(matches!(runs[0].scenario.flows[0].algo, CcAlgorithm::Reno));
+//! assert_eq!(runs[0].scenario.flows[1].start.as_secs_f64(), 2.0);
+//!
+//! // The fairness block names its artifact beside the summary CSV.
+//! assert_eq!(spec.csv_name(), "scenario_worked_example.csv");
+//! assert_eq!(
+//!     spec.fairness_csv_name().as_deref(),
+//!     Some("fairness_worked_example.csv")
+//! );
+//! ```
 
 use crate::report::RunReport;
 use crate::scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
@@ -34,15 +83,23 @@ use std::fmt;
 /// grid, and the artifacts to emit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
-    /// Scenario name (used for default artifact names; `[a-z0-9_-]+`).
+    /// Scenario name, used for default artifact names (JSON `name`,
+    /// required, `[a-z0-9_-]+`).
     pub name: String,
-    /// Free-form description (what paper figure/claim this reproduces).
+    /// Free-form description — what paper figure/claim this reproduces
+    /// (JSON `comment`, default none).
     pub comment: Option<String>,
-    /// The runs executed per sweep cell, in order.
+    /// The runs executed per sweep cell, in order (JSON `runs`, required,
+    /// at least one).
     pub runs: Vec<RunSpec>,
-    /// Optional parameter grid; absent = a single cell.
+    /// Parameter grid multiplying the runs (JSON `sweep`, default a single
+    /// cell).
     pub sweep: Option<SweepSpec>,
-    /// Artifact file names (under the output directory).
+    /// Opt-in fairness & convergence measurement over every run (JSON
+    /// `fairness`, default off).
+    pub fairness: Option<FairnessDef>,
+    /// Artifact file names under the output directory (JSON `output`,
+    /// default `scenario_<name>.csv` only).
     pub output: Option<OutputSpec>,
 }
 
@@ -51,51 +108,68 @@ pub struct ScenarioSpec {
 /// seed 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSpec {
-    /// Run label (CSV `run` column; unique within the file).
+    /// Run label — the CSV `run` column (JSON `label`, required, unique
+    /// within the file).
     pub label: String,
-    /// Network path overrides.
+    /// Network path overrides (JSON `path`, default the §4 path).
     pub path: Option<PathDef>,
-    /// Sending/receiving host overrides.
+    /// Sending/receiving host overrides (JSON `host`, default the §4
+    /// host).
     pub host: Option<HostDef>,
-    /// Transport overrides.
+    /// Transport overrides (JSON `tcp`, default the Linux 2.4.19 profile).
     pub tcp: Option<TcpDef>,
-    /// Explicit flow list (mutually exclusive with `gridftp`).
+    /// Explicit flow list (JSON `flows`; exactly one of `flows`/`gridftp`
+    /// is required).
     pub flows: Option<Vec<FlowDef>>,
-    /// GridFTP-style striping: one transfer over N parallel flows.
+    /// GridFTP-style striping: one transfer over N parallel flows (JSON
+    /// `gridftp`; mutually exclusive with `flows`).
     pub gridftp: Option<GridFtpDef>,
-    /// Open-loop cross-traffic sources sharing the bottleneck.
+    /// Open-loop cross-traffic sources sharing the bottleneck (JSON
+    /// `cross`, default none).
     pub cross: Option<Vec<CrossDef>>,
-    /// Simulated run length, seconds (default 25).
+    /// Simulated run length, seconds (JSON `duration_s`, default 25).
     pub duration_s: Option<f64>,
-    /// RNG seed (default 1).
+    /// RNG seed, dimensionless (JSON `seed`, default 1).
     pub seed: Option<u64>,
-    /// Put every flow on one sending host (default false).
+    /// Put every flow on one sending host (JSON `shared_sender_host`,
+    /// default false — each flow gets its own host pair).
     pub shared_sender_host: Option<bool>,
-    /// Stop as soon as every bounded flow completes (default false).
+    /// Stop as soon as every bounded flow completes (JSON
+    /// `stop_when_complete`, default false).
     pub stop_when_complete: Option<bool>,
-    /// Use RED instead of drop-tail on the bottleneck (default false).
+    /// Use RED instead of drop-tail on the bottleneck (JSON
+    /// `red_bottleneck`, default false).
     pub red_bottleneck: Option<bool>,
-    /// World-series sampling interval, milliseconds (default 10).
+    /// World-series sampling interval, milliseconds (JSON
+    /// `sample_interval_ms`, default 10).
     pub sample_interval_ms: Option<f64>,
-    /// Thinning stride for dense per-connection series (default 1).
+    /// Thinning stride for dense per-connection series, samples (JSON
+    /// `web100_stride`, default 1 = keep all).
     pub web100_stride: Option<u32>,
     /// Size the receive window to the path (4×BDP, floor 2 MB), applied
-    /// after any sweep overrides — mirrors [`Scenario::with_auto_rwnd`].
+    /// after any sweep overrides — mirrors [`Scenario::with_auto_rwnd`]
+    /// (JSON `auto_rwnd`, default false).
     pub auto_rwnd: Option<bool>,
 }
 
 /// Network-path knobs (defaults: the paper's 100 Mbit/s, 60 ms path).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PathDef {
-    /// Bottleneck/backbone line rate, Mbit/s (default 100).
+    /// Bottleneck/backbone line rate, Mbit/s (JSON `rate_mbps`, default
+    /// 100).
     pub rate_mbps: Option<f64>,
-    /// Round-trip propagation time, milliseconds (default 60).
+    /// Round-trip propagation time, milliseconds (JSON `rtt_ms`, default
+    /// 60).
     pub rtt_ms: Option<f64>,
-    /// Router egress queue capacity, packets (default 200).
+    /// Router egress queue capacity, packets (JSON `router_queue_pkts`,
+    /// default 200).
     pub router_queue_pkts: Option<u32>,
-    /// Independent per-packet loss probability (default 0).
+    /// Independent per-packet loss probability, in [0, 1] (JSON
+    /// `loss_prob`, default 0).
     pub loss_prob: Option<f64>,
-    /// Access-link rate, Mbit/s; omitted = same as `rate_mbps`.
+    /// Access-link rate, Mbit/s (JSON `access_rate_mbps`, default: same as
+    /// `rate_mbps`, which makes the sender's NIC the bottleneck — the
+    /// paper's regime).
     pub access_rate_mbps: Option<f64>,
 }
 
@@ -103,11 +177,12 @@ pub struct PathDef {
 /// MTU 1500).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct HostDef {
-    /// NIC line rate, Mbit/s; omitted = follow the path rate.
+    /// NIC line rate, Mbit/s (JSON `nic_rate_mbps`, default: follow the
+    /// path rate).
     pub nic_rate_mbps: Option<f64>,
-    /// Interface-queue capacity, packets (default 100).
+    /// Interface-queue capacity, packets (JSON `txqueuelen`, default 100).
     pub txqueuelen: Option<u32>,
-    /// MTU, bytes (default 1500).
+    /// MTU, bytes (JSON `mtu`, default 1500).
     pub mtu: Option<u32>,
 }
 
@@ -115,38 +190,48 @@ pub struct HostDef {
 /// profile of the paper's hosts).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct TcpDef {
-    /// Maximum segment size, payload bytes (default 1448).
+    /// Maximum segment size, payload bytes (JSON `mss`, default 1448).
     pub mss: Option<u32>,
-    /// Per-segment wire header overhead, bytes (default 52).
+    /// Per-segment wire header overhead, bytes (JSON `header_bytes`,
+    /// default 52).
     pub header_bytes: Option<u32>,
-    /// Initial congestion window, segments (default 2).
+    /// Initial congestion window, segments (JSON `initial_cwnd_mss`,
+    /// default 2).
     pub initial_cwnd_mss: Option<u32>,
-    /// Initial slow-start threshold, bytes (default: effectively infinite).
+    /// Initial slow-start threshold, bytes (JSON `initial_ssthresh`,
+    /// default: effectively infinite).
     pub initial_ssthresh: Option<u64>,
-    /// Receiver's advertised window, bytes (default 2 MiB).
+    /// Receiver's advertised window, bytes (JSON `rwnd_bytes`, default
+    /// 2 MiB).
     pub rwnd_bytes: Option<u64>,
-    /// Lower RTO bound, milliseconds (default 200).
+    /// Lower RTO bound, milliseconds (JSON `min_rto_ms`, default 200).
     pub min_rto_ms: Option<f64>,
-    /// Upper RTO bound, milliseconds (default 60 000).
+    /// Upper RTO bound, milliseconds (JSON `max_rto_ms`, default 60 000).
     pub max_rto_ms: Option<f64>,
-    /// ACK generation policy (default `"EverySegment"`).
+    /// ACK generation policy (JSON `ack_policy`, default
+    /// `"EverySegment"`).
     pub ack_policy: Option<AckPolicy>,
-    /// Congestion response to send-stalls (default `"Cwr"`).
+    /// Congestion response to send-stalls (JSON `stall_response`, default
+    /// `"Cwr"`).
     pub stall_response: Option<StallResponse>,
-    /// Post-stall re-probe delay, milliseconds (default 1).
+    /// Post-stall re-probe delay, milliseconds (JSON `stall_retry_ms`,
+    /// default 1).
     pub stall_retry_ms: Option<f64>,
-    /// Duplicate ACKs triggering fast retransmit (default 3).
+    /// Duplicate ACKs triggering fast retransmit, count (JSON
+    /// `dupack_threshold`, default 3).
     pub dupack_threshold: Option<u32>,
 }
 
 /// One TCP flow.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FlowDef {
-    /// Slow-start variant (default `"Standard"`).
+    /// Congestion-control variant (JSON `cc`, default `"Standard"`; the
+    /// menu is the `rss_cc` registry — see `docs/VARIANTS.md`).
     pub cc: Option<CcDef>,
-    /// Application model (default unbounded bulk).
+    /// Application model (JSON `app`, default unbounded bulk).
     pub app: Option<AppModel>,
-    /// Flow start time, seconds (default 0).
+    /// Flow start time, seconds (JSON `start_s`, default 0 — stagger
+    /// starts to measure convergence with the `fairness` block).
     pub start_s: Option<f64>,
 }
 
@@ -178,6 +263,15 @@ pub enum CcDef {
     Ssthreshless {
         /// Probe-exit backlog threshold, segments (default 8).
         gamma_segments: Option<f64>,
+    },
+    /// HighSpeed TCP (RFC 3649): the a(w)/b(w) response-table bend for
+    /// large windows. No parameters — the RFC's constants.
+    HighSpeed,
+    /// Scalable TCP (Kelly 2003): MIMD growth, fixed 1/8 backoff.
+    Scalable {
+        /// Increase denominator: the window grows by `newly_acked / ai_cnt`
+        /// bytes per ACK (default 100, i.e. Kelly's a = 0.01).
+        ai_cnt: Option<u32>,
     },
 }
 
@@ -212,22 +306,25 @@ pub enum TuningDef {
 /// one sending host.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GridFtpDef {
-    /// Total transfer size, bytes (split evenly across streams).
+    /// Total transfer size, bytes, split evenly across streams (JSON
+    /// `total_bytes`, required, positive).
     pub total_bytes: u64,
-    /// Number of parallel streams (the `streams` sweep axis overrides this).
+    /// Number of parallel streams (JSON `streams`, required, positive; the
+    /// `streams` sweep axis overrides it).
     pub streams: u32,
-    /// Variant every stream runs.
+    /// Congestion-control variant every stream runs (JSON `cc`, required).
     pub cc: CcDef,
 }
 
 /// One open-loop cross-traffic source.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CrossDef {
-    /// Arrival process.
+    /// Arrival process (JSON `pattern`, required — `Cbr` or `Poisson` with
+    /// `rate_bps`/`pkt_size`).
     pub pattern: TrafficPattern,
-    /// Start time, seconds (default 0).
+    /// Start time, seconds (JSON `start_s`, default 0).
     pub start_s: Option<f64>,
-    /// Stop time, seconds (omitted = until the run ends).
+    /// Stop time, seconds (JSON `stop_s`, default: until the run ends).
     pub stop_s: Option<f64>,
 }
 
@@ -236,25 +333,74 @@ pub struct CrossDef {
 /// file's runs executed per cell.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SweepSpec {
-    /// Line rates, Mbit/s (sets the path rate; the NIC follows unless the
-    /// host pins `nic_rate_mbps`).
+    /// Line rates, Mbit/s (JSON `rate_mbps`; sets the path rate, the NIC
+    /// follows unless the host pins `nic_rate_mbps`).
     pub rate_mbps: Option<Vec<f64>>,
-    /// Round-trip times, milliseconds.
+    /// Round-trip times, milliseconds (JSON `rtt_ms`).
     pub rtt_ms: Option<Vec<f64>>,
-    /// Interface-queue depths, packets.
+    /// Interface-queue depths, packets (JSON `txqueuelen`).
     pub txqueuelen: Option<Vec<u32>>,
-    /// RNG seeds.
+    /// RNG seeds, dimensionless (JSON `seed`).
     pub seed: Option<Vec<u64>>,
-    /// GridFTP stream counts (requires `gridftp` on every run).
+    /// GridFTP stream counts (JSON `streams`; requires `gridftp` on every
+    /// run). Each omitted axis keeps the run's own value; present axes
+    /// multiply the cell count.
     pub streams: Option<Vec<u32>>,
+}
+
+/// Fairness & convergence measurement (JSON `fairness`, optional): when
+/// present, `rss run` computes a [`crate::fairness::FairnessReport`] per
+/// run — windowed Jain index over the per-flow goodput series,
+/// convergence-to-ε time, per-variant goodput/stall aggregates — prints the
+/// metrics, and writes the [`crate::fairness::fairness_csv`] artifact.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FairnessDef {
+    /// Goodput-averaging window, seconds (JSON `window_s`, default 1).
+    pub window_s: Option<f64>,
+    /// Convergence tolerance: converged once the windowed Jain index stays
+    /// at or above `1 − eps` (JSON `eps`, default 0.05; valid (0, 1)).
+    pub eps: Option<f64>,
+    /// Fairness CSV artifact name (JSON `csv`, default
+    /// `fairness_<name>.csv`).
+    pub csv: Option<String>,
+}
+
+impl FairnessDef {
+    /// Resolved averaging window, seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s.unwrap_or(1.0)
+    }
+
+    /// Resolved convergence tolerance.
+    pub fn eps(&self) -> f64 {
+        self.eps.unwrap_or(0.05)
+    }
+
+    fn check(&self) -> Result<(), SpecError> {
+        let w = self.window_s();
+        if !(w.is_finite() && w > 0.0) {
+            return Err(SpecError::new(format!(
+                "fairness.window_s must be positive, got {w}"
+            )));
+        }
+        let e = self.eps();
+        if !(e.is_finite() && e > 0.0 && e < 1.0) {
+            return Err(SpecError::new(format!(
+                "fairness.eps must be in (0, 1), got {e}"
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Artifact names, relative to the CLI's output directory.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct OutputSpec {
-    /// Per-flow summary CSV (default `scenario_<name>.csv`).
+    /// Per-flow summary CSV file name (JSON `csv`, default
+    /// `scenario_<name>.csv`).
     pub csv: Option<String>,
-    /// Full machine-readable reports as JSON (omitted = not written).
+    /// Full machine-readable reports as JSON (JSON `json`, default: not
+    /// written).
     pub json: Option<String>,
 }
 
@@ -379,6 +525,14 @@ impl CcDef {
                     cfg.gamma_segments = g;
                 }
                 CcAlgorithm::Ssthreshless(cfg)
+            }
+            CcDef::HighSpeed => CcAlgorithm::HighSpeed,
+            CcDef::Scalable { ai_cnt } => {
+                let mut cfg = rss_cc::ScalableConfig::default();
+                if let Some(n) = ai_cnt {
+                    cfg.ai_cnt = n;
+                }
+                CcAlgorithm::Scalable(cfg)
             }
         };
         rss_cc::registry::validate(&algo).map_err(|e| SpecError::new(e.msg))?;
@@ -632,6 +786,9 @@ impl ScenarioSpec {
         if self.runs.is_empty() {
             return Err(SpecError::new("a scenario needs at least one run"));
         }
+        if let Some(f) = &self.fairness {
+            f.check()?;
+        }
         for (i, run) in self.runs.iter().enumerate() {
             if run.label.is_empty() {
                 return Err(SpecError::new(format!(
@@ -708,6 +865,17 @@ impl ScenarioSpec {
             Some(name) => name,
             None => format!("scenario_{}.csv", self.name),
         }
+    }
+
+    /// Fairness CSV artifact name — `Some` only when the spec opts into the
+    /// fairness block (`fairness_<name>.csv` unless `fairness.csv`
+    /// overrides it).
+    pub fn fairness_csv_name(&self) -> Option<String> {
+        self.fairness.as_ref().map(|f| {
+            f.csv
+                .clone()
+                .unwrap_or_else(|| format!("fairness_{}.csv", self.name))
+        })
     }
 }
 
@@ -820,10 +988,41 @@ mod tests {
         assert!(err.msg.contains("unknown variant `Vegas`"), "{}", err.msg);
         assert!(
             err.msg
-                .contains("Standard, Restricted, Limited, Ssthreshless"),
+                .contains("Standard, Restricted, Limited, Ssthreshless, HighSpeed, Scalable"),
             "{}",
             err.msg
         );
+    }
+
+    #[test]
+    fn highspeed_and_scalable_arms_resolve_through_the_registry() {
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"lfn","flows":[{"cc":"HighSpeed"},
+                                        {"cc":{"Scalable":{}}},
+                                        {"cc":{"Scalable":{"ai_cnt":50}}}]}]"#,
+        ))
+        .unwrap();
+        let runs = spec.expand().unwrap();
+        assert!(matches!(
+            runs[0].scenario.flows[0].algo,
+            CcAlgorithm::HighSpeed
+        ));
+        match runs[0].scenario.flows[1].algo {
+            CcAlgorithm::Scalable(cfg) => assert_eq!(cfg.ai_cnt, 100),
+            ref other => panic!("wrong algo {other:?}"),
+        }
+        match runs[0].scenario.flows[2].algo {
+            CcAlgorithm::Scalable(cfg) => assert_eq!(cfg.ai_cnt, 50),
+            ref other => panic!("wrong algo {other:?}"),
+        }
+        // Registry validation surfaces as a named spec error.
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"bad","flows":[{"cc":{"Scalable":{"ai_cnt":0}}}]}]"#,
+        ))
+        .unwrap();
+        let err = spec.validate().unwrap_err();
+        assert!(err.msg.contains("run `bad`"), "{}", err.msg);
+        assert!(err.msg.contains("ai_cnt"), "{}", err.msg);
     }
 
     #[test]
@@ -875,6 +1074,46 @@ mod tests {
         let err = spec.validate().unwrap_err();
         assert!(err.msg.contains("run `bad`"), "{}", err.msg);
         assert!(err.msg.contains("gamma_segments"), "{}", err.msg);
+    }
+
+    #[test]
+    fn fairness_block_defaults_validates_and_names_its_artifact() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name":"fair","runs":[{"label":"x","flows":[{},{}]}],
+                "fairness":{}}"#,
+        )
+        .unwrap();
+        spec.validate().unwrap();
+        let def = spec.fairness.as_ref().unwrap();
+        assert_eq!(def.window_s(), 1.0);
+        assert_eq!(def.eps(), 0.05);
+        assert_eq!(
+            spec.fairness_csv_name().as_deref(),
+            Some("fairness_fair.csv")
+        );
+        // No block, no artifact.
+        let plain = ScenarioSpec::from_json(&minimal(r#"[{"label":"x","flows":[{}]}]"#)).unwrap();
+        assert_eq!(plain.fairness_csv_name(), None);
+        // Overrides stick.
+        let spec = ScenarioSpec::from_json(
+            r#"{"name":"fair","runs":[{"label":"x","flows":[{}]}],
+                "fairness":{"window_s":0.5,"eps":0.1,"csv":"f.csv"}}"#,
+        )
+        .unwrap();
+        let def = spec.fairness.as_ref().unwrap();
+        assert_eq!(def.window_s(), 0.5);
+        assert_eq!(def.eps(), 0.1);
+        assert_eq!(spec.fairness_csv_name().as_deref(), Some("f.csv"));
+        // Out-of-range knobs are semantic errors, caught by validate.
+        for bad in [
+            r#"{"name":"f","runs":[{"label":"x","flows":[{}]}],"fairness":{"window_s":0}}"#,
+            r#"{"name":"f","runs":[{"label":"x","flows":[{}]}],"fairness":{"eps":1.0}}"#,
+            r#"{"name":"f","runs":[{"label":"x","flows":[{}]}],"fairness":{"eps":-0.5}}"#,
+        ] {
+            let spec = ScenarioSpec::from_json(bad).unwrap();
+            let err = spec.validate().unwrap_err();
+            assert!(err.msg.contains("fairness."), "{}", err.msg);
+        }
     }
 
     #[test]

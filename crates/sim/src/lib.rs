@@ -49,5 +49,5 @@ pub use engine::{Engine, Model, RunStats, Scheduler};
 pub use queue::{EventId, EventQueue};
 pub use rng::{SimRng, SplitMix64};
 pub use series::{EventCounter, TimeSeries};
-pub use stats::{jain_fairness, Histogram, Welford};
+pub use stats::{convergence_time, jain_fairness, Histogram, Welford};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -1,7 +1,9 @@
 //! Property-based tests for the simulation engine primitives.
 
 use proptest::prelude::*;
-use rss_sim::{EventQueue, SimDuration, SimTime, TimeSeries, Welford};
+use rss_sim::{
+    convergence_time, jain_fairness, EventQueue, SimDuration, SimTime, TimeSeries, Welford,
+};
 
 /// Reference model for the calendar-wheel scheduler: a plain max-heap of
 /// `Reverse(time, seq)` with a cancelled-id set, i.e. the data structure the
@@ -196,6 +198,51 @@ proptest! {
         prop_assert!((a.mean() - seq.mean()).abs() / scale < 1e-9);
         let vscale = seq.variance().abs().max(1.0);
         prop_assert!((a.variance() - seq.variance()).abs() / vscale < 1e-6);
+    }
+
+    /// Jain's fairness index stays in (0, 1] for any non-degenerate
+    /// allocation vector, hits 1 exactly on equal shares, and is bounded
+    /// below by 1/n (one hog).
+    #[test]
+    fn jain_fairness_stays_in_unit_interval(
+        allocs in prop::collection::vec(0.0f64..1e9, 1..32),
+        equal in 1e3f64..1e9,
+        n in 1usize..32,
+    ) {
+        let j = jain_fairness(&allocs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "index {j} outside (0, 1]");
+        if allocs.iter().any(|&x| x > 0.0) {
+            prop_assert!(
+                j >= 1.0 / allocs.len() as f64 - 1e-12,
+                "index {j} below the 1/n floor for {} flows",
+                allocs.len()
+            );
+        }
+        // Equal allocations are exactly fair at any scale and count.
+        let same = vec![equal; n];
+        prop_assert!((jain_fairness(&same) - 1.0).abs() < 1e-12);
+    }
+
+    /// Convergence time, when reported, names a sample at or above the
+    /// target whose suffix never dips below it.
+    #[test]
+    fn convergence_time_is_a_stable_suffix(
+        values in prop::collection::vec(0.0f64..1.0, 1..100),
+        target in 0.1f64..0.99,
+    ) {
+        let series: Vec<(f64, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
+        match convergence_time(&series, target) {
+            Some(t) => {
+                let idx = t as usize;
+                prop_assert!(series[idx..].iter().all(|&(_, v)| v >= target));
+                prop_assert!(idx == 0 || series[idx - 1].1 < target, "not the earliest");
+            }
+            None => prop_assert!(series.last().unwrap().1 < target),
+        }
     }
 
     /// Time-weighted mean lies within the sample range.

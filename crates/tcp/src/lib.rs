@@ -31,8 +31,9 @@ pub mod sender;
 pub mod types;
 
 pub use cc::{
-    CcAlgorithm, CcParams, CcView, CongestionControl, CongestionEvent, LimitedSlowStart, Reno,
-    RestrictedSlowStart, RssConfig, SslConfig, SsthreshlessStart, StallResponse,
+    CcAlgorithm, CcParams, CcView, CongestionControl, CongestionEvent, HighSpeedTcp,
+    LimitedSlowStart, Reno, RestrictedSlowStart, RssConfig, ScalableConfig, ScalableTcp, SslConfig,
+    SsthreshlessStart, StallResponse,
 };
 pub use receiver::{AckToSend, ReceiverStats, TcpReceiver};
 pub use rtt::RttEstimator;
@@ -65,6 +66,14 @@ mod tests {
         assert_eq!(
             make_cc(CcAlgorithm::Ssthreshless(SslConfig::default()), &cfg).name(),
             "ssthreshless-start"
+        );
+        assert_eq!(
+            make_cc(CcAlgorithm::HighSpeed, &cfg).name(),
+            "highspeed-tcp"
+        );
+        assert_eq!(
+            make_cc(CcAlgorithm::Scalable(ScalableConfig::default()), &cfg).name(),
+            "scalable-tcp"
         );
     }
 

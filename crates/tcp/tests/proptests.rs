@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rss_sim::{SimDuration, SimTime};
 use rss_tcp::{
-    make_cc, AckPolicy, CcAlgorithm, CcView, ConnId, RssConfig, SslConfig, StallResponse,
-    TcpConfig, TcpReceiver,
+    make_cc, AckPolicy, CcAlgorithm, CcView, ConnId, RssConfig, ScalableConfig, SslConfig,
+    StallResponse, TcpConfig, TcpReceiver,
 };
 
 fn cfg_every() -> TcpConfig {
@@ -66,7 +66,7 @@ proptest! {
     /// [1 MSS, initial + total_acked + inflation] and never hits zero.
     #[test]
     fn cc_window_stays_sane(
-        algo_pick in 0u8..4,
+        algo_pick in 0u8..6,
         events in prop::collection::vec((0u8..4, 1u64..20_000), 1..300),
     ) {
         let cfg = TcpConfig::default();
@@ -74,6 +74,8 @@ proptest! {
             0 => CcAlgorithm::Reno,
             1 => CcAlgorithm::Restricted(RssConfig::tuned()),
             2 => CcAlgorithm::Ssthreshless(SslConfig::default()),
+            3 => CcAlgorithm::HighSpeed,
+            4 => CcAlgorithm::Scalable(ScalableConfig::default()),
             _ => CcAlgorithm::Limited { max_ssthresh: None },
         };
         let mut cc = make_cc(algo, &cfg);

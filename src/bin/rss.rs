@@ -14,15 +14,48 @@
 //! ```
 
 use restricted_slow_start::plot::ascii_table;
-use restricted_slow_start::{cc_registry, results_csv, run_many_memo, ScenarioSpec};
-use std::path::{Path, PathBuf};
+use restricted_slow_start::{
+    cc_registry, fairness_csv, fairness_reports, results_csv, run_many_memo, FairnessReport,
+    ScenarioSpec,
+};
+use std::path::{Component, Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rss run <scenario.json> [--out <dir>]   execute and write artifacts\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants                     list the registered congestion-control variants\n  rss validate <path>...                  parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it)"
+        "usage:\n  rss run <scenario.json> [--out <dir>]   execute and write artifacts\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate <path>...                  parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it)"
     );
     ExitCode::from(2)
+}
+
+/// Normalize an artifact path for display. A scenario's configured artifact
+/// name may be absolute (`PathBuf::join` then discards the output
+/// directory) or drag `./`/`..` segments through the join; show the
+/// lexically-cleaned result instead of the raw concatenation, so the
+/// printed path is exactly what the user can pass to other tools from the
+/// CWD (or anywhere, when absolute).
+fn display_artifact_path(path: &Path) -> String {
+    let mut out = PathBuf::new();
+    for comp in path.components() {
+        match comp {
+            Component::CurDir => {}
+            Component::ParentDir => match out.components().next_back() {
+                // `a/b/.. -> a`; a leading run of `..` (or one past the
+                // root, which is the root itself) cannot be cancelled.
+                Some(Component::Normal(_)) => {
+                    out.pop();
+                }
+                Some(Component::RootDir) | Some(Component::Prefix(_)) => {}
+                _ => out.push(".."),
+            },
+            other => out.push(other.as_os_str()),
+        }
+    }
+    if out.as_os_str().is_empty() {
+        ".".to_string()
+    } else {
+        out.display().to_string()
+    }
 }
 
 /// Friendly pre-flight for a scenario-file argument: a missing path or a
@@ -142,8 +175,65 @@ fn cmd_run(args: &[String]) -> ExitCode {
         )
     );
 
-    // Artifacts: the summary CSV always, full JSON reports on request. The
-    // output directory may not exist on a fresh clone — create it first.
+    // Fairness & convergence metrics, when the scenario opts in — computed
+    // once, shared by the printed table and the CSV artifact.
+    let frs: Option<Vec<FairnessReport>> = spec
+        .fairness
+        .as_ref()
+        .map(|_| fairness_reports(&spec, &reports));
+    if let (Some(def), Some(frs)) = (&spec.fairness, &frs) {
+        let (window_s, eps) = (def.window_s(), def.eps());
+        let rows: Vec<Vec<String>> = runs
+            .iter()
+            .zip(frs)
+            .map(|(er, fr)| {
+                let variants = fr
+                    .variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{}\u{d7}{} {:.2} Mbit/s, {} stalls",
+                            v.algo,
+                            v.flows,
+                            v.goodput_bps / 1e6,
+                            v.stalls
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                vec![
+                    er.cell.to_string(),
+                    er.label.clone(),
+                    format!("{:.4}", fr.jain),
+                    fr.convergence_s
+                        .map(|t| format!("{t:.2}"))
+                        .unwrap_or_else(|| "never".into()),
+                    variants,
+                ]
+            })
+            .collect();
+        println!(
+            "fairness over {window_s} s goodput windows (converged when Jain \u{2265} {}):",
+            1.0 - eps
+        );
+        println!(
+            "{}",
+            ascii_table(
+                &[
+                    "cell",
+                    "run",
+                    "Jain index",
+                    "converged s",
+                    "per-variant goodput"
+                ],
+                &rows
+            )
+        );
+    }
+
+    // Artifacts: the summary CSV always, the fairness CSV when the spec
+    // opts in, full JSON reports on request. The output directory may not
+    // exist on a fresh clone — create it first.
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("error: create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
@@ -154,7 +244,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("error: write {}: {e}", csv_path.display());
         return ExitCode::FAILURE;
     }
-    println!("wrote {}", csv_path.display());
+    println!("wrote {}", display_artifact_path(&csv_path));
+
+    if let (Some(name), Some(frs)) = (spec.fairness_csv_name(), &frs) {
+        let fcsv_path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&fcsv_path, fairness_csv(&spec, &runs, frs)) {
+            eprintln!("error: write {}: {e}", fcsv_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", display_artifact_path(&fcsv_path));
+    }
 
     if let Some(json_name) = spec.output.as_ref().and_then(|o| o.json.clone()) {
         // Labels/names are user-controlled: escape them properly instead of
@@ -180,7 +279,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             eprintln!("error: write {}: {e}", json_path.display());
             return ExitCode::FAILURE;
         }
-        println!("wrote {}", json_path.display());
+        println!("wrote {}", display_artifact_path(&json_path));
     }
     ExitCode::SUCCESS
 }
@@ -199,8 +298,15 @@ fn scenario_files(dir: &Path) -> Vec<PathBuf> {
 }
 
 /// `rss list --variants`: the congestion-control registry as a table — the
-/// full menu a scenario file's `cc` field accepts.
-fn cmd_list_variants() -> ExitCode {
+/// full menu a scenario file's `cc` field accepts. `--markdown` emits the
+/// registry-generated variant gallery instead (`docs/VARIANTS.md` is
+/// exactly this output; CI regenerates and diffs it, so the gallery cannot
+/// drift from the registry).
+fn cmd_list_variants(markdown: bool) -> ExitCode {
+    if markdown {
+        print!("{}", cc_registry::markdown_gallery());
+        return ExitCode::SUCCESS;
+    }
     let rows: Vec<Vec<String>> = cc_registry::variants()
         .iter()
         .map(|v| {
@@ -225,7 +331,11 @@ fn cmd_list_variants() -> ExitCode {
 
 fn cmd_list(args: &[String]) -> ExitCode {
     if args.first().map(String::as_str) == Some("--variants") {
-        return cmd_list_variants();
+        return match args.get(1).map(String::as_str) {
+            None => cmd_list_variants(false),
+            Some("--markdown") if args.len() == 2 => cmd_list_variants(true),
+            _ => usage(),
+        };
     }
     let dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("scenarios"));
     let files = scenario_files(&dir);
@@ -349,5 +459,33 @@ mod tests {
     #[test]
     fn existing_scenario_passes_the_preflight() {
         assert!(check_scenario_path(Path::new("scenarios/quickstart.json")).is_ok());
+    }
+
+    #[test]
+    fn displayed_artifact_paths_are_normalized() {
+        // Relative joins print relative to the CWD, cleaned of `./`.
+        assert_eq!(
+            display_artifact_path(Path::new("results/./scenario_x.csv")),
+            "results/scenario_x.csv"
+        );
+        // `..` segments are resolved lexically.
+        assert_eq!(
+            display_artifact_path(Path::new("results/../fair.csv")),
+            "fair.csv"
+        );
+        assert_eq!(
+            display_artifact_path(Path::new("a/b/../../c/x.csv")),
+            "c/x.csv"
+        );
+        // An absolute configured artifact name bypassed the output
+        // directory in the join; it must print absolute, untouched.
+        assert_eq!(
+            display_artifact_path(Path::new("/tmp/out/./fair.csv")),
+            "/tmp/out/fair.csv"
+        );
+        assert_eq!(display_artifact_path(Path::new("/../x.csv")), "/x.csv");
+        // Uncancellable leading `..` survives; an empty result is the CWD.
+        assert_eq!(display_artifact_path(Path::new("../x.csv")), "../x.csv");
+        assert_eq!(display_artifact_path(Path::new("a/..")), ".");
     }
 }

@@ -36,7 +36,7 @@ fn every_checked_in_scenario_parses_and_validates() {
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     files.sort();
-    assert!(files.len() >= 6, "expected the six shipped scenarios");
+    assert!(files.len() >= 8, "expected the eight shipped scenarios");
     for f in files {
         let spec = ScenarioSpec::load(&f).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
         spec.validate()
