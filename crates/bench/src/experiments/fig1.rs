@@ -9,7 +9,7 @@
 //! (CWR-style halving, Tahoe-style restart) alongside Restricted Slow-Start.
 
 use rss_core::plot::{ascii_chart, Series};
-use rss_core::{run, Scenario, StallResponse};
+use rss_core::{run_many_memo, Scenario, StallResponse};
 
 /// One staircase series.
 #[derive(Debug, Clone)]
@@ -50,8 +50,12 @@ pub fn run_fig1() -> Fig1Result {
     tahoe.tcp.stall_response = StallResponse::RestartFromOne;
     variants.push(("standard (restart stall response)".into(), tahoe));
 
-    for (label, sc) in variants {
-        let r = run(&sc);
+    // One memoized batch: the standard/restricted testbeds are shared with
+    // E2 (headline) and the sweeps, so within one experiments process each
+    // 25 s simulation runs exactly once.
+    let cells: Vec<Scenario> = variants.iter().map(|(_, sc)| sc.clone()).collect();
+    let (reports, _distinct) = run_many_memo(&cells);
+    for ((label, _), r) in variants.into_iter().zip(&reports) {
         let f = &r.flows[0];
         series.push(Staircase {
             label,

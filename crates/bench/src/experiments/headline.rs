@@ -4,7 +4,7 @@
 //! testbed for comparison (currently SSthreshless Start, arXiv:1401.7146).
 
 use rss_core::plot::{ascii_table, fmt_bps};
-use rss_core::{run, CcAlgorithm, FlowReport, RunReport, Scenario, SslConfig};
+use rss_core::{run_many_memo, CcAlgorithm, FlowReport, RunReport, Scenario, SslConfig};
 
 /// Result of the headline-throughput experiment.
 #[derive(Debug, Clone)]
@@ -20,12 +20,21 @@ pub struct HeadlineResult {
 
 /// Run E2 on the paper testbed.
 pub fn run_headline() -> HeadlineResult {
+    // Memoized batch: Figure 1 and the sweeps revisit the same testbed
+    // cells, so a full experiments run pays for each simulation once.
+    let cells = [
+        Scenario::paper_testbed_standard(),
+        Scenario::paper_testbed_restricted(),
+        Scenario::paper_testbed(CcAlgorithm::Ssthreshless(SslConfig::default())),
+    ];
+    let (mut reports, _distinct) = run_many_memo(&cells);
+    let ssthreshless = reports.pop().expect("three reports");
+    let restricted = reports.pop().expect("three reports");
+    let standard = reports.pop().expect("three reports");
     HeadlineResult {
-        standard: run(&Scenario::paper_testbed_standard()),
-        restricted: run(&Scenario::paper_testbed_restricted()),
-        ssthreshless: run(&Scenario::paper_testbed(CcAlgorithm::Ssthreshless(
-            SslConfig::default(),
-        ))),
+        standard,
+        restricted,
+        ssthreshless,
     }
 }
 

@@ -98,14 +98,17 @@ impl Reno {
 }
 
 impl CongestionControl for Reno {
+    #[inline]
     fn cwnd(&self) -> u64 {
         self.cwnd
     }
 
+    #[inline]
     fn ssthresh(&self) -> u64 {
         self.ssthresh
     }
 
+    #[inline]
     fn on_ack(&mut self, _view: &CcView, newly_acked: u64) {
         if self.in_slow_start() {
             self.slow_start_ack(newly_acked);

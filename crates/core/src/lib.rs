@@ -42,6 +42,7 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 pub mod spec;
 pub mod world;
 
@@ -52,7 +53,7 @@ pub use runner::{run, run_many, run_many_memo};
 pub use scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
 pub use spec::{
     results_csv, CcDef, CrossDef, ExpandedRun, FairnessDef, FlowDef, GridFtpDef, HostDef,
-    OutputSpec, PathDef, RunSpec, ScenarioSpec, SpecError, SweepSpec, TcpDef, TuningDef,
+    OutputSpec, PathDef, RunSpec, ScenarioSpec, ShardsDef, SpecError, SweepSpec, TcpDef, TuningDef,
 };
 pub use world::{Ev, World};
 

@@ -4,11 +4,62 @@ use crate::report::{FlowReport, RunReport};
 use crate::scenario::Scenario;
 use crate::world::World;
 use rss_sim::{Engine, SimTime};
+use rss_tcp::{TcpReceiver, TcpSender};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Finalize one connection and build its report — shared by the serial and
+/// sharded runners so both produce byte-identical flow records.
+pub(crate) fn flow_report(
+    i: usize,
+    sc: &Scenario,
+    sender: &mut TcpSender,
+    receiver: &TcpReceiver,
+    completed_at: Option<SimTime>,
+    end: SimTime,
+) -> FlowReport {
+    sender.finish(end);
+    let rstats = receiver.stats();
+    let w = sender.web100();
+    let vars = w.snapshot();
+    let goodput = w.goodput_bps(end);
+    FlowReport {
+        conn: i as u32,
+        algo: sc.flows[i].algo.label().into(),
+        vars,
+        goodput_bps: goodput,
+        utilization: goodput / sc.path.rate_bps as f64,
+        completed_at_s: completed_at.map(|t| t.as_secs_f64()),
+        stall_times_s: w.send_stalls().times().map(|t| t.as_secs_f64()).collect(),
+        congestion_times_s: w
+            .congestion_events()
+            .times()
+            .map(|t| t.as_secs_f64())
+            .collect(),
+        cwnd_series: w
+            .cwnd_series()
+            .iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect(),
+        acked_series: w
+            .acked_series()
+            .iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect(),
+        receiver_delivered_bytes: receiver.rcv_nxt(),
+        receiver_dup_segments: rstats.duplicate_segments,
+        receiver_ooo_segments: rstats.out_of_order_segments,
+    }
+}
+
 /// Execute one scenario and collect its report.
+///
+/// `Scenario::shards = Some(n)` routes the run through the sharded parallel
+/// executor (see [`crate::shard`]); `None` keeps the classic serial world.
 pub fn run(sc: &Scenario) -> RunReport {
+    if let Some(n) = sc.shards {
+        return crate::shard::run_sharded_scenario(sc, n);
+    }
     let world = World::build(sc);
     let mut engine = Engine::new(world);
     for (t, ev) in engine.model().initial_events(sc) {
@@ -20,41 +71,9 @@ pub fn run(sc: &Scenario) -> RunReport {
 
     let mut flows = Vec::with_capacity(world.conn_count());
     for i in 0..world.conn_count() {
-        world.sender_mut(i).finish(end);
-        let completed = world.completed_at(i).map(|t| t.as_secs_f64());
-        let rstats = world.receiver(i).stats();
-        let delivered = world.receiver(i).rcv_nxt();
-        let sender = world.sender(i);
-        let w = sender.web100();
-        let vars = w.snapshot();
-        let goodput = w.goodput_bps(end);
-        flows.push(FlowReport {
-            conn: i as u32,
-            algo: sc.flows[i].algo.label().into(),
-            vars,
-            goodput_bps: goodput,
-            utilization: goodput / sc.path.rate_bps as f64,
-            completed_at_s: completed,
-            stall_times_s: w.send_stalls().times().map(|t| t.as_secs_f64()).collect(),
-            congestion_times_s: w
-                .congestion_events()
-                .times()
-                .map(|t| t.as_secs_f64())
-                .collect(),
-            cwnd_series: w
-                .cwnd_series()
-                .iter()
-                .map(|(t, v)| (t.as_secs_f64(), v))
-                .collect(),
-            acked_series: w
-                .acked_series()
-                .iter()
-                .map(|(t, v)| (t.as_secs_f64(), v))
-                .collect(),
-            receiver_delivered_bytes: delivered,
-            receiver_dup_segments: rstats.duplicate_segments,
-            receiver_ooo_segments: rstats.out_of_order_segments,
-        });
+        let completed = world.completed_at(i);
+        let (sender, receiver) = world.conn_endpoints_mut(i);
+        flows.push(flow_report(i, sc, sender, receiver, completed, end));
     }
 
     let sender_nic = world.sender_nic(0);
@@ -127,33 +146,51 @@ pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
         .collect()
 }
 
-/// Run a batch of scenarios, executing each *distinct* configuration once.
+/// The process-global run cache backing [`run_many_memo`].
+///
+/// Scenario aggregates plain config (no floats with NaN, no interior
+/// mutability), so its Debug rendering is a faithful identity key; runs are
+/// deterministic, so a cached report is indistinguishable from a fresh one.
+fn run_cache() -> &'static std::sync::Mutex<std::collections::HashMap<String, RunReport>> {
+    static CACHE: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::HashMap<String, RunReport>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+/// Run a batch of scenarios, executing each *distinct* configuration once —
+/// across the whole process, not just this call.
 ///
 /// Sweep grids routinely contain cells whose scenario is identical (the
-/// anchor point of two sweeps, or a baseline column repeated per row); a
-/// scenario is a pure description and runs are deterministic, so duplicate
-/// cells can share one simulation. Returns the per-cell reports (order
-/// preserved) plus the number of simulations actually executed.
+/// anchor point of two sweeps, or a baseline column repeated per row), and
+/// separate experiments in one binary routinely share anchor cells too.
+/// Results are memoized in a process-global cache, so each distinct cell
+/// simulates once per process. Returns the per-cell reports (order
+/// preserved) plus the number of *distinct* configurations in this call
+/// (cells already in the global cache still count as distinct, but cost no
+/// simulation).
 pub fn run_many_memo(scenarios: &[Scenario]) -> (Vec<RunReport>, usize) {
-    // Scenario aggregates plain config (no floats with NaN, no interior
-    // mutability), so its Debug rendering is a faithful identity key.
-    let mut unique: Vec<Scenario> = Vec::new();
-    let mut key_to_unique: BTreeMap<String, usize> = BTreeMap::new();
-    let mut cell_to_unique = Vec::with_capacity(scenarios.len());
-    for sc in scenarios {
-        let key = format!("{sc:?}");
-        let idx = *key_to_unique.entry(key).or_insert_with(|| {
-            unique.push(sc.clone());
-            unique.len() - 1
-        });
-        cell_to_unique.push(idx);
+    let keys: Vec<String> = scenarios.iter().map(|sc| format!("{sc:?}")).collect();
+    let mut distinct: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut fresh: Vec<Scenario> = Vec::new();
+    let mut fresh_keys: Vec<&str> = Vec::new();
+    {
+        let cache = run_cache().lock().expect("run cache poisoned");
+        for (key, sc) in keys.iter().zip(scenarios) {
+            let seen_before = distinct.insert(key, 0).is_some();
+            if !seen_before && !cache.contains_key(key.as_str()) {
+                fresh.push(sc.clone());
+                fresh_keys.push(key);
+            }
+        }
     }
-    let unique_reports = run_many(&unique);
-    let reports = cell_to_unique
-        .into_iter()
-        .map(|i| unique_reports[i].clone())
-        .collect();
-    (reports, unique.len())
+    let fresh_reports = run_many(&fresh);
+    let mut cache = run_cache().lock().expect("run cache poisoned");
+    for (key, report) in fresh_keys.into_iter().zip(fresh_reports) {
+        cache.insert(key.to_string(), report);
+    }
+    let reports = keys.iter().map(|key| cache[key.as_str()].clone()).collect();
+    (reports, distinct.len())
 }
 
 #[cfg(test)]

@@ -24,6 +24,10 @@ pub struct PathSpec {
     /// Access-link rate for all hosts; `None` = same as `rate_bps`, which
     /// makes the sender's own NIC the bottleneck (the paper's regime).
     pub access_rate_bps: Option<u64>,
+    /// One-way propagation delay of each access link. The long-haul delay is
+    /// derived as `rtt/2 − 2·access_delay`, so this also bounds the sharded
+    /// runner's lookahead window (`min(access_delay, haul_delay)`).
+    pub access_delay: SimDuration,
 }
 
 impl Default for PathSpec {
@@ -34,6 +38,7 @@ impl Default for PathSpec {
             router_queue_pkts: 200,
             loss_prob: 0.0,
             access_rate_bps: None,
+            access_delay: SimDuration::from_micros(10),
         }
     }
 }
@@ -111,6 +116,11 @@ pub struct Scenario {
     pub stop_when_complete: bool,
     /// Use RED (instead of drop-tail) on the bottleneck router ports.
     pub red_bottleneck: bool,
+    /// Run through the sharded parallel executor with this many shards
+    /// (`None` = the classic serial world). Any count — including 1 — uses
+    /// the shard-exact event path, whose results are identical for every
+    /// shard count but not bit-equal to the serial world's tie-breaking.
+    pub shards: Option<u32>,
 }
 
 impl Scenario {
@@ -135,6 +145,7 @@ impl Scenario {
             web100_stride: 1,
             stop_when_complete: false,
             red_bottleneck: false,
+            shards: None,
         }
     }
 
@@ -176,6 +187,18 @@ impl Scenario {
     /// Builder: replace the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: replace the access-link propagation delay.
+    pub fn with_access_delay(mut self, d: SimDuration) -> Self {
+        self.path.access_delay = d;
+        self
+    }
+
+    /// Builder: run through the sharded executor with `n` shards.
+    pub fn with_shards(mut self, n: u32) -> Self {
+        self.shards = Some(n);
         self
     }
 

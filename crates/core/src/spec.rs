@@ -98,10 +98,62 @@ pub struct ScenarioSpec {
     /// Opt-in fairness & convergence measurement over every run (JSON
     /// `fairness`, default off).
     pub fairness: Option<FairnessDef>,
+    /// Run every expanded scenario through the sharded parallel executor
+    /// (JSON `shards`: a positive integer shard count or `"auto"` for one
+    /// shard per available core; default: the classic serial world). Results
+    /// are identical for every shard count, so `"auto"` stays reproducible.
+    pub shards: Option<ShardsDef>,
     /// Artifact file names under the output directory (JSON `output`,
     /// default `scenario_<name>.csv` only).
     pub output: Option<OutputSpec>,
 }
+
+/// The `shards` knob: an explicit shard count or `"auto"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardsDef {
+    /// Explicit shard count (positive; counts above the unit count clamp).
+    Count(u32),
+    /// One shard per core available at expansion time.
+    Auto,
+}
+
+impl ShardsDef {
+    /// Resolve to a concrete shard count. Safe to call on any machine:
+    /// results do not depend on the resolved count.
+    pub fn resolve(self) -> u32 {
+        match self {
+            ShardsDef::Count(n) => n,
+            ShardsDef::Auto => std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl Serialize for ShardsDef {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            ShardsDef::Count(n) => n.serialize_json(out),
+            ShardsDef::Auto => out.push_str("\"auto\""),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for ShardsDef {
+    fn deserialize_json(v: &serde::de::Value, path: &mut serde::de::Path) -> ShardsResult {
+        const WANT: &str = "expected positive integer or \"auto\"";
+        match String::deserialize_json(v, path) {
+            Ok(s) if s == "auto" => Ok(ShardsDef::Auto),
+            Ok(_) => Err(serde::de::Error::new(v.line(), path, WANT)),
+            Err(_) => match u64::deserialize_json(v, path) {
+                Ok(n) if (1..=u32::MAX as u64).contains(&n) => Ok(ShardsDef::Count(n as u32)),
+                _ => Err(serde::de::Error::new(v.line(), path, WANT)),
+            },
+        }
+    }
+}
+
+type ShardsResult = Result<ShardsDef, serde::de::Error>;
 
 /// One run description. Every field is optional; omitted knobs default to
 /// the paper's §4 testbed (100 Mbit/s, 60 ms RTT, `txqueuelen` 100, 25 s,
@@ -171,6 +223,10 @@ pub struct PathDef {
     /// `rate_mbps`, which makes the sender's NIC the bottleneck — the
     /// paper's regime).
     pub access_rate_mbps: Option<f64>,
+    /// One-way access-link propagation delay, microseconds (JSON
+    /// `access_delay_us`, default 10). Bounds the sharded executor's
+    /// lookahead window; the long-haul delay absorbs the rest of the RTT.
+    pub access_delay_us: Option<f64>,
 }
 
 /// Host transmit-path knobs (defaults: 100 Mbit/s NIC, `txqueuelen` 100,
@@ -233,6 +289,10 @@ pub struct FlowDef {
     /// Flow start time, seconds (JSON `start_s`, default 0 — stagger
     /// starts to measure convergence with the `fairness` block).
     pub start_s: Option<f64>,
+    /// Replication factor: this entry expands into `count` identical flows
+    /// (JSON `count`, default 1, positive). The many-flow scenarios use it
+    /// to describe 10⁴–10⁵ flows in one line.
+    pub count: Option<u32>,
 }
 
 /// The slow-start variant under test — an **open** enum mirroring the
@@ -557,6 +617,12 @@ impl RunSpec {
                 "path.loss_prob must be in [0, 1], got {loss_prob}"
             )));
         }
+        let access_delay_us = p.access_delay_us.unwrap_or(10.0);
+        if !access_delay_us.is_finite() || access_delay_us <= 0.0 {
+            return Err(SpecError::new(format!(
+                "path.access_delay_us must be positive, got {access_delay_us}"
+            )));
+        }
         let path = PathSpec {
             rate_bps,
             rtt: ms_to_duration(p.rtt_ms.unwrap_or(60.0), "path.rtt_ms")?,
@@ -566,6 +632,7 @@ impl RunSpec {
                 Some(m) => Some(mbps_to_bps(m, "path.access_rate_mbps")?),
                 None => None,
             },
+            access_delay: SimDuration::from_nanos((access_delay_us * 1e3).round() as u64),
         };
 
         let h = self.host.unwrap_or_default();
@@ -645,19 +712,27 @@ impl RunSpec {
                     .collect()
             }
             (None, Some(defs)) if !defs.is_empty() => {
-                let n = defs.len() as u32;
-                defs.iter()
-                    .map(|f| {
-                        Ok(FlowSpec {
-                            algo: f
-                                .cc
-                                .unwrap_or_default()
-                                .to_algorithm(rate_bps, host.mtu, n)?,
-                            app: f.app.unwrap_or(AppModel::Bulk { bytes: None }),
-                            start: secs_to_time(f.start_s.unwrap_or(0.0), "flow start_s")?,
-                        })
-                    })
-                    .collect::<Result<_, SpecError>>()?
+                let mut n: u32 = 0;
+                for (i, f) in defs.iter().enumerate() {
+                    let count = f.count.unwrap_or(1);
+                    if count == 0 {
+                        return Err(SpecError::new(format!("flows[{i}].count must be positive")));
+                    }
+                    n = n.saturating_add(count);
+                }
+                let mut out = Vec::with_capacity(n as usize);
+                for f in defs {
+                    let spec = FlowSpec {
+                        algo: f
+                            .cc
+                            .unwrap_or_default()
+                            .to_algorithm(rate_bps, host.mtu, n)?,
+                        app: f.app.unwrap_or(AppModel::Bulk { bytes: None }),
+                        start: secs_to_time(f.start_s.unwrap_or(0.0), "flow start_s")?,
+                    };
+                    out.extend((0..f.count.unwrap_or(1)).map(|_| spec));
+                }
+                out
             }
             _ => {
                 return Err(SpecError::new(
@@ -712,6 +787,8 @@ impl RunSpec {
             web100_stride,
             stop_when_complete: self.stop_when_complete.unwrap_or(false),
             red_bottleneck: self.red_bottleneck.unwrap_or(false),
+            // The spec-level `shards` knob is applied during expansion.
+            shards: None,
         };
         if sc.sample_interval == SimDuration::ZERO {
             return Err(SpecError::new("sample_interval_ms must be positive"));
@@ -843,10 +920,24 @@ impl ScenarioSpec {
                                         }
                                     }
                                 }
+                                let mut scenario = r.to_scenario()?;
+                                if let Some(sh) = self.shards {
+                                    let access = scenario.path.access_delay;
+                                    if scenario.path.rtt / 2 <= access * 2 {
+                                        return Err(SpecError::new(format!(
+                                            "run `{}`: sharded execution needs rtt > 4 x \
+                                             access_delay (rtt {} ms, access_delay_us {})",
+                                            run.label,
+                                            scenario.path.rtt.as_secs_f64() * 1e3,
+                                            access.as_nanos() as f64 / 1e3,
+                                        )));
+                                    }
+                                    scenario.shards = Some(sh.resolve());
+                                }
                                 out.push(ExpandedRun {
                                     label: run.label.clone(),
                                     cell,
-                                    scenario: r.to_scenario()?,
+                                    scenario,
                                 });
                             }
                             cell += 1;
@@ -1232,5 +1323,111 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("scenario,run,cell,"), "{a}");
         assert!(a.contains("t,std,0,10,10,100,1,1,0,standard,"), "{a}");
+    }
+
+    fn with_shards(shards_json: &str) -> String {
+        format!(
+            r#"{{"name":"t","shards":{shards_json},
+                "runs":[{{"label":"x","flows":[{{}}]}}]}}"#
+        )
+    }
+
+    #[test]
+    fn shards_accepts_counts_and_auto() {
+        let spec = ScenarioSpec::from_json(&with_shards("4")).unwrap();
+        assert_eq!(spec.shards, Some(ShardsDef::Count(4)));
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs[0].scenario.shards, Some(4));
+
+        let spec = ScenarioSpec::from_json(&with_shards("\"auto\"")).unwrap();
+        assert_eq!(spec.shards, Some(ShardsDef::Auto));
+        let runs = spec.expand().unwrap();
+        assert!(runs[0].scenario.shards.unwrap() >= 1);
+
+        // Omitted: the classic serial world.
+        let spec = ScenarioSpec::from_json(&minimal(r#"[{"label":"x","flows":[{}]}]"#)).unwrap();
+        assert_eq!(spec.shards, None);
+        assert_eq!(spec.expand().unwrap()[0].scenario.shards, None);
+    }
+
+    #[test]
+    fn shards_rejects_zero_noninteger_and_other_strings() {
+        for bad in ["0", "2.5", "\"many\"", "-1", "true", "4294967296"] {
+            let err = ScenarioSpec::from_json(&with_shards(bad)).unwrap_err();
+            assert!(err.msg.contains("at $.shards"), "{bad}: {}", err.msg);
+            assert!(
+                err.msg.contains("expected positive integer or \"auto\""),
+                "{bad}: {}",
+                err.msg
+            );
+        }
+    }
+
+    #[test]
+    fn shards_round_trips_through_json() {
+        for json in [&with_shards("8"), &with_shards("\"auto\"")] {
+            let spec = ScenarioSpec::from_json(json).unwrap();
+            let back = ScenarioSpec::from_json(&serde::to_json_string(&spec)).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn sharded_specs_reject_geometry_without_lookahead() {
+        // rtt 30 µs with the default 10 µs access delay leaves no haul
+        // delay, hence no lookahead window.
+        let err = ScenarioSpec::from_json(
+            r#"{"name":"t","shards":2,
+                "runs":[{"label":"x","flows":[{}],"path":{"rtt_ms":0.03}}]}"#,
+        )
+        .unwrap()
+        .expand()
+        .unwrap_err();
+        assert!(err.msg.contains("run `x`"), "{}", err.msg);
+        assert!(err.msg.contains("rtt > 4 x access_delay"), "{}", err.msg);
+        // The same geometry without `shards` stays valid (serial world).
+        ScenarioSpec::from_json(
+            r#"{"name":"t","runs":[{"label":"x","flows":[{}],"path":{"rtt_ms":0.03}}]}"#,
+        )
+        .unwrap()
+        .expand()
+        .unwrap();
+    }
+
+    #[test]
+    fn flow_count_replicates_and_validates() {
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"many","flows":[{"count":3},{"cc":"HighSpeed"}]}]"#,
+        ))
+        .unwrap();
+        let sc = &spec.expand().unwrap()[0].scenario;
+        assert_eq!(sc.flows.len(), 4);
+        assert!(matches!(sc.flows[0].algo, CcAlgorithm::Reno));
+        assert!(matches!(sc.flows[2].algo, CcAlgorithm::Reno));
+        assert!(matches!(sc.flows[3].algo, CcAlgorithm::HighSpeed));
+
+        let err = ScenarioSpec::from_json(&minimal(r#"[{"label":"zero","flows":[{"count":0}]}]"#))
+            .unwrap()
+            .validate()
+            .unwrap_err();
+        assert!(err.msg.contains("flows[0].count"), "{}", err.msg);
+    }
+
+    #[test]
+    fn access_delay_is_validated_and_applied() {
+        let spec = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"path":{"access_delay_us":1000}}]"#,
+        ))
+        .unwrap();
+        let sc = &spec.expand().unwrap()[0].scenario;
+        assert_eq!(sc.path.access_delay, SimDuration::from_micros(1000));
+
+        let err = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"path":{"access_delay_us":0}}]"#,
+        ))
+        .unwrap()
+        .validate()
+        .unwrap_err();
+        assert!(err.msg.contains("access_delay_us"), "{}", err.msg);
     }
 }

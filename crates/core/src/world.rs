@@ -125,7 +125,7 @@ impl World {
     /// seeded with [`World::initial_events`].
     pub fn build(sc: &Scenario) -> World {
         let pairs = sc.host_pairs();
-        let access_delay = SimDuration::from_micros(10);
+        let access_delay = sc.path.access_delay;
         let one_way = sc.path.rtt / 2;
         let haul_delay = one_way.saturating_sub(access_delay * 2);
         let access = LinkParams::new(sc.path.access_rate(), access_delay);
@@ -253,6 +253,13 @@ impl World {
     /// The receiver of connection `i`.
     pub fn receiver(&self, i: usize) -> &TcpReceiver {
         &self.conns[i].receiver
+    }
+
+    /// Both endpoints of connection `i`, sender mutably (for end-of-run
+    /// finalization while reading receiver statistics).
+    pub fn conn_endpoints_mut(&mut self, i: usize) -> (&mut TcpSender, &TcpReceiver) {
+        let c = &mut self.conns[i];
+        (&mut c.sender, &c.receiver)
     }
 
     /// Completion time of connection `i`, if it finished.

@@ -48,23 +48,31 @@ pub enum PortQueue<B> {
 }
 
 impl<B: Body> PortQueue<B> {
-    fn try_enqueue(&mut self, now: SimTime, pkt: Packet<B>, rng: &mut SimRng) -> bool {
+    /// Offer a packet to the queue discipline; `false` means it was dropped.
+    /// Drop-tail ignores `now` and `rng`; RED consumes both.
+    pub fn try_enqueue(&mut self, now: SimTime, pkt: Packet<B>, rng: &mut SimRng) -> bool {
         match self {
             PortQueue::DropTail(q) => q.try_enqueue(pkt).is_ok(),
             PortQueue::Red(q) => q.try_enqueue(now, pkt, rng).is_ok(),
         }
     }
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet<B>> {
+    /// Take the next packet for transmission.
+    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet<B>> {
         match self {
             PortQueue::DropTail(q) => q.dequeue(),
             PortQueue::Red(q) => q.dequeue(now),
         }
     }
-    fn len(&self) -> usize {
+    /// Current queue occupancy in packets.
+    pub fn len(&self) -> usize {
         match self {
             PortQueue::DropTail(q) => q.len(),
             PortQueue::Red(q) => q.len(),
         }
+    }
+    /// Whether the queue holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
     /// Storage-layer statistics.
     pub fn stats(&self) -> QueueStats {

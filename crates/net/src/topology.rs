@@ -158,66 +158,128 @@ impl Topology {
             .map(|&(l, _)| l)
     }
 
-    /// Compute shortest-path (hop count) static routes for every
-    /// (location, destination) pair via per-destination BFS.
+    /// Compute shortest-path (hop count) static routes.
+    ///
+    /// Routing decisions are only made where a node has a choice: routers
+    /// (and the rare multi-homed host) get a dense per-destination row built
+    /// by one BFS from that node; a single-link host trivially forwards
+    /// everything over its only link. This keeps the table `O(routers ×
+    /// nodes)` instead of `O(nodes²)` — a 10k-pair dumbbell has 20k hosts
+    /// but only two routers, so the dense-everything table would waste
+    /// ~1.6 GB on rows nothing ever reads.
     pub fn compute_routes(&self) -> RoutingTable {
+        let rows = self
+            .nodes()
+            .map(|node| {
+                let adj = self.neighbors(node);
+                match self.kind(node) {
+                    NodeKind::Host if adj.is_empty() => RouteRow::Empty,
+                    NodeKind::Host if adj.len() == 1 => RouteRow::Leaf(adj[0].0 .0),
+                    // Routers always get a real row: a single-link router
+                    // must still answer `None` for unreachable destinations
+                    // or packets would ping-pong forever.
+                    _ => RouteRow::Dense(self.first_link_row(node)),
+                }
+            })
+            .collect();
+        RoutingTable {
+            nodes: self.node_count() as u32,
+            rows,
+        }
+    }
+
+    /// BFS from `src`: for every destination, the first link on a
+    /// shortest (hop-count) path out of `src`, or `NO_ROUTE`.
+    fn first_link_row(&self, src: NodeId) -> Vec<u32> {
         let n = self.node_count();
-        let mut table = RoutingTable {
-            nodes: n as u32,
-            next_hop: vec![NO_ROUTE; n * n],
-        };
-        for dst in self.nodes() {
-            // BFS outward from the destination; first-discovered edges give
-            // the next hop *toward* dst from every other node.
-            let mut visited = vec![false; n];
-            let mut q = VecDeque::new();
-            visited[dst.0 as usize] = true;
-            q.push_back(dst);
-            while let Some(at) = q.pop_front() {
-                for &(link, nb) in self.neighbors(at) {
-                    if !visited[nb.0 as usize] {
-                        visited[nb.0 as usize] = true;
-                        table.set(nb, dst, link);
-                        q.push_back(nb);
-                    }
+        let mut row = vec![NO_ROUTE; n];
+        let mut visited = vec![false; n];
+        visited[src.0 as usize] = true;
+        let mut q = VecDeque::new();
+        // Seed: each direct neighbor is reached over its own edge; deeper
+        // nodes inherit the first link from whichever parent found them
+        // first, so adjacency order fixes ties deterministically.
+        for &(link, nb) in self.neighbors(src) {
+            if !visited[nb.0 as usize] {
+                visited[nb.0 as usize] = true;
+                row[nb.0 as usize] = link.0;
+                q.push_back(nb);
+            }
+        }
+        while let Some(at) = q.pop_front() {
+            let first = row[at.0 as usize];
+            for &(_, nb) in self.neighbors(at) {
+                if !visited[nb.0 as usize] {
+                    visited[nb.0 as usize] = true;
+                    row[nb.0 as usize] = first;
+                    q.push_back(nb);
                 }
             }
         }
-        table
+        row
     }
 }
 
-/// Dense-table sentinel for "no route".
+/// Dense-row sentinel for "no route".
 const NO_ROUTE: u32 = u32::MAX;
+
+/// One node's routing knowledge.
+#[derive(Debug, Clone)]
+enum RouteRow {
+    /// Isolated node: nothing is reachable.
+    Empty,
+    /// Single-link host: every destination goes over that link.
+    /// Reachability is enforced at the first router, which drops
+    /// packets for destinations it has no row entry for.
+    Leaf(u32),
+    /// Per-destination next-hop links (routers and multi-homed hosts).
+    Dense(Vec<u32>),
+}
 
 /// Static next-hop routing: `(at, dst) → link to forward on`.
 ///
-/// Node ids are small contiguous integers, so routes live in a dense
-/// `nodes × nodes` table frozen at [`Topology::compute_routes`] time; the
-/// per-hop lookup on the packet path is a single indexed load.
+/// Frozen at [`Topology::compute_routes`] time; the per-hop lookup on the
+/// packet path is one match plus (for routers) a single indexed load.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     nodes: u32,
-    next_hop: Vec<u32>,
+    rows: Vec<RouteRow>,
 }
 
 impl RoutingTable {
     /// The link to use at `at` toward `dst` (None if unreachable).
     #[inline]
     pub fn next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        if at.0 >= self.nodes || dst.0 >= self.nodes {
+        if at.0 >= self.nodes || dst.0 >= self.nodes || at == dst {
             return None;
         }
-        // usize arithmetic: `at * nodes` can exceed u32 on huge topologies.
-        let raw = self.next_hop[at.0 as usize * self.nodes as usize + dst.0 as usize];
-        (raw != NO_ROUTE).then_some(LinkId(raw))
+        match &self.rows[at.0 as usize] {
+            RouteRow::Empty => None,
+            RouteRow::Leaf(link) => Some(LinkId(*link)),
+            RouteRow::Dense(row) => {
+                let raw = row[dst.0 as usize];
+                (raw != NO_ROUTE).then_some(LinkId(raw))
+            }
+        }
     }
 
     /// Override a route (for asymmetric-path experiments). Panics if either
     /// node is outside the topology the table was computed for.
     pub fn set(&mut self, at: NodeId, dst: NodeId, link: LinkId) {
         assert!(at.0 < self.nodes && dst.0 < self.nodes, "node out of range");
-        self.next_hop[at.0 as usize * self.nodes as usize + dst.0 as usize] = link.0;
+        let n = self.nodes as usize;
+        let row = &mut self.rows[at.0 as usize];
+        // Materialize compact rows so the override has somewhere to live.
+        if let RouteRow::Empty = row {
+            *row = RouteRow::Dense(vec![NO_ROUTE; n]);
+        }
+        if let RouteRow::Leaf(l) = row {
+            *row = RouteRow::Dense(vec![*l; n]);
+        }
+        match row {
+            RouteRow::Dense(r) => r[dst.0 as usize] = link.0,
+            _ => unreachable!(),
+        }
     }
 }
 
@@ -393,6 +455,27 @@ mod tests {
             at = t.link(l).other_end(at);
         }
         assert_eq!(delay * 2, rtt);
+    }
+
+    #[test]
+    fn large_dumbbell_routes_stay_compact() {
+        // 10k pairs: 20,002 nodes. The dense-everything table would be
+        // nodes² ≈ 4×10⁸ entries; per-router rows make this build fast
+        // and small enough to route many-flow scenarios.
+        let (t, d) = dumbbell(10_000, params(), params());
+        let routes = t.compute_routes();
+        assert_eq!(
+            routes.next_link(d.senders[9_999], d.receivers[9_999]),
+            Some(d.sender_access[9_999])
+        );
+        assert_eq!(
+            routes.next_link(d.left_router, d.receivers[1_234]),
+            Some(d.bottleneck)
+        );
+        assert_eq!(
+            routes.next_link(d.right_router, d.receivers[1_234]),
+            Some(d.receiver_access[1_234])
+        );
     }
 
     #[test]

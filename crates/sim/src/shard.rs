@@ -1,0 +1,430 @@
+//! Conservative-lookahead parallel execution of one simulation run.
+//!
+//! A run is partitioned into *units* — closed islands of model state (a host
+//! pair and its access ports, or one direction of the shared bottleneck) that
+//! interact only by exchanging timestamped messages with a minimum delivery
+//! latency. Units are grouped into *domains*; each domain owns a private
+//! calendar-wheel [`Engine`](crate::Engine) and runs on its own thread.
+//!
+//! # The lookahead bound
+//!
+//! Let `L` be the minimum latency of any cross-unit message leg (for the
+//! dumbbell worlds built on top of this module: the smaller of the access-link
+//! and haul-link propagation delays). Time advances in fixed windows
+//! `[w, w+L)`. A message sent at time `t ∈ [w, w+L)` arrives at `t + leg ≥
+//! w + L`, i.e. **no message sent during a window can be due inside that same
+//! window** — so every domain may simulate the window to completion without
+//! hearing from its peers. That is the classic conservative (CMB-style)
+//! argument specialized to a fixed window equal to the static lookahead.
+//!
+//! Two barriers bound each window: after the first, every domain runs
+//! `[w, w+L)` and publishes its outgoing messages into per-`(src, dst)`
+//! domain rings; after the second, each domain drains its inbound rings and
+//! injects the arrivals before the next window starts. The rings are locked
+//! once per pair per window (a buffer swap), never per event.
+//!
+//! # Why results are bit-exact for any domain count
+//!
+//! Grouping units into domains must not change any observable state. The
+//! argument:
+//!
+//! 1. **Units share no mutable state.** All interaction is via messages, and
+//!    *every* cross-unit message goes through the ring — even when both units
+//!    happen to share a domain. The union of per-unit state is therefore a
+//!    product of independent machines driven by (local events ∪ injected
+//!    arrivals).
+//! 2. **Injection order is canonical.** Each domain sorts the arrivals it
+//!    drains by `(arrival_time, source_unit, per-source sequence)` before
+//!    injecting. The key is unique — a source unit's sequence counter never
+//!    repeats — so the injected order is a pure function of the message set,
+//!    not of ring layout or thread interleaving.
+//! 3. **Within a window, event order per unit is reproducible.** The engine
+//!    orders events by `(time, insertion-seq)`. Injections happen first (at
+//!    the window boundary, in canonical order), and subsequent insertions are
+//!    made by handlers in engine order. Two same-timestamp events belonging
+//!    to *different* units may interleave differently under a different
+//!    grouping, but by (1) they touch disjoint state, and every
+//!    grouping-visible side effect (message sequence numbers, RNG draws,
+//!    packet ids, counters) is kept per-unit — so per-unit event streams,
+//!    and hence all results, are identical for any grouping.
+//!
+//! By induction over windows, every unit sees the same arrivals and produces
+//! the same messages under any partition, including the single-domain one —
+//! which is why `shards = 1` is the serial reference the parallel runs are
+//! byte-compared against.
+
+use crate::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A cross-unit message in flight, carrying its canonical ordering key.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Simulation time the message is due at its destination.
+    pub time: SimTime,
+    /// Unit that sent it (global unit id).
+    pub src_unit: u32,
+    /// Per-source-unit sequence number; `(time, src_unit, seq)` is unique.
+    pub seq: u64,
+    /// Unit it is addressed to (global unit id).
+    pub dst_unit: u32,
+    /// Payload.
+    pub msg: M,
+}
+
+/// One domain of a sharded run: a group of units with a private scheduler.
+pub trait Domain: Send {
+    /// Message payload exchanged between units.
+    type Msg: Send;
+    /// Schedule an inbound arrival. Called in canonical order at a window
+    /// boundary; `env.time` is never before the boundary.
+    fn inject(&mut self, env: Envelope<Self::Msg>);
+    /// Window-boundary hook (sampling, bookkeeping). The domain's state is
+    /// quiescent at `now`.
+    fn on_boundary(&mut self, now: SimTime);
+    /// Run every event strictly before `end`; return events processed.
+    fn run_window(&mut self, end: SimTime) -> u64;
+    /// Final inclusive pass: run events up to and at `horizon`.
+    fn finish(&mut self, horizon: SimTime) -> u64;
+    /// Drain messages produced since the last call.
+    fn take_outgoing(&mut self) -> Vec<Envelope<Self::Msg>>;
+    /// Drain the count of flows newly completed since the last call.
+    fn take_completions(&mut self) -> u64;
+}
+
+/// Merged result of a sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Total events processed across all domains.
+    pub events_processed: u64,
+    /// Time the run ended: the horizon, or the window boundary at which the
+    /// completion target was reached.
+    pub end_time: SimTime,
+    /// Whether the run stopped at the completion target before the horizon.
+    pub stopped_early: bool,
+}
+
+/// Per-`(src, dst)` domain message rings, swapped once per window.
+struct Rings<M> {
+    domains: usize,
+    slots: Vec<Mutex<Vec<Envelope<M>>>>,
+}
+
+impl<M> Rings<M> {
+    /// Ring capacity preallocated per pair; rings grow past this only under
+    /// bursts, and the buffers are recycled so steady state never allocates.
+    const CAPACITY: usize = 256;
+
+    fn new(domains: usize) -> Self {
+        Rings {
+            domains,
+            slots: (0..domains * domains)
+                .map(|_| Mutex::new(Vec::with_capacity(Self::CAPACITY)))
+                .collect(),
+        }
+    }
+
+    /// Publish `src`'s messages for `dst`: one lock, one append.
+    fn publish(&self, src: usize, dst: usize, buf: &mut Vec<Envelope<M>>) {
+        let mut slot = self.slots[src * self.domains + dst]
+            .lock()
+            .expect("ring poisoned");
+        slot.append(buf);
+    }
+
+    /// Drain everything addressed to `dst` into `into` (one lock per source).
+    fn drain_into(&self, dst: usize, into: &mut Vec<Envelope<M>>) {
+        for src in 0..self.domains {
+            let mut slot = self.slots[src * self.domains + dst]
+                .lock()
+                .expect("ring poisoned");
+            into.append(&mut slot);
+        }
+    }
+}
+
+/// Deterministically assign weighted units to `domains` groups.
+///
+/// Longest-processing-time greedy: heaviest unit first onto the least-loaded
+/// domain, every tie broken by the lower index. The output depends only on
+/// `(weights, domains)`, so a partition is reproducible across runs and
+/// machines; every unit is assigned to exactly one domain.
+pub fn partition_units(weights: &[u64], domains: usize) -> Vec<u32> {
+    assert!(domains > 0, "need at least one domain");
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    let mut load = vec![0u64; domains];
+    let mut assign = vec![0u32; weights.len()];
+    for i in order {
+        let mut best = 0usize;
+        for d in 1..domains {
+            if load[d] < load[best] {
+                best = d;
+            }
+        }
+        load[best] += weights[i].max(1);
+        assign[i] = best as u32;
+    }
+    assign
+}
+
+/// Run `domains` under the conservative-lookahead window protocol.
+///
+/// * `unit_domain[u]` maps each global unit id to the domain that owns it.
+/// * `lookahead` is the window size `L`; it must not exceed the minimum
+///   cross-unit message latency (see the module docs) and must be positive.
+/// * `stop_after_completions`: when `Some(n)`, the run ends at the first
+///   window boundary at which `n` flow completions have been reported.
+///
+/// Returns the merged [`ShardStats`]; per-domain results stay in `domains`.
+pub fn run_sharded<D: Domain>(
+    domains: &mut [D],
+    unit_domain: &[u32],
+    lookahead: SimDuration,
+    horizon: SimTime,
+    stop_after_completions: Option<u64>,
+) -> ShardStats {
+    assert!(!domains.is_empty(), "need at least one domain");
+    assert!(lookahead > SimDuration::ZERO, "lookahead must be positive");
+    let n = domains.len();
+    let rings: Rings<D::Msg> = Rings::new(n);
+    let barrier = Barrier::new(n);
+    let completions = AtomicU64::new(0);
+    let total_events = AtomicU64::new(0);
+
+    let mut results: Vec<(SimTime, bool)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (d, domain) in domains.iter_mut().enumerate() {
+            let rings = &rings;
+            let barrier = &barrier;
+            let completions = &completions;
+            let total_events = &total_events;
+            handles.push(scope.spawn(move || {
+                let mut w = SimTime::ZERO;
+                let mut events = 0u64;
+                let mut inbound: Vec<Envelope<D::Msg>> = Vec::new();
+                let mut outgoing_bufs: Vec<Vec<Envelope<D::Msg>>> =
+                    (0..n).map(|_| Vec::new()).collect();
+                let outcome = loop {
+                    // Stable region: between barriers no domain is running
+                    // events, so rings and the completion counter are
+                    // quiescent and every thread observes the same values.
+                    rings.drain_into(d, &mut inbound);
+                    inbound.sort_by_key(|e| (e.time, e.src_unit, e.seq));
+                    for env in inbound.drain(..) {
+                        domain.inject(env);
+                    }
+                    domain.on_boundary(w);
+                    let stop = stop_after_completions
+                        .is_some_and(|target| completions.load(Ordering::Acquire) >= target);
+                    barrier.wait();
+                    if stop {
+                        break (w, true);
+                    }
+                    if w >= horizon {
+                        // Arrivals due exactly at the horizon were injected
+                        // above; messages produced now would be due after it.
+                        events += domain.finish(horizon);
+                        domain.take_outgoing();
+                        break (horizon, false);
+                    }
+                    let end = (w + lookahead).min(horizon);
+                    events += domain.run_window(end);
+                    let done = domain.take_completions();
+                    if done > 0 {
+                        completions.fetch_add(done, Ordering::AcqRel);
+                    }
+                    for env in domain.take_outgoing() {
+                        outgoing_bufs[unit_domain[env.dst_unit as usize] as usize].push(env);
+                    }
+                    for (dst, buf) in outgoing_bufs.iter_mut().enumerate() {
+                        if !buf.is_empty() {
+                            rings.publish(d, dst, buf);
+                        }
+                    }
+                    barrier.wait();
+                    w = end;
+                };
+                total_events.fetch_add(events, Ordering::AcqRel);
+                outcome
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("shard thread panicked"));
+        }
+    });
+
+    let (end_time, stopped_early) = results[0];
+    debug_assert!(results.iter().all(|&r| r == (end_time, stopped_early)));
+    ShardStats {
+        events_processed: total_events.load(Ordering::Acquire),
+        end_time,
+        stopped_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_is_deterministic_and_total() {
+        let weights: Vec<u64> = (0..37).map(|i| (i * 7919) % 101).collect();
+        for domains in 1..=5 {
+            let a = partition_units(&weights, domains);
+            let b = partition_units(&weights, domains);
+            assert_eq!(a, b, "partition must be reproducible");
+            assert_eq!(a.len(), weights.len(), "every unit assigned");
+            assert!(a.iter().all(|&d| (d as usize) < domains));
+            // Every domain gets work when there are enough units.
+            if weights.len() >= domains {
+                for d in 0..domains as u32 {
+                    assert!(a.contains(&d), "domain {d} of {domains} left empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_balances_equal_weights() {
+        let weights = vec![1u64; 12];
+        let assign = partition_units(&weights, 4);
+        for d in 0..4u32 {
+            assert_eq!(assign.iter().filter(|&&x| x == d).count(), 3);
+        }
+    }
+
+    /// A unit that forwards a token around a ring of units with a fixed
+    /// per-hop latency, counting hops. Exercises the full barrier loop.
+    struct Token {
+        unit: u32,
+        next_unit: u32,
+        hop: SimDuration,
+        hops_seen: u64,
+        seq: u64,
+    }
+
+    struct RingDomain {
+        units: Vec<Token>,
+        queued: Vec<(SimTime, usize, u64)>, // (due, local unit, token)
+        outgoing: Vec<Envelope<u64>>,
+    }
+
+    impl RingDomain {
+        fn forward(token: &mut Token, at: SimTime, payload: u64) -> Envelope<u64> {
+            token.hops_seen += 1;
+            token.seq += 1;
+            Envelope {
+                time: at + token.hop,
+                src_unit: token.unit,
+                seq: token.seq,
+                dst_unit: token.next_unit,
+                msg: payload + 1,
+            }
+        }
+    }
+
+    impl Domain for RingDomain {
+        type Msg = u64;
+        fn inject(&mut self, env: Envelope<u64>) {
+            let local = self
+                .units
+                .iter()
+                .position(|t| t.unit == env.dst_unit)
+                .expect("misrouted");
+            self.queued.push((env.time, local, env.msg));
+        }
+        fn on_boundary(&mut self, _now: SimTime) {}
+        fn run_window(&mut self, end: SimTime) -> u64 {
+            self.queued.sort_by_key(|&(t, u, m)| (t, u, m));
+            let mut events = 0;
+            while let Some(&(t, local, msg)) = self.queued.first() {
+                if t >= end {
+                    break;
+                }
+                self.queued.remove(0);
+                let env = Self::forward(&mut self.units[local], t, msg);
+                self.outgoing.push(env);
+                events += 1;
+            }
+            events
+        }
+        fn finish(&mut self, horizon: SimTime) -> u64 {
+            // Inclusive: tokens due exactly at the horizon still count.
+            self.queued.sort_by_key(|&(t, u, m)| (t, u, m));
+            let mut events = 0;
+            while let Some(&(t, local, msg)) = self.queued.first() {
+                if t > horizon {
+                    break;
+                }
+                self.queued.remove(0);
+                let env = Self::forward(&mut self.units[local], t, msg);
+                self.outgoing.push(env);
+                events += 1;
+            }
+            events
+        }
+        fn take_outgoing(&mut self) -> Vec<Envelope<u64>> {
+            std::mem::take(&mut self.outgoing)
+        }
+        fn take_completions(&mut self) -> u64 {
+            0
+        }
+    }
+
+    fn run_ring(units: usize, domains: usize, horizon_ms: u64) -> (Vec<u64>, ShardStats) {
+        let hop = SimDuration::from_millis(1);
+        let weights = vec![1u64; units];
+        let unit_domain = partition_units(&weights, domains);
+        let mut doms: Vec<RingDomain> = (0..domains)
+            .map(|_| RingDomain {
+                units: Vec::new(),
+                queued: Vec::new(),
+                outgoing: Vec::new(),
+            })
+            .collect();
+        for u in 0..units {
+            doms[unit_domain[u] as usize].units.push(Token {
+                unit: u as u32,
+                next_unit: ((u + 1) % units) as u32,
+                hop,
+                hops_seen: 0,
+                seq: 0,
+            });
+        }
+        // Seed: unit 0 holds the token at t=0.
+        let d0 = unit_domain[0] as usize;
+        let local0 = doms[d0].units.iter().position(|t| t.unit == 0).unwrap();
+        doms[d0].queued.push((SimTime::ZERO, local0, 0));
+        let stats = run_sharded(
+            &mut doms,
+            &unit_domain,
+            hop,
+            SimTime::ZERO + SimDuration::from_millis(horizon_ms),
+            None,
+        );
+        let mut hops = vec![0u64; units];
+        for d in doms {
+            for t in d.units {
+                hops[t.unit as usize] = t.hops_seen;
+            }
+        }
+        (hops, stats)
+    }
+
+    #[test]
+    fn ring_token_is_grouping_invariant() {
+        let serial = run_ring(6, 1, 50);
+        for domains in 2..=4 {
+            let parallel = run_ring(6, domains, 50);
+            assert_eq!(serial.0, parallel.0, "{domains} domains diverged");
+            assert_eq!(
+                serial.1.events_processed, parallel.1.events_processed,
+                "event counts diverged at {domains} domains"
+            );
+        }
+        // 6 units, 1 ms per hop, horizon 50 ms inclusive: 51 hops total.
+        assert_eq!(serial.0.iter().sum::<u64>(), 51);
+    }
+}

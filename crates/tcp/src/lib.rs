@@ -31,7 +31,7 @@ pub mod sender;
 pub mod types;
 
 pub use cc::{
-    CcAlgorithm, CcParams, CcView, CongestionControl, CongestionEvent, HighSpeedTcp,
+    CcAlgorithm, CcEngine, CcParams, CcView, CongestionControl, CongestionEvent, HighSpeedTcp,
     LimitedSlowStart, Reno, RestrictedSlowStart, RssConfig, ScalableConfig, ScalableTcp, SslConfig,
     SsthreshlessStart, StallResponse,
 };
@@ -40,11 +40,13 @@ pub use rtt::RttEstimator;
 pub use sender::{IfqSnapshot, TcpSender, TxPlan};
 pub use types::{AckPolicy, ConnId, SegKind, TcpConfig, TcpSegment};
 
-/// Construct a boxed congestion controller for a connection configured by
-/// `cfg` — a convenience wrapper deriving [`CcParams`] from the transport
-/// config and dispatching through the [`rss_cc::registry`] table.
-pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> Box<dyn CongestionControl> {
-    rss_cc::make_cc(&algo, &cfg.cc_params())
+/// Construct a congestion controller for a connection configured by `cfg` —
+/// a convenience wrapper deriving [`CcParams`] from the transport config and
+/// dispatching through the [`rss_cc::registry`] table. Standard Reno comes
+/// back on the [`CcEngine`] monomorphized fast path; every other variant
+/// rides the boxed registry path.
+pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> CcEngine {
+    rss_cc::make_cc_engine(&algo, &cfg.cc_params())
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! the driver schedules a check event for each deadline it observes and the
 //! sender ignores checks that no longer apply.
 
-use crate::cc::{CcView, CongestionControl, CongestionEvent};
+use crate::cc::{CcEngine, CcView, CongestionControl, CongestionEvent};
 use crate::rtt::RttEstimator;
 use crate::types::{ConnId, StallResponse, TcpConfig};
 use rss_sim::{SimDuration, SimTime};
@@ -55,7 +55,7 @@ struct Recovery {
 pub struct TcpSender {
     conn: ConnId,
     cfg: TcpConfig,
-    cc: Box<dyn CongestionControl>,
+    cc: CcEngine,
     rtt: RttEstimator,
     web100: InstrumentBlock,
 
@@ -95,12 +95,7 @@ pub struct TcpSender {
 impl TcpSender {
     /// Create a sender with the given congestion controller and an
     /// application that will write `app_total` bytes (`None` = unlimited).
-    pub fn new(
-        conn: ConnId,
-        cfg: TcpConfig,
-        cc: Box<dyn CongestionControl>,
-        app_total: Option<u64>,
-    ) -> Self {
+    pub fn new(conn: ConnId, cfg: TcpConfig, cc: CcEngine, app_total: Option<u64>) -> Self {
         let mut web100 = InstrumentBlock::new();
         web100.on_cwnd(SimTime::ZERO, cc.cwnd());
         web100.on_ssthresh(cc.ssthresh());
@@ -152,13 +147,14 @@ impl TcpSender {
     }
 
     /// Bytes in flight.
+    #[inline]
     pub fn flight(&self) -> u64 {
         self.snd_nxt - self.snd_una
     }
 
     /// The congestion controller.
     pub fn cc(&self) -> &dyn CongestionControl {
-        self.cc.as_ref()
+        self.cc.as_dyn()
     }
 
     /// The RTT estimator.
@@ -213,6 +209,7 @@ impl TcpSender {
         self.stall_until
     }
 
+    #[inline]
     fn view(&self, now: SimTime, ifq: IfqSnapshot) -> CcView {
         CcView {
             now,
@@ -232,6 +229,7 @@ impl TcpSender {
         }
     }
 
+    #[inline]
     fn effective_window(&self) -> u64 {
         self.cc.cwnd().min(self.peer_rwnd)
     }
@@ -240,6 +238,7 @@ impl TcpSender {
 
     /// What the sender would transmit right now, if anything. Pure; call
     /// [`TcpSender::commit_transmit`] once the segment is safely on the IFQ.
+    #[inline]
     pub fn can_transmit(&self, now: SimTime) -> Option<TxPlan> {
         if let Some(until) = self.stall_until {
             if now < until {
@@ -279,6 +278,7 @@ impl TcpSender {
     }
 
     /// The segment from `can_transmit` was accepted by the IFQ.
+    #[inline]
     pub fn commit_transmit(&mut self, now: SimTime, plan: TxPlan) {
         let end = plan.seq + plan.len as u64;
         if plan.retransmit && self.retx_queue.front() == Some(&(plan.seq, plan.len)) {
@@ -332,6 +332,7 @@ impl TcpSender {
     // --- ACK processing ------------------------------------------------------
 
     /// Process a cumulative ACK.
+    #[inline]
     pub fn on_ack(&mut self, now: SimTime, ack: u64, rwnd: u64, ifq: IfqSnapshot) {
         self.peer_rwnd = rwnd;
         self.web100.on_rwin(rwnd);
@@ -424,6 +425,7 @@ impl TcpSender {
         self.retx_queue.push_back((self.snd_una, len));
     }
 
+    #[inline]
     fn take_rtt_sample(&mut self, now: SimTime, ack: u64) {
         // Newest fully-acked, never-retransmitted segment gives the sample
         // (Karn's rule). Acked records sit at the front of the ring.
@@ -486,6 +488,7 @@ impl TcpSender {
 
     // --- bookkeeping ---------------------------------------------------------
 
+    #[inline]
     fn after_cc_change(&mut self, now: SimTime, was_slow_start: bool) {
         self.web100.on_cwnd(now, self.cc.cwnd());
         self.web100.on_ssthresh(self.cc.ssthresh());
@@ -541,7 +544,7 @@ mod tests {
 
     fn sender(app_total: Option<u64>) -> TcpSender {
         let c = cfg();
-        let cc = Box::new(Reno::new(
+        let cc = CcEngine::from(Reno::new(
             c.initial_cwnd(),
             c.effective_initial_ssthresh(),
             c.mss,

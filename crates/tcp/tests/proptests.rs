@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rss_sim::{SimDuration, SimTime};
 use rss_tcp::{
-    make_cc, AckPolicy, CcAlgorithm, CcView, ConnId, RssConfig, ScalableConfig, SslConfig,
-    StallResponse, TcpConfig, TcpReceiver,
+    make_cc, AckPolicy, CcAlgorithm, CcView, CongestionControl, ConnId, RssConfig, ScalableConfig,
+    SslConfig, StallResponse, TcpConfig, TcpReceiver,
 };
 
 fn cfg_every() -> TcpConfig {
@@ -150,7 +150,7 @@ proptest! {
             mss: 1000,
             ..TcpConfig::default()
         };
-        let cc = Box::new(Reno::new(
+        let cc = rss_tcp::cc::CcEngine::from(Reno::new(
             cfg.initial_cwnd(),
             cfg.effective_initial_ssthresh(),
             cfg.mss,

@@ -16,14 +16,14 @@
 use restricted_slow_start::plot::ascii_table;
 use restricted_slow_start::{
     cc_registry, fairness_csv, fairness_reports, results_csv, run_many_memo, FairnessReport,
-    ScenarioSpec,
+    ScenarioSpec, ShardsDef,
 };
 use std::path::{Component, Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rss run <scenario.json> [--out <dir>]   execute and write artifacts\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate <path>...                  parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it)"
+        "usage:\n  rss run <scenario.json> [--out <dir>] [--shards <n|auto>]\n                                          execute and write artifacts (--shards overrides\n                                          the file's executor choice; results are identical)\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate <path>...                  parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it)"
     );
     ExitCode::from(2)
 }
@@ -87,9 +87,23 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parse a `--shards` argument: a positive integer or `auto`.
+fn parse_shards(arg: &str) -> Result<ShardsDef, String> {
+    if arg == "auto" {
+        return Ok(ShardsDef::Auto);
+    }
+    match arg.parse::<u32>() {
+        Ok(n) if n >= 1 => Ok(ShardsDef::Count(n)),
+        _ => Err(format!(
+            "--shards expects a positive integer or `auto`, got `{arg}`"
+        )),
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut file = None;
     let mut out_dir = PathBuf::from("results");
+    let mut shards_override = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,6 +111,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 i += 1;
                 match args.get(i) {
                     Some(dir) => out_dir = PathBuf::from(dir),
+                    None => return usage(),
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).map(|a| parse_shards(a)) {
+                    Some(Ok(sh)) => shards_override = Some(sh),
+                    Some(Err(msg)) => {
+                        eprintln!("error: {msg}");
+                        return ExitCode::from(2);
+                    }
                     None => return usage(),
                 }
             }
@@ -111,13 +136,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let spec = match ScenarioSpec::load(&file) {
+    let mut spec = match ScenarioSpec::load(&file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(sh) = shards_override {
+        // Override the file's executor choice for every expanded run.
+        // Results are shard-count-invariant, so this never changes the
+        // artifacts — only the wall clock.
+        spec.shards = Some(sh);
+    }
     let runs = match spec.expand() {
         Ok(r) => r,
         Err(e) => {
@@ -459,6 +490,17 @@ mod tests {
     #[test]
     fn existing_scenario_passes_the_preflight() {
         assert!(check_scenario_path(Path::new("scenarios/quickstart.json")).is_ok());
+    }
+
+    #[test]
+    fn shards_flag_parses_counts_and_auto_only() {
+        assert_eq!(parse_shards("1").unwrap(), ShardsDef::Count(1));
+        assert_eq!(parse_shards("8").unwrap(), ShardsDef::Count(8));
+        assert_eq!(parse_shards("auto").unwrap(), ShardsDef::Auto);
+        for bad in ["0", "-2", "2.5", "many", "Auto", ""] {
+            let err = parse_shards(bad).unwrap_err();
+            assert!(err.contains("positive integer or `auto`"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -153,6 +153,22 @@ fn gridftp_spec_matches_the_hand_built_striping() {
     }
 }
 
+/// The 10k-flow shard-executor scenario: expansion resolves `"auto"` to a
+/// concrete positive shard count, the `count` field replicates the flow
+/// template, and the geometry satisfies the executor's lookahead
+/// precondition (`rtt > 4 × access_delay`, so the cross-domain window is
+/// positive).
+#[test]
+fn manyflow_spec_expands_to_10k_sharded_flows() {
+    let runs = load("manyflow_dumbbell.json").expand().unwrap();
+    assert_eq!(runs.len(), 1);
+    let sc = &runs[0].scenario;
+    assert_eq!(sc.flows.len(), 10_000);
+    assert!(sc.shards.is_some_and(|n| n >= 1), "auto must resolve");
+    assert_eq!(sc.path.access_delay, SimDuration::from_millis(1));
+    assert!(sc.path.rtt > sc.path.access_delay * 4);
+}
+
 /// The SSthreshless LFN scenario's claim, asserted end-to-end: with the
 /// classic mis-set 64 KiB initial ssthresh on a 200 Mbit/s × 120 ms path,
 /// the ssthresh-free probe finishes the bounded transfer several times
