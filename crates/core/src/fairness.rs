@@ -246,6 +246,9 @@ mod tests {
             receiver_delivered_bytes: 0,
             receiver_dup_segments: 0,
             receiver_ooo_segments: 0,
+            rto_episodes: 0,
+            rto_max_backoff: 0,
+            rto_max_recovery_s: None,
         }
     }
 
@@ -262,6 +265,7 @@ mod tests {
             cross_offered_bytes: 0,
             cross_delivered_bytes: 0,
             events_processed: 0,
+            truncated: None,
         }
     }
 

@@ -52,8 +52,9 @@ pub use report::{FlowReport, RunReport};
 pub use runner::{run, run_many, run_many_memo};
 pub use scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
 pub use spec::{
-    results_csv, CcDef, CrossDef, ExpandedRun, FairnessDef, FlowDef, GridFtpDef, HostDef,
-    OutputSpec, PathDef, RunSpec, ScenarioSpec, ShardsDef, SpecError, SweepSpec, TcpDef, TuningDef,
+    results_csv, BurstLossDef, CcDef, CrossDef, ExpandedRun, FairnessDef, FlapDef, FlowDef,
+    GridFtpDef, HostDef, ImpairmentDef, ImpairmentsDef, JitterDef, OutageDef, OutputSpec, PathDef,
+    RunSpec, ScenarioSpec, ShardsDef, SpecError, SweepSpec, TcpDef, TuningDef,
 };
 pub use world::{Ev, World};
 
@@ -66,7 +67,10 @@ pub use rss_control::{
     ZnResult, ZnSearchConfig,
 };
 pub use rss_host::{HostConfig, NicStats};
-pub use rss_net::{LinkParams, TrafficPattern};
+pub use rss_net::{
+    Flap, GilbertElliott, ImpairStats, Impairment, ImpairmentConfig, Jitter, LinkParams,
+    OutageSchedule, OutageWindow, TrafficPattern,
+};
 pub use rss_sim::{convergence_time, jain_fairness, SimDuration, SimTime};
 pub use rss_tcp::{AckPolicy, CcAlgorithm, RssConfig, StallResponse, TcpConfig};
 pub use rss_web100::Web100Vars;

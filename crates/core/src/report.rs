@@ -35,6 +35,18 @@ pub struct FlowReport {
     pub receiver_dup_segments: u64,
     /// Segments the receiver buffered out of order (reordering/loss marker).
     pub receiver_ooo_segments: u64,
+    /// RTO episodes: runs of consecutive retransmission timeouts with no
+    /// intervening forward progress, counted once per run (an outage
+    /// spanning five backed-off RTOs is one episode; `vars.timeouts` counts
+    /// all five).
+    pub rto_episodes: u64,
+    /// Deepest exponential-backoff shift reached (0 = the RTO never backed
+    /// off; 3 = the RTO climbed to 8× its base during the worst episode).
+    pub rto_max_backoff: u32,
+    /// Worst post-outage time-to-recover, seconds: the longest span from an
+    /// episode's first timeout to the ACK of new data that ended it. `None`
+    /// when no episode completed during the run.
+    pub rto_max_recovery_s: Option<f64>,
 }
 
 impl FlowReport {
@@ -122,6 +134,10 @@ pub struct RunReport {
     /// Discrete events the engine dispatched during the run (the simulator
     /// perf harness divides these by wall time for events/sec).
     pub events_processed: u64,
+    /// `Some(reason)` when the run was ended by a watchdog (`max_sim_time`
+    /// or `max_events`) rather than running its course — the explicit
+    /// "this run was cut short" marker for un-completable scenarios.
+    pub truncated: Option<String>,
 }
 
 impl RunReport {
@@ -189,6 +205,9 @@ mod tests {
             receiver_delivered_bytes: 0,
             receiver_dup_segments: 0,
             receiver_ooo_segments: 0,
+            rto_episodes: 0,
+            rto_max_backoff: 0,
+            rto_max_recovery_s: None,
         }
     }
 
@@ -235,6 +254,7 @@ mod tests {
             cross_offered_bytes: 1000,
             cross_delivered_bytes: 900,
             events_processed: 12345,
+            truncated: None,
         };
         assert!((r.total_goodput_bps() - 100e6).abs() < 1.0);
         assert_eq!(r.total_stalls(), 1);
@@ -257,6 +277,7 @@ mod tests {
             cross_offered_bytes: 0,
             cross_delivered_bytes: 0,
             events_processed: 777,
+            truncated: None,
         };
         let json = r.to_json();
         // Spot-check shape: top-level object, nested flow array, series

@@ -49,7 +49,31 @@ pub(crate) fn flow_report(
         receiver_delivered_bytes: receiver.rcv_nxt(),
         receiver_dup_segments: rstats.duplicate_segments,
         receiver_ooo_segments: rstats.out_of_order_segments,
+        rto_episodes: sender.rto_episodes(),
+        rto_max_backoff: sender.rtt().max_backoff_shift(),
+        rto_max_recovery_s: sender.rto_max_recovery().map(|d| d.as_secs_f64()),
     }
+}
+
+/// The watchdog verdict for a finished serial run: why it was cut short, or
+/// `None` when it ran its course.
+fn serial_truncation(sc: &Scenario, stats: &rss_sim::RunStats) -> Option<String> {
+    if stats.budget_exhausted {
+        return Some(format!(
+            "event budget {} exhausted at t={:.6}s",
+            sc.max_events.expect("budget fired only when armed"),
+            stats.end_time.as_secs_f64()
+        ));
+    }
+    let clamp = sc.max_sim_time?;
+    if clamp < sc.duration && !stats.drained && !stats.stopped_by_model {
+        return Some(format!(
+            "max_sim_time {:.6}s reached before the {:.6}s horizon",
+            clamp.as_secs_f64(),
+            sc.duration.as_secs_f64()
+        ));
+    }
+    None
 }
 
 /// Execute one scenario and collect its report.
@@ -62,10 +86,12 @@ pub fn run(sc: &Scenario) -> RunReport {
     }
     let world = World::build(sc);
     let mut engine = Engine::new(world);
+    engine.event_budget = sc.max_events;
     for (t, ev) in engine.model().initial_events(sc) {
         engine.schedule_at(t, ev);
     }
-    let stats = engine.run_until(SimTime::ZERO + sc.duration);
+    let horizon = sc.max_sim_time.map_or(sc.duration, |t| t.min(sc.duration));
+    let stats = engine.run_until(SimTime::ZERO + horizon);
     let end = engine.now();
     let mut world = engine.into_model();
 
@@ -102,6 +128,7 @@ pub fn run(sc: &Scenario) -> RunReport {
         cross_offered_bytes: offered_bytes,
         cross_delivered_bytes: world.cross_delivered_bytes,
         events_processed: stats.events_processed,
+        truncated: serial_truncation(sc, &stats),
     }
 }
 
@@ -244,6 +271,52 @@ mod tests {
         let f = &r.flows[0];
         assert_eq!(f.vars.thru_bytes_acked, 200_000);
         assert!(f.completed_at_s.is_some());
+    }
+
+    #[test]
+    fn serial_outage_truncates_with_recovery_telemetry() {
+        use rss_net::{ImpairmentConfig, OutageWindow};
+        use rss_sim::SimTime;
+        // A permanent outage under `stop_when_complete`: without the
+        // watchdog this would grind through the full (huge) horizon.
+        let mut sc = tiny(CcAlgorithm::Reno);
+        sc.flows[0].app = AppModel::Bulk {
+            bytes: Some(5_000_000),
+        };
+        sc.stop_when_complete = true;
+        sc.duration = SimDuration::from_secs(3600);
+        sc.max_sim_time = Some(SimDuration::from_secs(8));
+        sc.haul_impairment = Some(ImpairmentConfig {
+            outages: vec![OutageWindow {
+                start: SimTime::from_millis(50),
+                duration: SimDuration::from_secs(7200),
+            }],
+            ..Default::default()
+        });
+        let r = run(&sc);
+        assert!(r.duration_s <= 8.1, "ran past the clamp: {}", r.duration_s);
+        let reason = r.truncated.as_deref().expect("truncation reported");
+        assert!(reason.contains("max_sim_time"), "unexpected: {reason}");
+        assert!(r.flows[0].completed_at_s.is_none());
+        assert!(r.flows[0].rto_episodes >= 1, "no RTO episodes recorded");
+        assert!(r.flows[0].rto_max_backoff >= 2, "backoff never deepened");
+        // Determinism holds under faults on the serial path too.
+        let again = run(&sc);
+        assert_eq!(
+            r.flows[0].vars.data_bytes_out,
+            again.flows[0].vars.data_bytes_out
+        );
+        assert_eq!(r.flows[0].rto_episodes, again.flows[0].rto_episodes);
+    }
+
+    #[test]
+    fn serial_event_budget_reports_truncation() {
+        let mut sc = tiny(CcAlgorithm::Reno);
+        sc.max_events = Some(2_000);
+        let r = run(&sc);
+        let reason = r.truncated.as_deref().expect("budget truncation reported");
+        assert!(reason.contains("event budget 2000 exhausted"), "{reason}");
+        assert_eq!(r.events_processed, 2_000);
     }
 
     #[test]

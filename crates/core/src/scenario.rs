@@ -5,7 +5,7 @@
 //! bulk flow, a 25-second horizon.
 
 use rss_host::HostConfig;
-use rss_net::TrafficPattern;
+use rss_net::{ImpairmentConfig, TrafficPattern};
 use rss_sim::{SimDuration, SimTime};
 use rss_tcp::{CcAlgorithm, RssConfig, TcpConfig};
 use rss_workload::AppModel;
@@ -121,6 +121,26 @@ pub struct Scenario {
     /// the shard-exact event path, whose results are identical for every
     /// shard count but not bit-equal to the serial world's tie-breaking.
     pub shards: Option<u32>,
+    /// Deterministic impairment on the long-haul link (both directions;
+    /// independent random streams per direction, one shared outage
+    /// schedule so a flap downs the physical link as a whole).
+    pub haul_impairment: Option<ImpairmentConfig>,
+    /// Deterministic impairment on every host-pair's access links (each
+    /// direction of each leg gets an independent random stream; the two
+    /// legs of one pair share an outage schedule).
+    pub access_impairment: Option<ImpairmentConfig>,
+    /// Watchdog: end the run once this much simulated time has elapsed even
+    /// if `duration` is larger (e.g. `stop_when_complete` runs that can no
+    /// longer complete because an outage never lifts). A run ended by the
+    /// watchdog reports `truncated` in its [`crate::RunReport`]. Honored by
+    /// both the serial and the sharded executor (it clamps the horizon, so
+    /// it is shard-count-invariant).
+    pub max_sim_time: Option<SimDuration>,
+    /// Watchdog: end the run gracefully after this many simulation events.
+    /// Unlike the engine's panicking `event_limit`, exhaustion is reported
+    /// as a truncated run, not a crash. Serial executor only; the sharded
+    /// executor relies on `max_sim_time`.
+    pub max_events: Option<u64>,
 }
 
 impl Scenario {
@@ -146,6 +166,10 @@ impl Scenario {
             stop_when_complete: false,
             red_bottleneck: false,
             shards: None,
+            haul_impairment: None,
+            access_impairment: None,
+            max_sim_time: None,
+            max_events: None,
         }
     }
 
@@ -199,6 +223,30 @@ impl Scenario {
     /// Builder: run through the sharded executor with `n` shards.
     pub fn with_shards(mut self, n: u32) -> Self {
         self.shards = Some(n);
+        self
+    }
+
+    /// Builder: impair the long-haul link.
+    pub fn with_haul_impairment(mut self, cfg: ImpairmentConfig) -> Self {
+        self.haul_impairment = Some(cfg);
+        self
+    }
+
+    /// Builder: impair every access link.
+    pub fn with_access_impairment(mut self, cfg: ImpairmentConfig) -> Self {
+        self.access_impairment = Some(cfg);
+        self
+    }
+
+    /// Builder: arm the simulated-time watchdog.
+    pub fn with_max_sim_time(mut self, t: SimDuration) -> Self {
+        self.max_sim_time = Some(t);
+        self
+    }
+
+    /// Builder: arm the event-count watchdog (serial executor).
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
         self
     }
 

@@ -47,8 +47,8 @@ use crate::runner::flow_report;
 use crate::scenario::Scenario;
 use rss_host::HostNic;
 use rss_net::{
-    DropTailQueue, FlowId, NodeId, Packet, PortQueue, QueueConfig, RedConfig, RedQueue,
-    TrafficSource,
+    DropTailQueue, FlowId, Impairment, NodeId, OutageSchedule, Packet, PortQueue, QueueConfig,
+    RedConfig, RedQueue, TrafficSource, Verdict,
 };
 use rss_sim::{
     partition_units, run_sharded, Domain, Engine, Envelope, Model, Scheduler, SimDuration, SimRng,
@@ -182,7 +182,19 @@ struct EdgeUnit {
     seq: u64,
     queue_drops: u64,
     cross_delivered_bytes: u64,
+    /// Access-leg impairments in canonical leg order: sender NIC -> left
+    /// router, left router -> sender host, right router -> receiver host,
+    /// receiver NIC -> right router. Each draws from a private stream
+    /// derived from `(seed, 0xACC, pair)`, matching the serial fabric, so
+    /// the realization is identical at every shard count.
+    leg_imps: [Option<Impairment>; 4],
 }
+
+/// Access-leg indexes into [`EdgeUnit::leg_imps`].
+const LEG_SND_NIC: usize = 0;
+const LEG_RET_PORT: usize = 1;
+const LEG_DLV_PORT: usize = 2;
+const LEG_RCV_NIC: usize = 3;
 
 impl EdgeUnit {
     /// Per-unit packet ids: unique across units without shared state.
@@ -211,6 +223,34 @@ struct HubUnit {
     rng: SimRng,
     seq: u64,
     queue_drops: u64,
+    /// Haul impairment for this direction (private per-packet stream; the
+    /// two directions share one outage realization).
+    impairment: Option<Impairment>,
+}
+
+/// Consult one (optional) impairment at a packet departure.
+///
+/// `None` means the packet is dropped; otherwise the extra delay for the
+/// packet and, when the verdict asked for duplication, the copy's own
+/// jittered extra delay. Draw order matches the serial fabric's
+/// `start_flight` exactly so the per-stream sequences stay aligned.
+fn leg_verdict(
+    imp: &mut Option<Impairment>,
+    now: SimTime,
+) -> Option<(SimDuration, Option<SimDuration>)> {
+    let Some(imp) = imp.as_mut() else {
+        return Some((SimDuration::ZERO, None));
+    };
+    match imp.decide(now) {
+        Verdict::Drop(_) => None,
+        Verdict::Deliver {
+            extra_delay,
+            duplicate,
+        } => {
+            let dup = duplicate.then(|| imp.dup_jitter());
+            Some((extra_delay, dup))
+        }
+    }
 }
 
 enum Unit {
@@ -448,18 +488,34 @@ fn hub_tx(
         .take()
         .expect("hub tx-done with no packet in flight");
     // Loss is drawn when the packet enters the haul link, as in the serial
-    // fabric's start_flight — but from this hub's private stream.
+    // fabric's start_flight — but from this hub's private stream. The
+    // impairment layer runs after the independent loss model, also matching
+    // the serial fabric; jitter only ever adds delay, so the haul delay
+    // stays a valid lookahead bound.
     if h.loss_prob > 0.0 && h.rng.chance(h.loss_prob) {
         // drop on the wire
-    } else {
+    } else if let Some((extra, dup)) = leg_verdict(&mut h.impairment, now) {
+        // Edge unit of the destination host: pair hosts are numbered
+        // 2+2p (sender) / 3+2p (receiver), mirroring the serial dumbbell.
+        let dst_unit = (pkt.dst.0 - 2) / 2;
+        if let Some(extra2) = dup {
+            // The copy flies first, with its own jitter and the same packet
+            // id, so the receiver's dedup accounting sees a true duplicate.
+            h.seq += 1;
+            outgoing.push(Envelope {
+                time: now + h.haul_delay + extra2,
+                src_unit: h.unit,
+                seq: h.seq,
+                dst_unit,
+                msg: pkt.clone(),
+            });
+        }
         h.seq += 1;
         outgoing.push(Envelope {
-            time: now + h.haul_delay,
+            time: now + h.haul_delay + extra,
             src_unit: h.unit,
             seq: h.seq,
-            // Edge unit of the destination host: pair hosts are numbered
-            // 2+2p (sender) / 3+2p (receiver), mirroring the serial dumbbell.
-            dst_unit: (pkt.dst.0 - 2) / 2,
+            dst_unit,
             msg: pkt,
         });
     }
@@ -521,14 +577,28 @@ impl Model for DomainWorld {
                 };
                 let nic = if snd { &mut e.snd_nic } else { &mut e.rcv_nic };
                 let pkt = nic.on_tx_done(now);
-                e.seq += 1;
-                outgoing.push(Envelope {
-                    time: now + access_delay,
-                    src_unit: e.unit,
-                    seq: e.seq,
-                    dst_unit: if snd { hub_fwd } else { hub_rev },
-                    msg: pkt,
-                });
+                let leg = if snd { LEG_SND_NIC } else { LEG_RCV_NIC };
+                let dst_unit = if snd { hub_fwd } else { hub_rev };
+                if let Some((extra, dup)) = leg_verdict(&mut e.leg_imps[leg], now) {
+                    if let Some(extra2) = dup {
+                        e.seq += 1;
+                        outgoing.push(Envelope {
+                            time: now + access_delay + extra2,
+                            src_unit: e.unit,
+                            seq: e.seq,
+                            dst_unit,
+                            msg: pkt.clone(),
+                        });
+                    }
+                    e.seq += 1;
+                    outgoing.push(Envelope {
+                        time: now + access_delay + extra,
+                        src_unit: e.unit,
+                        seq: e.seq,
+                        dst_unit,
+                        msg: pkt,
+                    });
+                }
                 kick_nic(e, u, snd, now, sched);
                 // A queue slot freed: stalled connections may proceed.
                 if snd {
@@ -552,7 +622,19 @@ impl Model for DomainWorld {
                         .expect("port tx-done with no packet in flight")
                 };
                 // The last hop: the access link's propagation to the host.
-                sched.after(access_delay, DEv::HostArrive { u, pkt });
+                let leg = if dlv { LEG_DLV_PORT } else { LEG_RET_PORT };
+                if let Some((extra, dup)) = leg_verdict(&mut e.leg_imps[leg], now) {
+                    if let Some(extra2) = dup {
+                        sched.after(
+                            access_delay + extra2,
+                            DEv::HostArrive {
+                                u,
+                                pkt: pkt.clone(),
+                            },
+                        );
+                    }
+                    sched.after(access_delay + extra, DEv::HostArrive { u, pkt });
+                }
                 kick_port(e, u, dlv, sched);
             }
             DEv::HubTx { u } => {
@@ -745,8 +827,34 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
         })
         .collect();
 
+    // Fault injection: the exact stream derivations the serial world uses,
+    // so a given scenario sees one impairment realization at every shard
+    // count. Directions/legs of one physical link share an outage schedule.
+    let fault_horizon = SimTime::ZERO + sc.duration;
+    let (mut haul_imp_fwd, mut haul_imp_rev) = (None, None);
+    if let Some(cfg) = sc.haul_impairment.as_ref().filter(|c| !c.is_noop()) {
+        let haul_rng = rng.derive(0x1FA);
+        let schedule = OutageSchedule::build(cfg, &mut haul_rng.derive(0), fault_horizon);
+        haul_imp_fwd = Some(Impairment::new(cfg, schedule.clone(), haul_rng.derive(1)));
+        haul_imp_rev = Some(Impairment::new(cfg, schedule, haul_rng.derive(2)));
+    }
+    let acc_cfg = sc.access_impairment.as_ref().filter(|c| !c.is_noop());
+    let acc_rng = rng.derive(0xACC);
+
     let access_rate = sc.path.access_rate();
     for p in 0..pairs {
+        let mut leg_imps: [Option<Impairment>; 4] = [None, None, None, None];
+        if let Some(cfg) = acc_cfg {
+            let pair_rng = acc_rng.derive(p as u64);
+            let schedule = OutageSchedule::build(cfg, &mut pair_rng.derive(0), fault_horizon);
+            for (k, slot) in leg_imps.iter_mut().enumerate() {
+                *slot = Some(Impairment::new(
+                    cfg,
+                    schedule.clone(),
+                    pair_rng.derive(1 + k as u64),
+                ));
+            }
+        }
         let mut e = EdgeUnit {
             unit: p as u32,
             snd_node: NodeId(2 + 2 * p as u32),
@@ -762,6 +870,7 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
             seq: 0,
             queue_drops: 0,
             cross_delivered_bytes: 0,
+            leg_imps,
         };
         for &i in &pair_conns[p] {
             let f = &sc.flows[i as usize];
@@ -796,7 +905,10 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
     }
 
     let mean_pkt = SimDuration::for_bytes_at_rate(1500, sc.path.rate_bps);
-    for (hub_unit, stream) in [(hub_fwd, 0xFAB0u64), (hub_rev, 0xFAB1u64)] {
+    for (hub_unit, stream, impairment) in [
+        (hub_fwd, 0xFAB0u64, haul_imp_fwd.take()),
+        (hub_rev, 0xFAB1u64, haul_imp_rev.take()),
+    ] {
         let queue = if sc.red_bottleneck {
             PortQueue::Red(RedQueue::new(RedConfig::for_capacity(
                 sc.path.router_queue_pkts,
@@ -819,6 +931,7 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
             rng: rng.derive(stream),
             seq: 0,
             queue_drops: 0,
+            impairment,
         })));
     }
 
@@ -858,13 +971,19 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
     }
 
     let target = (sc.stop_when_complete && !sc.flows.is_empty()).then_some(sc.flows.len() as u64);
+    // The watchdog clamps the horizon: a window-boundary cut is invariant
+    // across shard counts, so truncated runs stay bit-exact at any sharding.
+    let horizon = sc.max_sim_time.map_or(sc.duration, |t| t.min(sc.duration));
     let stats = run_sharded(
         &mut domains,
         &unit_domain,
         lookahead,
-        SimTime::ZERO + sc.duration,
+        SimTime::ZERO + horizon,
         target,
-    );
+    )
+    // A shard panic is a simulator bug; re-raise it on the caller's thread
+    // with the shard attribution instead of deadlocking the barrier.
+    .unwrap_or_else(|e| panic!("sharded run failed: {e}"));
     let end = stats.end_time;
 
     // --- merge ------------------------------------------------------------
@@ -934,6 +1053,15 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
         cross_offered_bytes,
         cross_delivered_bytes,
         events_processed: stats.events_processed,
+        truncated: (sc.max_sim_time.is_some_and(|t| t < sc.duration) && !stats.stopped_early).then(
+            || {
+                format!(
+                    "max_sim_time {:.6}s reached before the {:.6}s horizon",
+                    sc.max_sim_time.expect("checked above").as_secs_f64(),
+                    sc.duration.as_secs_f64()
+                )
+            },
+        ),
     }
 }
 
@@ -1046,5 +1174,96 @@ mod tests {
         let a = report_json(&sc, 1);
         let b = report_json(&sc, 4);
         assert_eq!(a, b);
+    }
+
+    /// Every impairment mechanism at once, on both the haul and the access
+    /// links — the realization must be identical at every shard count.
+    fn faulty() -> Scenario {
+        use rss_net::{Flap, GilbertElliott, ImpairmentConfig, Jitter, OutageWindow};
+        let mut sc = busy(4);
+        sc.haul_impairment = Some(ImpairmentConfig {
+            burst_loss: Some(GilbertElliott {
+                p_good_to_bad: 0.01,
+                p_bad_to_good: 0.3,
+                loss_good: 0.0,
+                loss_bad: 0.5,
+            }),
+            outages: vec![OutageWindow {
+                start: SimTime::from_millis(100),
+                duration: SimDuration::from_millis(30),
+            }],
+            flap: None,
+            jitter: Some(Jitter {
+                prob: 0.2,
+                max: SimDuration::from_micros(400),
+            }),
+            duplicate_prob: 0.01,
+        });
+        sc.access_impairment = Some(ImpairmentConfig {
+            flap: Some(Flap {
+                mean_up: SimDuration::from_millis(150),
+                mean_down: SimDuration::from_millis(10),
+            }),
+            jitter: Some(Jitter {
+                prob: 0.1,
+                max: SimDuration::from_micros(200),
+            }),
+            ..Default::default()
+        });
+        sc
+    }
+
+    #[test]
+    fn impaired_runs_are_shard_count_invariant() {
+        let sc = faulty();
+        let serial = report_json(&sc, 1);
+        for shards in [2, 3, 6] {
+            let parallel = report_json(&sc, shards);
+            assert_eq!(serial, parallel, "{shards} shards diverged under faults");
+        }
+    }
+
+    #[test]
+    fn impaired_run_still_moves_data() {
+        let r = run_sharded_scenario(&faulty(), 2);
+        for f in &r.flows {
+            assert!(f.vars.thru_bytes_acked > 0, "flow {} starved", f.conn);
+        }
+        assert!(r.truncated.is_none());
+    }
+
+    /// Livelock regression: `stop_when_complete` plus a permanent outage can
+    /// never satisfy its stop condition — the watchdog must end the run at
+    /// `max_sim_time` with an explicit truncation, identically at every
+    /// shard count, instead of spinning toward a huge horizon.
+    #[test]
+    fn watchdog_truncates_uncompletable_run() {
+        use rss_net::{ImpairmentConfig, OutageWindow};
+        let mut sc = busy(1);
+        sc.cross.clear();
+        sc.flows[0].app = AppModel::Bulk {
+            bytes: Some(5_000_000),
+        };
+        sc.flows[0].start = SimTime::ZERO;
+        sc.stop_when_complete = true;
+        sc.duration = SimDuration::from_secs(3600);
+        sc.max_sim_time = Some(SimDuration::from_secs(8));
+        // The haul goes down at 50 ms and never comes back.
+        sc.haul_impairment = Some(ImpairmentConfig {
+            outages: vec![OutageWindow {
+                start: SimTime::from_millis(50),
+                duration: SimDuration::from_secs(7200),
+            }],
+            ..Default::default()
+        });
+        let r = run_sharded_scenario(&sc, 2);
+        assert!(r.duration_s <= 8.1, "ran past the clamp: {}", r.duration_s);
+        let reason = r.truncated.as_deref().expect("truncation reported");
+        assert!(reason.contains("max_sim_time"), "unexpected: {reason}");
+        assert!(r.flows[0].completed_at_s.is_none());
+        assert!(r.flows[0].rto_episodes >= 1, "no RTO episodes recorded");
+        assert!(r.flows[0].rto_max_backoff >= 2, "backoff never deepened");
+        // Truncated runs are shard-count invariant too.
+        assert_eq!(report_json(&sc, 1), report_json(&sc, 2));
     }
 }

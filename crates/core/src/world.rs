@@ -16,8 +16,8 @@ use crate::body::WireBody;
 use crate::scenario::Scenario;
 use rss_host::HostNic;
 use rss_net::{
-    dumbbell, Fabric, LinkId, LinkParams, NetEvent, NodeId, Packet, PacketIdGen, QueueConfig,
-    TrafficSource,
+    dumbbell, Fabric, Impairment, LinkId, LinkParams, NetEvent, NodeId, OutageSchedule, Packet,
+    PacketIdGen, QueueConfig, TrafficSource,
 };
 use rss_sim::{Model, Scheduler, SimDuration, SimRng, SimTime, TimeSeries};
 use rss_tcp::{
@@ -145,6 +145,48 @@ impl World {
             let red = rss_net::RedConfig::for_capacity(sc.path.router_queue_pkts, mean_pkt);
             fabric.set_red_port(d.left_router, d.bottleneck, red);
             fabric.set_red_port(d.right_router, d.bottleneck, red);
+        }
+
+        // Fault injection. Outage schedules build out to the full scenario
+        // duration; each link direction gets a private per-packet stream,
+        // while the directions (and legs) of one physical link share a
+        // single outage realization — a flap downs the link as a whole.
+        let fault_horizon = SimTime::ZERO + sc.duration;
+        if let Some(cfg) = sc.haul_impairment.as_ref().filter(|c| !c.is_noop()) {
+            let haul_rng = rng.derive(0x1FA);
+            let schedule = OutageSchedule::build(cfg, &mut haul_rng.derive(0), fault_horizon);
+            fabric.set_impairment(
+                d.bottleneck,
+                d.left_router,
+                Impairment::new(cfg, schedule.clone(), haul_rng.derive(1)),
+            );
+            fabric.set_impairment(
+                d.bottleneck,
+                d.right_router,
+                Impairment::new(cfg, schedule, haul_rng.derive(2)),
+            );
+        }
+        if let Some(cfg) = sc.access_impairment.as_ref().filter(|c| !c.is_noop()) {
+            let acc_rng = rng.derive(0xACC);
+            for p in 0..pairs {
+                let pair_rng = acc_rng.derive(p as u64);
+                let schedule = OutageSchedule::build(cfg, &mut pair_rng.derive(0), fault_horizon);
+                for (k, (link, from)) in [
+                    (d.sender_access[p], d.senders[p]),
+                    (d.sender_access[p], d.left_router),
+                    (d.receiver_access[p], d.right_router),
+                    (d.receiver_access[p], d.receivers[p]),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    fabric.set_impairment(
+                        link,
+                        from,
+                        Impairment::new(cfg, schedule.clone(), pair_rng.derive(1 + k as u64)),
+                    );
+                }
+            }
         }
 
         let node_count = fabric.topology().node_count();
@@ -507,7 +549,9 @@ impl Model for World {
                 let link = self.host_links[host as usize].expect("host has no access link");
                 let mut pending: Vec<(SimDuration, NetEvent<WireBody>)> = Vec::new();
                 self.fabric
-                    .start_flight(NodeId(host), link, pkt, &mut |d, e| pending.push((d, e)));
+                    .start_flight(now, NodeId(host), link, pkt, &mut |d, e| {
+                        pending.push((d, e))
+                    });
                 for (d, e) in pending {
                     sched.after(d, Ev::Net(e));
                 }

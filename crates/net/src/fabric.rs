@@ -10,6 +10,7 @@
 //! callback, so the embedding world model decides how fabric events are
 //! represented in its own event enum.
 
+use crate::impair::{Impairment, Verdict};
 use crate::packet::{Body, LinkId, NodeId, Packet};
 use crate::queue::{DropTailQueue, QueueConfig, QueueStats};
 use crate::red::{RedConfig, RedQueue};
@@ -112,6 +113,9 @@ pub struct Fabric<B> {
     /// `ports[link * 2 + side]`; `None` for host-side ends of a link.
     ports: Vec<Option<Port<B>>>,
     rng: SimRng,
+    /// Per-link-direction impairments, indexed like ports (`link*2 + side`).
+    /// `None` (the default everywhere) is a zero-cost clean link.
+    impairments: Vec<Option<Impairment>>,
     /// Per-link transfer statistics, indexed by raw link id.
     link_stats: Vec<LinkStats>,
     /// Packets dropped at routers because no route existed.
@@ -139,6 +143,7 @@ impl<B: Body> Fabric<B> {
             }
         }
         Fabric {
+            impairments: (0..topo.links().len() * 2).map(|_| None).collect(),
             link_stats: vec![LinkStats::default(); topo.links().len()],
             topo,
             routes,
@@ -159,6 +164,20 @@ impl<B: Body> Fabric<B> {
     /// The topology the fabric runs on.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Install a deterministic impairment on the direction of `link` whose
+    /// packets depart `from`. Each direction carries its own instance (its
+    /// own random streams); impairing one direction leaves the other clean.
+    pub fn set_impairment(&mut self, link: LinkId, from: NodeId, imp: Impairment) {
+        let idx = port_index(&self.topo, from, link);
+        self.impairments[idx] = Some(imp);
+    }
+
+    /// The impairment installed on `(link, from)`, if any — read-only access
+    /// for post-run drop/jitter accounting.
+    pub fn impairment(&self, link: LinkId, from: NodeId) -> Option<&Impairment> {
+        try_port_index(&self.topo, from, link).and_then(|idx| self.impairments[idx].as_ref())
     }
 
     /// The routing table (mutable, for override experiments).
@@ -196,6 +215,7 @@ impl<B: Body> Fabric<B> {
     /// business); router ports call it internally when serialization ends.
     pub fn start_flight(
         &mut self,
+        now: SimTime,
         from: NodeId,
         link: LinkId,
         pkt: Packet<B>,
@@ -207,11 +227,47 @@ impl<B: Body> Fabric<B> {
             stats.lost_pkts += 1;
             return;
         }
+        // The impairment layer sees each departure after the independent
+        // loss model: outage/burst drops, jitter (delay is only ever added,
+        // so the link's propagation delay stays a valid lookahead bound for
+        // the sharded executor) and duplication.
+        let dir = port_index(&self.topo, from, link);
+        let (extra_delay, duplicate) = match self.impairments[dir].as_mut() {
+            None => (SimDuration::ZERO, false),
+            Some(imp) => match imp.decide(now) {
+                Verdict::Drop(_) => {
+                    stats.lost_pkts += 1;
+                    return;
+                }
+                Verdict::Deliver {
+                    extra_delay,
+                    duplicate,
+                } => (extra_delay, duplicate),
+            },
+        };
+        let to = spec.other_end(from);
+        if duplicate {
+            // The copy takes its own jittered flight; same packet id, so the
+            // receiver's dedup accounting sees it as a true duplicate.
+            let extra2 = self.impairments[dir]
+                .as_mut()
+                .expect("duplicate verdict implies an impairment")
+                .dup_jitter();
+            stats.delivered_pkts += 1;
+            stats.delivered_bytes += pkt.wire_size() as u64;
+            sched(
+                spec.params.prop_delay + extra2,
+                NetEvent::Arrival {
+                    node: to,
+                    link,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
         stats.delivered_pkts += 1;
         stats.delivered_bytes += pkt.wire_size() as u64;
-        let to = spec.other_end(from);
         sched(
-            spec.params.prop_delay,
+            spec.params.prop_delay + extra_delay,
             NetEvent::Arrival {
                 node: to,
                 link,
@@ -276,7 +332,7 @@ impl<B: Body> Fabric<B> {
                     .transmitting
                     .take()
                     .expect("PortTxDone with no packet in flight");
-                self.start_flight(node, link, pkt, sched);
+                self.start_flight(now, node, link, pkt, sched);
                 self.kick_port(node, link, now, sched);
                 None
             }
@@ -371,7 +427,7 @@ mod tests {
         let mut pending = Vec::new();
         eng.model_mut()
             .fabric
-            .start_flight(from, link, pkt, &mut |d, e| pending.push((d, e)));
+            .start_flight(at, from, link, pkt, &mut |d, e| pending.push((d, e)));
         for (d, e) in pending {
             eng.schedule_at(at + d, e);
         }

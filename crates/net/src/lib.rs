@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod impair;
 pub mod packet;
 pub mod queue;
 pub mod red;
@@ -20,6 +21,10 @@ pub mod topology;
 pub mod traffic;
 
 pub use fabric::{Fabric, LinkStats, NetEvent, PortQueue};
+pub use impair::{
+    DropCause, Flap, GilbertElliott, ImpairStats, Impairment, ImpairmentConfig, Jitter,
+    OutageSchedule, OutageWindow, Verdict,
+};
 pub use packet::{Body, FlowId, LinkId, NodeId, Packet, PacketIdGen, RawBody};
 pub use queue::{DropTailQueue, EnqueueError, QueueConfig, QueueStats};
 pub use red::{RedConfig, RedQueue};

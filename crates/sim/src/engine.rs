@@ -75,6 +75,9 @@ pub struct RunStats {
     pub drained: bool,
     /// True if the model requested an early stop.
     pub stopped_by_model: bool,
+    /// True if the run ended because the lifetime [`Engine::event_budget`]
+    /// was exhausted (the watchdog fired).
+    pub budget_exhausted: bool,
 }
 
 /// The discrete-event simulation engine.
@@ -86,6 +89,13 @@ pub struct Engine<M: Model> {
     /// Hard cap on dispatched events; guards against runaway schedules in
     /// experiments (a full 25 s paper run is ~10^6 events).
     pub event_limit: u64,
+    /// Soft, non-panicking watchdog: when set, [`Engine::run_until`] stops
+    /// once the engine's *lifetime* event count reaches the budget and
+    /// reports it via [`RunStats::budget_exhausted`]. Unlike
+    /// [`Engine::event_limit`] (a per-call panic against runaway schedules),
+    /// this ends an un-completable run gracefully so its partial results can
+    /// still be reported.
+    pub event_budget: Option<u64>,
 }
 
 impl<M: Model> Engine<M> {
@@ -97,6 +107,7 @@ impl<M: Model> Engine<M> {
             now: SimTime::ZERO,
             events_processed: 0,
             event_limit: u64::MAX,
+            event_budget: None,
         }
     }
 
@@ -157,6 +168,7 @@ impl<M: Model> Engine<M> {
         let start_events = self.events_processed;
         let mut drained = false;
         let mut stopped_by_model = false;
+        let mut budget_exhausted = false;
         loop {
             match self.queue.peek_time() {
                 None => {
@@ -172,14 +184,23 @@ impl<M: Model> Engine<M> {
                     self.event_limit, self.now
                 );
             }
+            if self
+                .event_budget
+                .is_some_and(|b| self.events_processed >= b)
+            {
+                budget_exhausted = true;
+                break;
+            }
             if !self.step() {
                 stopped_by_model = true;
                 break;
             }
         }
         // Advance the clock to the horizon so rate computations over the whole
-        // window are well-defined even if the last event fired earlier.
-        if !stopped_by_model && self.now < horizon && horizon != SimTime::MAX {
+        // window are well-defined even if the last event fired earlier. A
+        // budget-truncated run keeps its clock at the last dispatched event:
+        // the simulated span really did end there.
+        if !stopped_by_model && !budget_exhausted && self.now < horizon && horizon != SimTime::MAX {
             self.now = horizon;
         }
         RunStats {
@@ -187,6 +208,7 @@ impl<M: Model> Engine<M> {
             end_time: self.now,
             drained,
             stopped_by_model,
+            budget_exhausted,
         }
     }
 
@@ -374,6 +396,28 @@ mod tests {
         let mut eng = Engine::new(Bad);
         eng.schedule_at(SimTime::from_secs(1), ());
         eng.run_to_completion();
+    }
+
+    #[test]
+    fn event_budget_truncates_gracefully() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::from_millis(1),
+            remaining: u32::MAX,
+            fired_at: vec![],
+        });
+        eng.event_budget = Some(100);
+        eng.schedule_at(SimTime::ZERO, ());
+        let stats = eng.run_until(SimTime::from_secs(10));
+        assert!(stats.budget_exhausted);
+        assert!(!stats.drained);
+        assert!(!stats.stopped_by_model);
+        assert_eq!(stats.events_processed, 100);
+        // The clock stays at the last dispatched event, not the horizon.
+        assert_eq!(eng.now(), SimTime::from_millis(99));
+        // The budget is a lifetime total: a resumed run stops immediately.
+        let stats2 = eng.run_until(SimTime::from_secs(10));
+        assert!(stats2.budget_exhausted);
+        assert_eq!(stats2.events_processed, 0);
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub use engine::{Engine, Model, RunStats, Scheduler};
 pub use queue::{EventId, EventQueue};
 pub use rng::{SimRng, SplitMix64};
 pub use series::{EventCounter, TimeSeries};
-pub use shard::{partition_units, run_sharded, Domain, Envelope, ShardStats};
+pub use shard::{partition_units, run_sharded, Domain, Envelope, ShardError, ShardStats};
 pub use stats::{convergence_time, jain_fairness, Histogram, Welford};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

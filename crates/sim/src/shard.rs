@@ -54,8 +54,10 @@
 //! byte-compared against.
 
 use crate::{SimDuration, SimTime};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use core::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError};
 
 /// A cross-unit message in flight, carrying its canonical ordering key.
 #[derive(Debug, Clone)]
@@ -104,6 +106,39 @@ pub struct ShardStats {
     pub stopped_early: bool,
 }
 
+/// A shard thread panicked during a sharded run.
+///
+/// [`run_sharded`] catches the panic, releases the lockstep barriers so the
+/// sibling shards can observe the failure and exit cleanly at the next
+/// window boundary, and returns this structured error instead of
+/// deadlocking (or poisoning the join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the domain whose thread panicked first.
+    pub shard: usize,
+    /// The panic payload, stringified when possible.
+    pub message: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} panicked: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Per-`(src, dst)` domain message rings, swapped once per window.
 struct Rings<M> {
     domains: usize,
@@ -125,19 +160,25 @@ impl<M> Rings<M> {
     }
 
     /// Publish `src`'s messages for `dst`: one lock, one append.
+    ///
+    /// A poisoned slot (its lock holder panicked) is recovered with
+    /// `into_inner`: the run is already doomed to a [`ShardError`], but the
+    /// sibling shards must keep moving through the barrier protocol instead
+    /// of amplifying the panic here.
     fn publish(&self, src: usize, dst: usize, buf: &mut Vec<Envelope<M>>) {
         let mut slot = self.slots[src * self.domains + dst]
             .lock()
-            .expect("ring poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         slot.append(buf);
     }
 
     /// Drain everything addressed to `dst` into `into` (one lock per source).
+    /// Poison-tolerant for the same reason as [`Rings::publish`].
     fn drain_into(&self, dst: usize, into: &mut Vec<Envelope<M>>) {
         for src in 0..self.domains {
             let mut slot = self.slots[src * self.domains + dst]
                 .lock()
-                .expect("ring poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             into.append(&mut slot);
         }
     }
@@ -177,13 +218,22 @@ pub fn partition_units(weights: &[u64], domains: usize) -> Vec<u32> {
 ///   window boundary at which `n` flow completions have been reported.
 ///
 /// Returns the merged [`ShardStats`]; per-domain results stay in `domains`.
+///
+/// # Panic safety
+///
+/// Model code runs inside `catch_unwind`. When a domain panics, its thread
+/// records the payload, raises a shared poison flag, and *keeps
+/// participating in the barrier protocol*; every sibling observes the flag
+/// at its next window boundary and exits, so the panic surfaces as a
+/// [`ShardError`] within one lockstep window instead of deadlocking the
+/// remaining shards at a barrier.
 pub fn run_sharded<D: Domain>(
     domains: &mut [D],
     unit_domain: &[u32],
     lookahead: SimDuration,
     horizon: SimTime,
     stop_after_completions: Option<u64>,
-) -> ShardStats {
+) -> Result<ShardStats, ShardError> {
     assert!(!domains.is_empty(), "need at least one domain");
     assert!(lookahead > SimDuration::ZERO, "lookahead must be positive");
     let n = domains.len();
@@ -191,8 +241,38 @@ pub fn run_sharded<D: Domain>(
     let barrier = Barrier::new(n);
     let completions = AtomicU64::new(0);
     let total_events = AtomicU64::new(0);
+    // Two poison flags, split by the phase of the window protocol that may
+    // set them. A single flag would race: a thread panicking in the run
+    // phase sets it *between* the two barriers, so a slow sibling could
+    // observe it at the post-barrier-1 checkpoint while a fast sibling
+    // (which checked before the write landed) is already committed to
+    // waiting at barrier 2 — and the barriers deadlock. With the split,
+    // each flag is only read at a checkpoint that is barrier-separated from
+    // every write site of that flag, so the value is frozen there and all
+    // threads take the same branch.
+    //
+    // * `poison_inject` — set during the inject/boundary phase (between
+    //   barrier 2 of the previous window and barrier 1); read only at the
+    //   post-barrier-1 checkpoint.
+    // * `poison_run` — set during the run/publish phase (between barrier 1
+    //   and barrier 2); read only at the top-of-window checkpoint (after
+    //   barrier 2).
+    let poison_inject = AtomicBool::new(false);
+    let poison_run = AtomicBool::new(false);
+    let first_panic: Mutex<Option<ShardError>> = Mutex::new(None);
 
-    let mut results: Vec<(SimTime, bool)> = Vec::with_capacity(n);
+    let record_panic = |flag: &AtomicBool, shard: usize, payload: Box<dyn std::any::Any + Send>| {
+        flag.store(true, Ordering::Release);
+        let mut slot = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(ShardError {
+                shard,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+    };
+
+    let mut results: Vec<Option<(SimTime, bool)>> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (d, domain) in domains.iter_mut().enumerate() {
@@ -200,6 +280,9 @@ pub fn run_sharded<D: Domain>(
             let barrier = &barrier;
             let completions = &completions;
             let total_events = &total_events;
+            let poison_inject = &poison_inject;
+            let poison_run = &poison_run;
+            let record_panic = &record_panic;
             handles.push(scope.spawn(move || {
                 let mut w = SimTime::ZERO;
                 let mut events = 0u64;
@@ -207,41 +290,77 @@ pub fn run_sharded<D: Domain>(
                 let mut outgoing_bufs: Vec<Vec<Envelope<D::Msg>>> =
                     (0..n).map(|_| Vec::new()).collect();
                 let outcome = loop {
-                    // Stable region: between barriers no domain is running
-                    // events, so rings and the completion counter are
-                    // quiescent and every thread observes the same values.
-                    rings.drain_into(d, &mut inbound);
-                    inbound.sort_by_key(|e| (e.time, e.src_unit, e.seq));
-                    for env in inbound.drain(..) {
-                        domain.inject(env);
+                    // Top-of-window checkpoint: barrier 2 of the previous
+                    // window separates this read from every `poison_run`
+                    // write site, so all threads read the same value here.
+                    if poison_run.load(Ordering::Acquire) {
+                        break None;
                     }
-                    domain.on_boundary(w);
-                    let stop = stop_after_completions
-                        .is_some_and(|target| completions.load(Ordering::Acquire) >= target);
+                    let stop = match catch_unwind(AssertUnwindSafe(|| {
+                        rings.drain_into(d, &mut inbound);
+                        inbound.sort_by_key(|e| (e.time, e.src_unit, e.seq));
+                        for env in inbound.drain(..) {
+                            domain.inject(env);
+                        }
+                        domain.on_boundary(w);
+                        stop_after_completions
+                            .is_some_and(|target| completions.load(Ordering::Acquire) >= target)
+                    })) {
+                        Ok(stop) => stop,
+                        Err(payload) => {
+                            record_panic(poison_inject, d, payload);
+                            false
+                        }
+                    };
                     barrier.wait();
+                    // Post-barrier-1 checkpoint: the barrier separates this
+                    // read from every `poison_inject` write site. A
+                    // panicking thread reported `stop = false`, so the
+                    // poison check must come first to keep the verdict
+                    // uniform.
+                    if poison_inject.load(Ordering::Acquire) {
+                        break None;
+                    }
                     if stop {
-                        break (w, true);
+                        break Some((w, true));
                     }
                     if w >= horizon {
                         // Arrivals due exactly at the horizon were injected
                         // above; messages produced now would be due after it.
-                        events += domain.finish(horizon);
-                        domain.take_outgoing();
-                        break (horizon, false);
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            let e = domain.finish(horizon);
+                            domain.take_outgoing();
+                            e
+                        })) {
+                            Ok(e) => events += e,
+                            Err(payload) => {
+                                // Every thread breaks out of the loop on
+                                // this branch regardless of the flag, so no
+                                // checkpoint reads it — only the final
+                                // error check after the join does.
+                                record_panic(poison_run, d, payload);
+                                break None;
+                            }
+                        }
+                        break Some((horizon, false));
                     }
                     let end = (w + lookahead).min(horizon);
-                    events += domain.run_window(end);
-                    let done = domain.take_completions();
-                    if done > 0 {
-                        completions.fetch_add(done, Ordering::AcqRel);
-                    }
-                    for env in domain.take_outgoing() {
-                        outgoing_bufs[unit_domain[env.dst_unit as usize] as usize].push(env);
-                    }
-                    for (dst, buf) in outgoing_bufs.iter_mut().enumerate() {
-                        if !buf.is_empty() {
-                            rings.publish(d, dst, buf);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        events += domain.run_window(end);
+                        let done = domain.take_completions();
+                        if done > 0 {
+                            completions.fetch_add(done, Ordering::AcqRel);
                         }
+                        for env in domain.take_outgoing() {
+                            outgoing_bufs[unit_domain[env.dst_unit as usize] as usize].push(env);
+                        }
+                        for (dst, buf) in outgoing_bufs.iter_mut().enumerate() {
+                            if !buf.is_empty() {
+                                rings.publish(d, dst, buf);
+                            }
+                        }
+                    })) {
+                        record_panic(poison_run, d, payload);
                     }
                     barrier.wait();
                     w = end;
@@ -250,18 +369,39 @@ pub fn run_sharded<D: Domain>(
                 outcome
             }));
         }
-        for h in handles {
-            results.push(h.join().expect("shard thread panicked"));
+        for (d, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(outcome) => results.push(outcome),
+                // A panic outside the catch_unwind regions (barrier/atomic
+                // code) still surfaces as a structured error.
+                Err(payload) => {
+                    record_panic(&poison_run, d, payload);
+                    results.push(None);
+                }
+            }
         }
     });
 
-    let (end_time, stopped_early) = results[0];
-    debug_assert!(results.iter().all(|&r| r == (end_time, stopped_early)));
-    ShardStats {
+    if poison_inject.load(Ordering::Acquire) || poison_run.load(Ordering::Acquire) {
+        let err = first_panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .unwrap_or(ShardError {
+                shard: 0,
+                message: "unknown shard failure".to_string(),
+            });
+        return Err(err);
+    }
+    let (end_time, stopped_early) = results[0].expect("non-poisoned run must have an outcome");
+    debug_assert!(results
+        .iter()
+        .all(|&r| r == Some((end_time, stopped_early))));
+    Ok(ShardStats {
         events_processed: total_events.load(Ordering::Acquire),
         end_time,
         stopped_early,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -403,7 +543,8 @@ mod tests {
             hop,
             SimTime::ZERO + SimDuration::from_millis(horizon_ms),
             None,
-        );
+        )
+        .expect("ring run must not fail");
         let mut hops = vec![0u64; units];
         for d in doms {
             for t in d.units {
@@ -426,5 +567,104 @@ mod tests {
         }
         // 6 units, 1 ms per hop, horizon 50 ms inclusive: 51 hops total.
         assert_eq!(serial.0.iter().sum::<u64>(), 51);
+    }
+
+    /// A domain that panics inside `run_window` once the clock passes a
+    /// trigger time; all other behavior forwards to the ring domain.
+    struct PanickyDomain {
+        inner: RingDomain,
+        panic_at: SimTime,
+    }
+
+    impl Domain for PanickyDomain {
+        type Msg = u64;
+        fn inject(&mut self, env: Envelope<u64>) {
+            self.inner.inject(env);
+        }
+        fn on_boundary(&mut self, now: SimTime) {
+            self.inner.on_boundary(now);
+        }
+        fn run_window(&mut self, end: SimTime) -> u64 {
+            if end > self.panic_at {
+                panic!("injected fault at {end:?}");
+            }
+            self.inner.run_window(end)
+        }
+        fn finish(&mut self, horizon: SimTime) -> u64 {
+            self.inner.finish(horizon)
+        }
+        fn take_outgoing(&mut self) -> Vec<Envelope<u64>> {
+            self.inner.take_outgoing()
+        }
+        fn take_completions(&mut self) -> u64 {
+            self.inner.take_completions()
+        }
+    }
+
+    #[test]
+    fn shard_panic_surfaces_as_error_without_deadlock() {
+        // 4 units over 3 domains; the domain owning unit 1 blows up a few
+        // windows in. Without panic capture the sibling threads would wait
+        // forever at the lockstep barrier and this test would hang.
+        let hop = SimDuration::from_millis(1);
+        let units = 4usize;
+        let unit_domain: Vec<u32> = vec![0, 1, 2, 0];
+        let mut doms: Vec<PanickyDomain> = (0..3)
+            .map(|d| PanickyDomain {
+                inner: RingDomain {
+                    units: Vec::new(),
+                    queued: Vec::new(),
+                    outgoing: Vec::new(),
+                },
+                panic_at: if d == 1 {
+                    SimTime::from_millis(5)
+                } else {
+                    SimTime::MAX
+                },
+            })
+            .collect();
+        for u in 0..units {
+            doms[unit_domain[u] as usize].inner.units.push(Token {
+                unit: u as u32,
+                next_unit: ((u + 1) % units) as u32,
+                hop,
+                hops_seen: 0,
+                seq: 0,
+            });
+        }
+        doms[0].inner.queued.push((SimTime::ZERO, 0, 0));
+        let err = run_sharded(&mut doms, &unit_domain, hop, SimTime::from_secs(1), None)
+            .expect_err("panicking domain must produce an error");
+        assert_eq!(err.shard, 1);
+        assert!(
+            err.message.contains("injected fault"),
+            "payload lost: {}",
+            err.message
+        );
+        // The error must also format usefully.
+        let text = err.to_string();
+        assert!(text.contains("shard 1"), "{text}");
+    }
+
+    #[test]
+    fn single_domain_panic_is_an_error_too() {
+        let hop = SimDuration::from_millis(1);
+        let mut doms = vec![PanickyDomain {
+            inner: RingDomain {
+                units: vec![Token {
+                    unit: 0,
+                    next_unit: 0,
+                    hop,
+                    hops_seen: 0,
+                    seq: 0,
+                }],
+                queued: vec![(SimTime::ZERO, 0, 0)],
+                outgoing: Vec::new(),
+            },
+            panic_at: SimTime::from_millis(2),
+        }];
+        let err =
+            run_sharded(&mut doms, &[0], hop, SimTime::from_secs(1), None).expect_err("must error");
+        assert_eq!(err.shard, 0);
     }
 }

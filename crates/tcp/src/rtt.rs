@@ -13,6 +13,7 @@ pub struct RttEstimator {
     min_rto: SimDuration,
     max_rto: SimDuration,
     backoff_shift: u32,
+    max_backoff_shift: u32,
     samples: u64,
 }
 
@@ -28,6 +29,7 @@ impl RttEstimator {
             min_rto,
             max_rto,
             backoff_shift: 0,
+            max_backoff_shift: 0,
             samples: 0,
         }
     }
@@ -76,6 +78,19 @@ impl RttEstimator {
     /// Exponential backoff after a retransmission timeout fires.
     pub fn backoff(&mut self) {
         self.backoff_shift = (self.backoff_shift + 1).min(16);
+        self.max_backoff_shift = self.max_backoff_shift.max(self.backoff_shift);
+    }
+
+    /// Current backoff shift (0 = no backoff; the effective RTO is the base
+    /// RTO doubled this many times, clamped to `max_rto`).
+    pub fn backoff_shift(&self) -> u32 {
+        self.backoff_shift
+    }
+
+    /// Deepest backoff shift reached over the estimator's lifetime — how far
+    /// the exponential backoff climbed during the worst outage.
+    pub fn max_backoff_shift(&self) -> u32 {
+        self.max_backoff_shift
     }
 
     /// Clear the timeout backoff without a new sample.
@@ -175,6 +190,27 @@ mod tests {
         assert_eq!(e.rto(), base * 4);
         e.clear_backoff();
         assert_eq!(e.rto(), base);
+    }
+
+    #[test]
+    fn max_backoff_shift_is_sticky() {
+        let mut e = est();
+        e.on_sample(ms(500));
+        e.backoff();
+        e.backoff();
+        e.backoff();
+        assert_eq!(e.backoff_shift(), 3);
+        assert_eq!(e.max_backoff_shift(), 3);
+        // Recovery clears the live backoff but the high-water mark stays.
+        e.clear_backoff();
+        assert_eq!(e.backoff_shift(), 0);
+        assert_eq!(e.max_backoff_shift(), 3);
+        e.backoff();
+        assert_eq!(
+            e.max_backoff_shift(),
+            3,
+            "shallower episode does not raise it"
+        );
     }
 
     #[test]

@@ -84,6 +84,13 @@ pub struct TcpSender {
     min_rtt: Option<SimDuration>,
 
     rto_deadline: Option<SimTime>,
+    /// Start of the current run of consecutive RTOs (an "episode"), cleared
+    /// by forward progress. Feeds the recovery telemetry in run reports.
+    rto_episode_since: Option<SimTime>,
+    /// Number of RTO episodes (consecutive-timeout runs counted once).
+    rto_episodes: u64,
+    /// Longest span from an episode's first timeout to the ACK that ended it.
+    rto_max_recovery: Option<SimDuration>,
     /// No transmission before this time after a stall (driver-retry model).
     stall_until: Option<SimTime>,
     /// Only signal the congestion layer about stalls again once snd_una
@@ -118,6 +125,9 @@ impl TcpSender {
             last_rtt: None,
             min_rtt: None,
             rto_deadline: None,
+            rto_episode_since: None,
+            rto_episodes: 0,
+            rto_max_recovery: None,
             stall_until: None,
             stall_signal_gate: 0,
             lim_state: SndLimState::Sender,
@@ -175,6 +185,21 @@ impl TcpSender {
     /// True while a fast-recovery episode is in progress.
     pub fn in_recovery(&self) -> bool {
         self.recovery.is_some()
+    }
+
+    /// Number of RTO episodes so far: runs of consecutive retransmission
+    /// timeouts with no intervening forward progress count once, however
+    /// deep the backoff climbed (an outage spanning five RTOs is one
+    /// episode; `Web100Vars::timeouts` counts all five).
+    pub fn rto_episodes(&self) -> u64 {
+        self.rto_episodes
+    }
+
+    /// Longest time from an episode's first timeout to the ACK of new data
+    /// that ended it — the worst post-outage time-to-recover. `None` if no
+    /// episode has completed (including an episode still open at run end).
+    pub fn rto_max_recovery(&self) -> Option<SimDuration> {
+        self.rto_max_recovery
     }
 
     /// True when a finite transfer is fully acknowledged.
@@ -363,6 +388,10 @@ impl TcpSender {
             // Forward progress clears RTO backoff even if Karn's rule
             // forbids a sample (all-retransmitted window under heavy loss).
             self.rtt.clear_backoff();
+            if let Some(since) = self.rto_episode_since.take() {
+                let span = now.saturating_since(since);
+                self.rto_max_recovery = Some(self.rto_max_recovery.map_or(span, |m| m.max(span)));
+            }
             self.take_rtt_sample(now, ack);
 
             let was_ss = self.cc.in_slow_start();
@@ -470,6 +499,10 @@ impl TcpSender {
         self.web100.on_congestion(now, CongestionKind::Timeout);
         self.cc.on_congestion(&view, CongestionEvent::Timeout);
         self.rtt.backoff();
+        if self.rto_episode_since.is_none() {
+            self.rto_episode_since = Some(now);
+            self.rto_episodes += 1;
+        }
         self.recovery = None;
         self.dupacks = 0;
         self.retx_queue.clear();
@@ -705,6 +738,38 @@ mod tests {
         let d2 = s.rto_deadline().unwrap();
         // Next deadline is 2x the (1 s) initial RTO away.
         assert_eq!(d2 - d1, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn rto_episode_spans_consecutive_timeouts_until_forward_progress() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        // A simulated outage: three back-to-back RTOs with no ACKs. The
+        // backoff doubles each time (1 s, 2 s, 4 s deadlines), but it is
+        // one episode.
+        let mut now = s.rto_deadline().unwrap();
+        for _ in 0..3 {
+            assert!(s.on_rto_check(now, ifq()));
+            let p = s.can_transmit(now).unwrap();
+            s.commit_transmit(now, p);
+            now = s.rto_deadline().unwrap();
+        }
+        assert_eq!(s.web100().vars().timeouts, 3);
+        assert_eq!(s.rto_episodes(), 1);
+        assert_eq!(s.rtt().max_backoff_shift(), 3);
+        assert_eq!(s.rto_max_recovery(), None, "still inside the episode");
+        // The link heals: an ACK of new data ends the episode. The first
+        // timeout fired at t=1 s.
+        let heal = now;
+        s.on_ack(heal, 1000, 1_000_000, ifq());
+        let span = s.rto_max_recovery().expect("episode closed");
+        assert_eq!(span, heal.saturating_since(t(1000)));
+        // A later, shallower episode bumps the count but not the max shift.
+        drain(&mut s, heal);
+        let d = s.rto_deadline().unwrap();
+        assert!(s.on_rto_check(d, ifq()));
+        assert_eq!(s.rto_episodes(), 2);
+        assert_eq!(s.rtt().max_backoff_shift(), 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! rss list [scenarios]
 //! rss list --variants
 //! rss validate scenarios            # a directory validates every *.json inside
+//! rss validate --recursive scenarios  # ... descending into faults/, stress/, ...
 //! rss validate scenarios/*.json
 //! ```
 
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rss run <scenario.json> [--out <dir>] [--shards <n|auto>]\n                                          execute and write artifacts (--shards overrides\n                                          the file's executor choice; results are identical)\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate <path>...                  parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it)"
+        "usage:\n  rss run <scenario.json> [--out <dir>] [--shards <n|auto>]\n                                          execute and write artifacts (--shards overrides\n                                          the file's executor choice; results are identical)\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate [--recursive] <path>...    parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it;\n                                          --recursive descends into subdirectories)"
     );
     ExitCode::from(2)
 }
@@ -205,6 +206,58 @@ fn cmd_run(args: &[String]) -> ExitCode {
             &rows
         )
     );
+
+    // Recovery & watchdog summary: only printed when fault injection left a
+    // trace (an RTO episode, or a truncated run) so ordinary scenarios keep
+    // their familiar output.
+    let eventful = reports
+        .iter()
+        .any(|r| r.truncated.is_some() || r.flows.iter().any(|f| f.rto_episodes > 0));
+    if eventful {
+        let rows: Vec<Vec<String>> = runs
+            .iter()
+            .zip(&reports)
+            .map(|(er, rep)| {
+                let episodes: u64 = rep.flows.iter().map(|f| f.rto_episodes).sum();
+                let max_backoff = rep
+                    .flows
+                    .iter()
+                    .map(|f| f.rto_max_backoff)
+                    .max()
+                    .unwrap_or(0);
+                let max_recovery = rep
+                    .flows
+                    .iter()
+                    .filter_map(|f| f.rto_max_recovery_s)
+                    .fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.max(v))));
+                vec![
+                    er.cell.to_string(),
+                    er.label.clone(),
+                    episodes.to_string(),
+                    format!("\u{d7}{}", 1u64 << max_backoff),
+                    max_recovery
+                        .map(|t| format!("{t:.3}"))
+                        .unwrap_or_else(|| "-".into()),
+                    rep.truncated.clone().unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        println!("recovery under faults (RTO episodes, deepest backoff, slowest recovery):");
+        println!(
+            "{}",
+            ascii_table(
+                &[
+                    "cell",
+                    "run",
+                    "RTO episodes",
+                    "max backoff",
+                    "max recovery s",
+                    "truncated"
+                ],
+                &rows
+            )
+        );
+    }
 
     // Fairness & convergence metrics, when the scenario opts in — computed
     // once, shared by the printed table and the CSV artifact.
@@ -429,17 +482,54 @@ fn validate_one(path: &Path, failed: &mut bool) {
     }
 }
 
+/// Every scenario file under `dir`, recursively, in a deterministic
+/// (sorted, depth-first) order.
+fn scenario_files_recursive(dir: &Path) -> Vec<PathBuf> {
+    let mut files = scenario_files(dir);
+    let mut subdirs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    subdirs.sort();
+    for sub in subdirs {
+        files.extend(scenario_files_recursive(&sub));
+    }
+    files
+}
+
 fn cmd_validate(args: &[String]) -> ExitCode {
-    if args.is_empty() {
+    let mut recursive = false;
+    let paths: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--recursive" {
+                recursive = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    if paths.is_empty() {
         return usage();
     }
     let mut failed = false;
-    for arg in args {
+    for arg in paths {
         let path = Path::new(arg);
         if path.is_dir() {
             // A directory argument validates every scenario file inside it
-            // (the CI matrix passes `scenarios` as one argument).
-            let files = scenario_files(path);
+            // (the CI matrix passes `scenarios` as one argument);
+            // `--recursive` descends into subdirectories (e.g. the
+            // `scenarios/faults/` family) too.
+            let files = if recursive {
+                scenario_files_recursive(path)
+            } else {
+                scenario_files(path)
+            };
             if files.is_empty() {
                 eprintln!("invalid: no *.json scenario files in `{}`", path.display());
                 failed = true;

@@ -2,7 +2,10 @@
 //! arbitrary (bounded) scenario parameters, not just the hand-picked ones.
 
 use proptest::prelude::*;
-use restricted_slow_start::{run, AppModel, CcAlgorithm, RssConfig, Scenario, SimDuration};
+use restricted_slow_start::{
+    run, AppModel, CcAlgorithm, Flap, GilbertElliott, ImpairmentConfig, Jitter, OutageWindow,
+    RssConfig, Scenario, SimDuration, SimTime,
+};
 
 fn arb_algo() -> impl Strategy<Value = CcAlgorithm> {
     prop_oneof![
@@ -113,5 +116,86 @@ proptest! {
             .map(|&(_, v)| v)
             .fold(0.0f64, f64::max);
         prop_assert!(peak <= txqueuelen as f64, "IFQ exceeded capacity");
+    }
+}
+
+/// An impairment mix spanning every fault mechanism, parameterized so
+/// proptest explores outage placement, burst density and jitter depth.
+fn arb_impairment() -> impl Strategy<Value = ImpairmentConfig> {
+    (
+        0u32..3,   // which mechanisms are on (bit 0: burst, bit 1: flap)
+        1u32..20,  // outage start, 100ms units
+        1u32..8,   // outage length, 100ms units
+        0u32..200, // jitter probability, milli
+        1u32..30,  // jitter max, 100us units
+        0u32..30,  // duplicate probability, milli
+    )
+        .prop_map(
+            |(mask, o_start, o_len, j_milli, j_max, dup_milli)| ImpairmentConfig {
+                burst_loss: (mask & 1 != 0).then_some(GilbertElliott {
+                    p_good_to_bad: 0.002,
+                    p_bad_to_good: 0.3,
+                    loss_good: 0.0,
+                    loss_bad: 0.6,
+                }),
+                outages: vec![OutageWindow {
+                    start: SimTime::from_millis(100 * o_start as u64),
+                    duration: SimDuration::from_millis(100 * o_len as u64),
+                }],
+                flap: (mask & 2 != 0).then_some(Flap {
+                    mean_up: SimDuration::from_millis(400),
+                    mean_down: SimDuration::from_millis(20),
+                }),
+                jitter: Some(Jitter {
+                    prob: j_milli as f64 / 1000.0,
+                    max: SimDuration::from_micros(100 * j_max as u64),
+                }),
+                duplicate_prob: dup_milli as f64 / 1000.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Fault injection never breaks the sharded executor's headline
+    /// guarantee: an impaired run is byte-identical at 1, 2 and 4 shards.
+    #[test]
+    fn impaired_runs_are_shard_invariant(
+        rtt_ms in 6u64..60,
+        seed in 1u64..500,
+        haul in arb_impairment(),
+        access_on in any::<bool>(),
+    ) {
+        let mk = |shards| {
+            let mut sc = Scenario::paper_testbed_standard()
+                .with_rate(20_000_000)
+                .with_rtt(SimDuration::from_millis(rtt_ms))
+                .with_seed(seed)
+                .with_duration(SimDuration::from_millis(2500))
+                .with_access_delay(SimDuration::from_micros(500));
+            sc.flows.push(sc.flows[0]);
+            sc.flows[1].algo = CcAlgorithm::Restricted(RssConfig::tuned());
+            sc.flows[1].start = SimTime::from_millis(40);
+            sc.haul_impairment = Some(haul.clone());
+            if access_on {
+                sc.access_impairment = Some(ImpairmentConfig {
+                    flap: Some(Flap {
+                        mean_up: SimDuration::from_millis(300),
+                        mean_down: SimDuration::from_millis(15),
+                    }),
+                    ..Default::default()
+                });
+            }
+            sc.web100_stride = 16;
+            sc.shards = Some(shards);
+            sc
+        };
+        let one = run(&mk(1)).to_json();
+        prop_assert_eq!(&one, &run(&mk(2)).to_json(), "2 shards diverged");
+        prop_assert_eq!(&one, &run(&mk(4)).to_json(), "4 shards diverged");
     }
 }

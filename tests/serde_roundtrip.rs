@@ -12,8 +12,9 @@
 
 use proptest::prelude::*;
 use restricted_slow_start::{
-    run, CcDef, FairnessDef, FlowDef, PathDef, RunReport, RunSpec, Scenario, ScenarioSpec,
-    ShardsDef, SimDuration, SweepSpec, TuningDef,
+    run, BurstLossDef, CcDef, FairnessDef, FlowDef, ImpairmentDef, ImpairmentsDef, JitterDef,
+    OutageDef, PathDef, RunReport, RunSpec, Scenario, ScenarioSpec, ShardsDef, SimDuration,
+    SweepSpec, TuningDef,
 };
 
 fn arb_cc() -> impl Strategy<Value = CcDef> {
@@ -94,6 +95,27 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                         loss_prob: None,
                         access_rate_mbps: None,
                         access_delay_us: (txq % 2 == 0).then_some(500.0),
+                        impairments: (txq % 3 == 0).then(|| ImpairmentsDef {
+                            haul: Some(ImpairmentDef {
+                                burst_loss: Some(BurstLossDef {
+                                    p_good_to_bad: 0.01,
+                                    p_bad_to_good: 0.25,
+                                    loss_good: None,
+                                    loss_bad: 0.5,
+                                }),
+                                outages: Some(vec![OutageDef {
+                                    start_s: 0.5,
+                                    duration_s: 0.1,
+                                }]),
+                                flap: None,
+                                jitter: Some(JitterDef {
+                                    prob: 0.1,
+                                    max_ms: 2.0,
+                                }),
+                                duplicate_prob: Some(0.01),
+                            }),
+                            access: None,
+                        }),
                     }),
                     host: None,
                     tcp: None,
@@ -113,6 +135,8 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     sample_interval_ms: None,
                     web100_stride: Some(stride),
                     auto_rwnd: Some(true),
+                    max_sim_time_s: (seed % 2 == 0).then_some(1.25),
+                    max_events: (seed % 5 == 0).then_some(5_000_000),
                 })
                 .collect();
             ScenarioSpec {
