@@ -14,7 +14,7 @@
 //! arithmetic afterwards is integer, so runs stay byte-deterministic.
 
 use crate::reno::Reno;
-use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
+use crate::{CcView, CongestionControl, CongestionEvent, RecoveryEvent, StallResponse};
 use std::sync::OnceLock;
 
 /// RFC 3649 §5: the window below which the scheme is standard TCP.
@@ -196,17 +196,11 @@ impl CongestionControl for HighSpeedTcp {
         }
     }
 
-    fn on_recovery_dupack(&mut self, view: &CcView) {
-        self.base.on_recovery_dupack(view);
-    }
-
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64) {
-        self.base.on_recovery_partial_ack(view, newly_acked);
-    }
-
-    fn on_recovery_exit(&mut self, view: &CcView) {
-        self.base.on_recovery_exit(view);
-        self.ca_accum = 0;
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
+        self.base.on_recovery(view, ev);
+        if matches!(ev, RecoveryEvent::Exit { .. }) {
+            self.ca_accum = 0;
+        }
     }
 
     fn name(&self) -> &'static str {

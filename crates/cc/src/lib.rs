@@ -23,7 +23,16 @@
 //! * [`HighSpeedTcp`] — RFC 3649's table-driven a(w)/b(w) response bend for
 //!   large windows (the LFN survey's AIMD representative);
 //! * [`ScalableTcp`] — Kelly's MIMD scheme: fixed-fraction growth, fixed
-//!   1/8 backoff (the survey's MIMD representative).
+//!   1/8 backoff (the survey's MIMD representative);
+//! * [`BbrProbe`] — a BBR-style rate-based probe: windowed max-bandwidth /
+//!   min-RTT filters drive a paced sending rate through startup, drain and
+//!   probe-bandwidth gain cycling (the first variant to use the
+//!   [`PacingDecision`] surface);
+//! * [`RelentlessCc`] — Relentless congestion control (arXiv:1102.3270):
+//!   the window decreases by exactly the segments lost, giving the
+//!   closed-form steady state `W = 1/p`;
+//! * [`HybridStart`] — HyStart (Ha & Rhee): ACK-train and delay-increase
+//!   heuristics end slow-start before the first loss.
 //!
 //! ## Adding a congestion-control variant
 //!
@@ -48,17 +57,25 @@
 
 #![warn(missing_docs)]
 
+pub mod bbr;
+pub mod filter;
 pub mod highspeed;
+pub mod hybrid;
 pub mod limited;
 pub mod registry;
+pub mod relentless;
 pub mod reno;
 pub mod restricted;
 pub mod scalable;
 pub mod ssthreshless;
 
+pub use bbr::BbrProbe;
+pub use filter::{BandwidthEstimator, WindowedMaxFilter, WindowedMinFilter};
 pub use highspeed::HighSpeedTcp;
+pub use hybrid::HybridStart;
 pub use limited::LimitedSlowStart;
 pub use registry::{CcError, ParamInfo, Variant, VariantInfo};
+pub use relentless::RelentlessCc;
 pub use reno::Reno;
 pub use restricted::{RestrictedSlowStart, RssConfig};
 pub use scalable::{ScalableConfig, ScalableTcp};
@@ -86,6 +103,22 @@ pub struct CcView {
     /// Smallest RTT sample seen on the connection, if any (the propagation
     /// estimate delay-based variants difference against).
     pub min_rtt: Option<SimDuration>,
+    /// Cumulative payload bytes delivered to the peer so far — i.e. bytes
+    /// cumulatively ACKed (`snd_una` progress), not bytes sent.
+    pub delivered: u64,
+    /// Most recent delivery-rate sample in payload **bytes per second**,
+    /// measured over [`CcView::delivery_interval`]. `None` until the first
+    /// Karn-valid cumulative ACK (retransmitted segments never produce a
+    /// sample, mirroring the RTT estimator).
+    pub delivery_rate: Option<u64>,
+    /// The span the [`CcView::delivery_rate`] sample was measured over: from
+    /// the sampled segment's departure to the cumulative ACK that covered it.
+    pub delivery_interval: Option<SimDuration>,
+    /// True when the current delivery-rate sample was taken while the sender
+    /// was application-limited (window room left, but no data to fill it).
+    /// Such samples understate path capacity; bandwidth estimators must not
+    /// let them *lower* the estimate (see [`BandwidthEstimator`]).
+    pub app_limited: bool,
 }
 
 /// Congestion signals delivered by the sender.
@@ -97,6 +130,52 @@ pub enum CongestionEvent {
     Timeout,
     /// Local send-stall: the IFQ rejected a segment (host congestion).
     LocalStall,
+}
+
+/// What happened inside fast recovery — the argument of
+/// [`CongestionControl::on_recovery`].
+///
+/// Collapsing the three former per-event hooks into one enum keeps the trait
+/// from growing a method per future recovery event, and lets wrappers forward
+/// the whole family through a single delegation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A duplicate ACK arrived while in fast recovery (Reno window
+    /// inflation).
+    DupAck,
+    /// A partial ACK advanced `snd_una` but left retransmission holes
+    /// (NewReno deflation).
+    PartialAck {
+        /// Bytes the partial ACK newly acknowledged.
+        newly_acked: u64,
+    },
+    /// Fast recovery completed: the full outstanding window was ACKed.
+    Exit {
+        /// Bytes the recovery-closing ACK newly acknowledged. For a
+        /// single-loss episode this is most of a window — controllers that
+        /// keep growing through recovery (Relentless) must not lose it.
+        newly_acked: u64,
+    },
+}
+
+/// The segment-departure schedule a congestion controller asks of the sender.
+///
+/// Classic window-based variants never override the default and stay
+/// [`PacingDecision::Unpaced`]: the sender bursts as much of the window as an
+/// arriving ACK opens, exactly as before the pacing surface existed. A
+/// rate-based variant returns [`PacingDecision::Rate`] and the sender spreads
+/// departures so payload leaves at that rate instead of in window bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacingDecision {
+    /// No pacing — the sender may burst the full window per ACK.
+    Unpaced,
+    /// Space consecutive data segments `payload_len / bytes_per_sec` apart.
+    Rate {
+        /// Pacing rate in payload **bytes per second**; must be positive.
+        /// `u64::MAX` is an effectively infinite rate (gaps round to zero,
+        /// reproducing unpaced behavior byte-for-byte).
+        bytes_per_sec: u64,
+    },
 }
 
 /// How the sender's congestion control responds to a local send-stall.
@@ -145,15 +224,20 @@ pub trait CongestionControl: std::fmt::Debug + Send {
     /// sender throttles).
     fn on_congestion(&mut self, view: &CcView, ev: CongestionEvent);
 
-    /// A duplicate ACK arrived while in fast recovery (Reno window
-    /// inflation).
-    fn on_recovery_dupack(&mut self, view: &CcView);
+    /// A fast-recovery event occurred (see [`RecoveryEvent`] for the cases).
+    /// Called instead of [`CongestionControl::on_ack`] while the sender is in
+    /// fast recovery.
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent);
 
-    /// A partial ACK arrived during fast recovery (NewReno deflation).
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64);
-
-    /// Fast recovery completed (the full outstanding window was ACKed).
-    fn on_recovery_exit(&mut self, view: &CcView);
+    /// The departure schedule this controller currently wants (queried by the
+    /// sender on every transmit opportunity, outside any ACK context — hence
+    /// no [`CcView`] argument).
+    ///
+    /// The default is [`PacingDecision::Unpaced`], so every window-only
+    /// variant is byte-for-byte unaffected by the pacing machinery.
+    fn pacing(&self) -> PacingDecision {
+        PacingDecision::Unpaced
+    }
 
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
@@ -179,6 +263,17 @@ pub enum CcAlgorithm {
     HighSpeed,
     /// Scalable TCP (Kelly 2003): MIMD growth with a fixed 1/8 backoff.
     Scalable(ScalableConfig),
+    /// BBR-style rate probe: max-bandwidth/min-RTT filters, paced startup /
+    /// drain / probe-bandwidth gain cycling. No parameters — the classic
+    /// gain constants.
+    Bbr,
+    /// Relentless congestion control (arXiv:1102.3270): decrease the window
+    /// by exactly the segments lost. No parameters.
+    Relentless,
+    /// Hybrid Start (HyStart): standard Reno whose slow-start exits early on
+    /// ACK-train or delay-increase evidence. No parameters — the reference
+    /// thresholds.
+    Hybrid,
 }
 
 impl CcAlgorithm {
@@ -204,11 +299,21 @@ pub struct CcParams {
 }
 
 /// Construct a boxed congestion controller by algorithm selection,
-/// dispatching through the [`registry`] table. Panics on parameters the
-/// registry's validation rejects (the declarative pipeline validates specs
-/// before they get here; hand-built configs fail loudly, like the old
-/// constructor asserts did).
-pub fn make_cc(algo: &CcAlgorithm, params: &CcParams) -> Box<dyn CongestionControl> {
+/// dispatching through the [`registry`] table.
+///
+/// Returns the registry's [`CcError`] when validation rejects the parameters
+/// (the declarative pipeline path-qualifies and surfaces it; hand-built
+/// callers propagate it to their own error channel).
+pub fn make_cc(
+    algo: &CcAlgorithm,
+    params: &CcParams,
+) -> Result<Box<dyn CongestionControl>, CcError> {
+    registry::build(algo, params)
+}
+
+/// The pre-`Result` constructor: panics on parameters the registry rejects.
+#[deprecated(note = "use `make_cc`, which returns the registry error instead of panicking")]
+pub fn make_cc_or_panic(algo: &CcAlgorithm, params: &CcParams) -> Box<dyn CongestionControl> {
     registry::build(algo, params).expect("congestion-control parameters rejected")
 }
 
@@ -289,24 +394,17 @@ impl CongestionControl for CcEngine {
         }
     }
     #[inline]
-    fn on_recovery_dupack(&mut self, view: &CcView) {
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
         match self {
-            CcEngine::Reno(r) => r.on_recovery_dupack(view),
-            CcEngine::Dyn(b) => b.on_recovery_dupack(view),
+            CcEngine::Reno(r) => r.on_recovery(view, ev),
+            CcEngine::Dyn(b) => b.on_recovery(view, ev),
         }
     }
     #[inline]
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64) {
+    fn pacing(&self) -> PacingDecision {
         match self {
-            CcEngine::Reno(r) => r.on_recovery_partial_ack(view, newly_acked),
-            CcEngine::Dyn(b) => b.on_recovery_partial_ack(view, newly_acked),
-        }
-    }
-    #[inline]
-    fn on_recovery_exit(&mut self, view: &CcView) {
-        match self {
-            CcEngine::Reno(r) => r.on_recovery_exit(view),
-            CcEngine::Dyn(b) => b.on_recovery_exit(view),
+            CcEngine::Reno(r) => r.pacing(),
+            CcEngine::Dyn(b) => b.pacing(),
         }
     }
     #[inline]
@@ -320,17 +418,26 @@ impl CongestionControl for CcEngine {
 
 /// Construct a congestion controller in its [`CcEngine`] dispatch shell:
 /// standard Reno lands on the inline fast path, everything else on the boxed
-/// registry path. Panics like [`make_cc`] on rejected parameters.
-pub fn make_cc_engine(algo: &CcAlgorithm, params: &CcParams) -> CcEngine {
-    match algo {
+/// registry path. Returns the registry's [`CcError`] like [`make_cc`] on
+/// rejected parameters.
+pub fn make_cc_engine(algo: &CcAlgorithm, params: &CcParams) -> Result<CcEngine, CcError> {
+    registry::validate_params(algo, params)?;
+    Ok(match algo {
         CcAlgorithm::Reno => CcEngine::Reno(Reno::new(
             params.initial_cwnd,
             params.initial_ssthresh,
             params.mss,
             params.stall_response,
         )),
-        _ => CcEngine::Dyn(make_cc(algo, params)),
-    }
+        _ => CcEngine::Dyn(make_cc(algo, params)?),
+    })
+}
+
+/// The pre-`Result` engine constructor: panics on parameters the registry
+/// rejects.
+#[deprecated(note = "use `make_cc_engine`, which returns the registry error instead of panicking")]
+pub fn make_cc_engine_or_panic(algo: &CcAlgorithm, params: &CcParams) -> CcEngine {
+    make_cc_engine(algo, params).expect("congestion-control parameters rejected")
 }
 
 #[cfg(test)]
@@ -343,6 +450,10 @@ pub(crate) fn test_view(now_ms: u64, mss: u32, flight: u64) -> CcView {
         ifq_max: 100,
         last_rtt: None,
         min_rtt: None,
+        delivered: 0,
+        delivery_rate: None,
+        delivery_interval: None,
+        app_limited: false,
     }
 }
 
@@ -359,34 +470,68 @@ mod tests {
         }
     }
 
+    fn built(algo: CcAlgorithm) -> Box<dyn CongestionControl> {
+        make_cc(&algo, &params()).expect("valid defaults rejected")
+    }
+
     #[test]
     fn factory_builds_each_algorithm() {
-        let p = params();
-        assert_eq!(make_cc(&CcAlgorithm::Reno, &p).name(), "reno");
+        assert_eq!(built(CcAlgorithm::Reno).name(), "reno");
         assert_eq!(
-            make_cc(&CcAlgorithm::Restricted(RssConfig::tuned()), &p).name(),
+            built(CcAlgorithm::Restricted(RssConfig::tuned())).name(),
             "restricted-slow-start"
         );
         assert_eq!(
-            make_cc(&CcAlgorithm::Limited { max_ssthresh: None }, &p).name(),
+            built(CcAlgorithm::Limited { max_ssthresh: None }).name(),
             "limited-slow-start"
         );
         assert_eq!(
-            make_cc(&CcAlgorithm::Ssthreshless(SslConfig::default()), &p).name(),
+            built(CcAlgorithm::Ssthreshless(SslConfig::default())).name(),
             "ssthreshless-start"
         );
-        assert_eq!(make_cc(&CcAlgorithm::HighSpeed, &p).name(), "highspeed-tcp");
+        assert_eq!(built(CcAlgorithm::HighSpeed).name(), "highspeed-tcp");
         assert_eq!(
-            make_cc(&CcAlgorithm::Scalable(ScalableConfig::default()), &p).name(),
+            built(CcAlgorithm::Scalable(ScalableConfig::default())).name(),
             "scalable-tcp"
         );
+        assert_eq!(built(CcAlgorithm::Bbr).name(), "bbr-probe");
+        assert_eq!(built(CcAlgorithm::Relentless).name(), "relentless-cc");
+        assert_eq!(built(CcAlgorithm::Hybrid).name(), "hybrid-start");
     }
 
     #[test]
     fn factory_uses_params_initial_window() {
         let p = params();
-        let cc = make_cc(&CcAlgorithm::Reno, &p);
+        let cc = make_cc(&CcAlgorithm::Reno, &p).expect("valid defaults rejected");
         assert_eq!(cc.cwnd(), p.initial_cwnd);
+    }
+
+    #[test]
+    fn factory_reports_rejection_instead_of_panicking() {
+        let mut p = params();
+        p.initial_cwnd = 0;
+        let err = make_cc(&CcAlgorithm::Reno, &p).expect_err("zero cwnd accepted");
+        assert!(err.msg.contains("initial_cwnd"), "unhelpful error: {err}");
+        assert!(make_cc_engine(&CcAlgorithm::Reno, &p).is_err());
+    }
+
+    #[test]
+    fn default_pacing_is_unpaced_for_every_window_variant() {
+        for algo in [
+            CcAlgorithm::Reno,
+            CcAlgorithm::Restricted(RssConfig::tuned()),
+            CcAlgorithm::Limited { max_ssthresh: None },
+            CcAlgorithm::Ssthreshless(SslConfig::default()),
+            CcAlgorithm::HighSpeed,
+            CcAlgorithm::Scalable(ScalableConfig::default()),
+            CcAlgorithm::Hybrid,
+        ] {
+            assert_eq!(
+                built(algo).pacing(),
+                PacingDecision::Unpaced,
+                "{algo:?} unexpectedly paced"
+            );
+        }
     }
 
     #[test]
@@ -409,5 +554,8 @@ mod tests {
             CcAlgorithm::Scalable(ScalableConfig::default()).label(),
             "scalable"
         );
+        assert_eq!(CcAlgorithm::Bbr.label(), "bbr");
+        assert_eq!(CcAlgorithm::Relentless.label(), "relentless");
+        assert_eq!(CcAlgorithm::Hybrid.label(), "hybrid");
     }
 }

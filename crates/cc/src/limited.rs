@@ -5,7 +5,7 @@
 //! passes `max_ssthresh`.
 
 use crate::reno::Reno;
-use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
+use crate::{CcView, CongestionControl, CongestionEvent, RecoveryEvent, StallResponse};
 
 /// RFC 3742 window management: Reno everywhere except the slow-start growth
 /// rule.
@@ -78,16 +78,8 @@ impl CongestionControl for LimitedSlowStart {
         self.base.on_congestion(view, ev);
     }
 
-    fn on_recovery_dupack(&mut self, view: &CcView) {
-        self.base.on_recovery_dupack(view);
-    }
-
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64) {
-        self.base.on_recovery_partial_ack(view, newly_acked);
-    }
-
-    fn on_recovery_exit(&mut self, view: &CcView) {
-        self.base.on_recovery_exit(view);
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
+        self.base.on_recovery(view, ev);
     }
 
     fn name(&self) -> &'static str {
@@ -159,7 +151,7 @@ mod tests {
         let v = test_view(0, MSS, 30 * MSS as u64);
         cc.on_congestion(&v, CongestionEvent::FastRetransmit);
         assert_eq!(cc.ssthresh(), 15 * MSS as u64);
-        cc.on_recovery_exit(&v);
+        cc.on_recovery(&v, RecoveryEvent::Exit { newly_acked: 0 });
         assert_eq!(cc.cwnd(), 15 * MSS as u64);
     }
 

@@ -10,8 +10,8 @@
 //! crate docs for the full four-step recipe).
 
 use crate::{
-    CcAlgorithm, CcParams, CongestionControl, HighSpeedTcp, LimitedSlowStart, Reno,
-    RestrictedSlowStart, ScalableTcp, SsthreshlessStart,
+    BbrProbe, CcAlgorithm, CcParams, CongestionControl, HighSpeedTcp, HybridStart,
+    LimitedSlowStart, RelentlessCc, Reno, RestrictedSlowStart, ScalableTcp, SsthreshlessStart,
 };
 use std::fmt;
 
@@ -102,6 +102,21 @@ fn ok_params(_: &CcAlgorithm, _: &CcParams) -> Result<(), CcError> {
 
 fn other(algo: &CcAlgorithm) -> ! {
     unreachable!("registry row selected for foreign algorithm {algo:?}")
+}
+
+/// Connection-input rules every variant shares: the constructor contracts
+/// that used to live in asserts. Checked by [`validate_params`] and
+/// [`build`] before any per-variant rule.
+fn common_params(params: &CcParams) -> Result<(), CcError> {
+    if params.mss == 0 {
+        return Err(CcError::new("mss must be positive, got 0"));
+    }
+    if params.initial_cwnd == 0 {
+        return Err(CcError::new(
+            "initial_cwnd must be positive, got 0 (a zero window can never open)",
+        ));
+    }
+    Ok(())
 }
 
 /// The registry table. Order is presentation order (`rss list --variants`,
@@ -328,6 +343,73 @@ static VARIANTS: &[Variant] = &[
             _ => other(algo),
         },
     },
+    Variant {
+        info: VariantInfo {
+            name: "bbr",
+            algo: "bbr-probe",
+            summary: "rate-based probe: paced at the windowed max-bandwidth/min-RTT estimate \
+                      through startup/drain/probe-bw gain cycling",
+            params: "none (the reference gain constants)",
+            params_detail: &[],
+            reference: "Cardwell et al., ACM Queue 14(5) 2016 (BBR)",
+            showcase: "scenarios/bbr_lfn.json",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Bbr),
+        validate: ok,
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Bbr => Box::new(BbrProbe::new(p.initial_cwnd, p.mss)),
+            _ => other(algo),
+        },
+    },
+    Variant {
+        info: VariantInfo {
+            name: "relentless",
+            algo: "relentless-cc",
+            summary: "Mathis' Relentless: the window decreases by exactly the segments lost, \
+                      giving the closed-form steady state W = 1/p",
+            params: "none",
+            params_detail: &[],
+            reference: "arXiv:1102.3270",
+            showcase: "scenarios/relentless_lfn.json",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Relentless),
+        validate: ok,
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Relentless => Box::new(RelentlessCc::new(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+            )),
+            _ => other(algo),
+        },
+    },
+    Variant {
+        info: VariantInfo {
+            name: "hybrid",
+            algo: "hybrid-start",
+            summary: "HyStart: standard TCP whose slow-start exits early on ACK-train or \
+                      delay-increase evidence, before the first loss",
+            params: "none (the reference thresholds)",
+            params_detail: &[],
+            reference: "Ha & Rhee, Computer Networks 55(9) 2011 (HyStart)",
+            showcase: "scenarios/bbr_lfn.json",
+        },
+        selects: |a| matches!(a, CcAlgorithm::Hybrid),
+        validate: ok,
+        validate_params: ok_params,
+        build: |algo, p| match algo {
+            CcAlgorithm::Hybrid => Box::new(HybridStart::new(
+                p.initial_cwnd,
+                p.initial_ssthresh,
+                p.mss,
+                p.stall_response,
+            )),
+            _ => other(algo),
+        },
+    },
 ];
 
 /// All registered variants, in presentation order.
@@ -404,6 +486,7 @@ pub fn validate(algo: &CcAlgorithm) -> Result<(), CcError> {
 /// parameterisation that passes here cannot panic at construction time.
 pub fn validate_params(algo: &CcAlgorithm, params: &CcParams) -> Result<(), CcError> {
     let v = entry_for(algo);
+    common_params(params)?;
     (v.validate)(algo)?;
     (v.validate_params)(algo, params)
 }
@@ -412,6 +495,7 @@ pub fn validate_params(algo: &CcAlgorithm, params: &CcParams) -> Result<(), CcEr
 /// `algo`.
 pub fn build(algo: &CcAlgorithm, params: &CcParams) -> Result<Box<dyn CongestionControl>, CcError> {
     let v = entry_for(algo);
+    common_params(params)?;
     (v.validate)(algo)?;
     (v.validate_params)(algo, params)?;
     Ok((v.build)(algo, params))
@@ -442,7 +526,10 @@ mod tests {
                 "limited",
                 "ssthreshless",
                 "highspeed",
-                "scalable"
+                "scalable",
+                "bbr",
+                "relentless",
+                "hybrid"
             ],
             "presentation order is part of the contract"
         );
@@ -453,6 +540,9 @@ mod tests {
             CcAlgorithm::Ssthreshless(SslConfig::default()),
             CcAlgorithm::HighSpeed,
             CcAlgorithm::Scalable(ScalableConfig::default()),
+            CcAlgorithm::Bbr,
+            CcAlgorithm::Relentless,
+            CcAlgorithm::Hybrid,
         ];
         assert_eq!(algos.len(), variants().len(), "one probe per registry row");
         for algo in &algos {

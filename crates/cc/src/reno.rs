@@ -2,7 +2,7 @@
 //! avoidance, NewReno-style recovery window management) — the Linux 2.4.19
 //! baseline of the paper's §4, including its response to local send-stalls.
 
-use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
+use crate::{CcView, CongestionControl, CongestionEvent, RecoveryEvent, StallResponse};
 
 /// Reno/NewReno window management.
 #[derive(Debug, Clone)]
@@ -121,26 +121,29 @@ impl CongestionControl for Reno {
         self.handle_congestion(view, ev);
     }
 
-    fn on_recovery_dupack(&mut self, _view: &CcView) {
-        // Window inflation: each dup ACK means a segment left the network.
-        self.cwnd += self.mss;
-    }
-
-    fn on_recovery_partial_ack(&mut self, _view: &CcView, newly_acked: u64) {
-        // NewReno deflation: remove the acked data, add back one MSS for the
-        // retransmission just triggered.
-        self.cwnd = self
-            .cwnd
-            .saturating_sub(newly_acked)
-            .saturating_add(self.mss)
-            .max(self.ssthresh.min(self.cwnd));
-        self.cwnd = self.cwnd.max(self.floor());
-    }
-
-    fn on_recovery_exit(&mut self, _view: &CcView) {
-        // Deflate to ssthresh; congestion avoidance resumes from there.
-        self.cwnd = self.ssthresh;
-        self.ca_accum = 0;
+    fn on_recovery(&mut self, _view: &CcView, ev: RecoveryEvent) {
+        match ev {
+            RecoveryEvent::DupAck => {
+                // Window inflation: each dup ACK means a segment left the
+                // network.
+                self.cwnd += self.mss;
+            }
+            RecoveryEvent::PartialAck { newly_acked } => {
+                // NewReno deflation: remove the acked data, add back one MSS
+                // for the retransmission just triggered.
+                self.cwnd = self
+                    .cwnd
+                    .saturating_sub(newly_acked)
+                    .saturating_add(self.mss)
+                    .max(self.ssthresh.min(self.cwnd));
+                self.cwnd = self.cwnd.max(self.floor());
+            }
+            RecoveryEvent::Exit { .. } => {
+                // Deflate to ssthresh; congestion avoidance resumes there.
+                self.cwnd = self.ssthresh;
+                self.ca_accum = 0;
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -203,9 +206,9 @@ mod tests {
         cc.on_congestion(&v, CongestionEvent::FastRetransmit);
         assert_eq!(cc.ssthresh(), 10 * MSS as u64);
         assert_eq!(cc.cwnd(), 13 * MSS as u64); // ssthresh + 3 MSS
-        cc.on_recovery_dupack(&v);
+        cc.on_recovery(&v, RecoveryEvent::DupAck);
         assert_eq!(cc.cwnd(), 14 * MSS as u64);
-        cc.on_recovery_exit(&v);
+        cc.on_recovery(&v, RecoveryEvent::Exit { newly_acked: 0 });
         assert_eq!(cc.cwnd(), 10 * MSS as u64);
         assert!(!cc.in_slow_start());
     }
@@ -262,7 +265,12 @@ mod tests {
         let v = test_view(0, MSS, 20 * MSS as u64);
         cc.on_congestion(&v, CongestionEvent::FastRetransmit);
         let before = cc.cwnd();
-        cc.on_recovery_partial_ack(&v, 4 * MSS as u64);
+        cc.on_recovery(
+            &v,
+            RecoveryEvent::PartialAck {
+                newly_acked: 4 * MSS as u64,
+            },
+        );
         assert!(cc.cwnd() < before);
         assert!(cc.cwnd() >= 2 * MSS as u64);
     }

@@ -16,7 +16,7 @@
 //! the paper modifies only the slow-start phase.
 
 use crate::reno::Reno;
-use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
+use crate::{CcView, CongestionControl, CongestionEvent, RecoveryEvent, StallResponse};
 use rss_control::{PidConfig, PidController, PidGains};
 use serde::{Deserialize, Serialize};
 
@@ -227,16 +227,8 @@ impl CongestionControl for RestrictedSlowStart {
         }
     }
 
-    fn on_recovery_dupack(&mut self, view: &CcView) {
-        self.base.on_recovery_dupack(view);
-    }
-
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64) {
-        self.base.on_recovery_partial_ack(view, newly_acked);
-    }
-
-    fn on_recovery_exit(&mut self, view: &CcView) {
-        self.base.on_recovery_exit(view);
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
+        self.base.on_recovery(view, ev);
     }
 
     fn name(&self) -> &'static str {
@@ -260,6 +252,10 @@ mod tests {
             ifq_max: 100,
             last_rtt: None,
             min_rtt: None,
+            delivered: 0,
+            delivery_rate: None,
+            delivery_interval: None,
+            app_limited: false,
         }
     }
 
@@ -371,7 +367,7 @@ mod tests {
         cc.on_congestion(&v, CongestionEvent::FastRetransmit);
         assert_eq!(cc.ssthresh(), 10 * MSS as u64);
         assert_eq!(cc.cwnd(), 13 * MSS as u64);
-        cc.on_recovery_exit(&v);
+        cc.on_recovery(&v, RecoveryEvent::Exit { newly_acked: 0 });
         assert_eq!(cc.cwnd(), 10 * MSS as u64);
     }
 

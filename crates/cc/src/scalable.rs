@@ -10,7 +10,7 @@
 //! paper's scheme is exactly this delta over Reno).
 
 use crate::reno::Reno;
-use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
+use crate::{CcView, CongestionControl, CongestionEvent, RecoveryEvent, StallResponse};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Scalable TCP controller.
@@ -121,17 +121,11 @@ impl CongestionControl for ScalableTcp {
         }
     }
 
-    fn on_recovery_dupack(&mut self, view: &CcView) {
-        self.base.on_recovery_dupack(view);
-    }
-
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64) {
-        self.base.on_recovery_partial_ack(view, newly_acked);
-    }
-
-    fn on_recovery_exit(&mut self, view: &CcView) {
-        self.base.on_recovery_exit(view);
-        self.ai_accum = 0;
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
+        self.base.on_recovery(view, ev);
+        if matches!(ev, RecoveryEvent::Exit { .. }) {
+            self.ai_accum = 0;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -182,7 +176,10 @@ mod tests {
         let flight = 800 * MSS as u64;
         cc.on_congestion(&test_view(0, MSS, flight), CongestionEvent::FastRetransmit);
         assert_eq!(cc.ssthresh(), flight - flight / 8);
-        cc.on_recovery_exit(&test_view(0, MSS, flight));
+        cc.on_recovery(
+            &test_view(0, MSS, flight),
+            RecoveryEvent::Exit { newly_acked: 0 },
+        );
         assert_eq!(cc.cwnd(), flight - flight / 8);
     }
 

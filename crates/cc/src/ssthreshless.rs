@@ -42,7 +42,7 @@
 //! slow-start is again ssthresh-free).
 
 use crate::reno::Reno;
-use crate::{CcView, CongestionControl, CongestionEvent, StallResponse};
+use crate::{CcView, CongestionControl, CongestionEvent, RecoveryEvent, StallResponse};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the SSthreshless probe.
@@ -153,7 +153,7 @@ impl SsthreshlessStart {
     /// Re-enter the fast probe (after a timeout-class event). The Reno
     /// base's post-loss ssthresh is deliberately left alone: the probe
     /// never consults it (that is the variant's point), recovery hooks may
-    /// still need the real value (`on_recovery_exit` deflates to it), and
+    /// still need the real value (recovery exit deflates to it), and
     /// the probe's own exit overwrites it with the measured BDP.
     fn rearm_probe(&mut self) {
         self.phase = Phase::Fast;
@@ -282,17 +282,11 @@ impl CongestionControl for SsthreshlessStart {
         }
     }
 
-    fn on_recovery_dupack(&mut self, view: &CcView) {
-        self.base.on_recovery_dupack(view);
-    }
-
-    fn on_recovery_partial_ack(&mut self, view: &CcView, newly_acked: u64) {
-        self.base.on_recovery_partial_ack(view, newly_acked);
-    }
-
-    fn on_recovery_exit(&mut self, view: &CcView) {
-        self.base.on_recovery_exit(view);
-        self.phase = Phase::Done;
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
+        self.base.on_recovery(view, ev);
+        if matches!(ev, RecoveryEvent::Exit { .. }) {
+            self.phase = Phase::Done;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -316,6 +310,10 @@ mod tests {
             ifq_max: 100,
             last_rtt: last_rtt_ms.map(SimDuration::from_millis),
             min_rtt: min_rtt_ms.map(SimDuration::from_millis),
+            delivered: 0,
+            delivery_rate: None,
+            delivery_interval: None,
+            app_limited: false,
         }
     }
 
@@ -430,7 +428,7 @@ mod tests {
         assert_eq!(cc.ssthresh(), 10 * MSS as u64);
         assert_eq!(cc.cwnd(), 13 * MSS as u64);
         assert!(!cc.in_slow_start());
-        cc.on_recovery_exit(&v);
+        cc.on_recovery(&v, RecoveryEvent::Exit { newly_acked: 0 });
         assert_eq!(cc.cwnd(), 10 * MSS as u64);
         // Timeout: window collapses and the (ssthresh-free) probe restarts.
         cc.on_congestion(&v, CongestionEvent::Timeout);
@@ -477,7 +475,7 @@ mod tests {
         cc.on_congestion(&v, CongestionEvent::FastRetransmit);
         cc.on_congestion(&v, CongestionEvent::LocalStall); // mid-recovery stall
         assert!(cc.probing(), "RestartFromOne re-arms the probe");
-        cc.on_recovery_exit(&v);
+        cc.on_recovery(&v, RecoveryEvent::Exit { newly_acked: 0 });
         assert_eq!(cc.cwnd(), 20 * MSS as u64, "deflate to the real ssthresh");
         assert!(!cc.probing());
     }

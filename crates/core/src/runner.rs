@@ -84,7 +84,9 @@ pub fn run(sc: &Scenario) -> RunReport {
     if let Some(n) = sc.shards {
         return crate::shard::run_sharded_scenario(sc, n);
     }
-    let world = World::build(sc);
+    let world = World::build(sc).unwrap_or_else(|e| {
+        panic!("scenario rejected by the congestion-control registry: {e} (the spec pipeline validates this with the same path qualification)")
+    });
     let mut engine = Engine::new(world);
     engine.event_budget = sc.max_events;
     for (t, ev) in engine.model().initial_events(sc) {

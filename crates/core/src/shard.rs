@@ -351,6 +351,11 @@ fn pump(e: &mut EdgeUnit, u: u32, c: usize, now: SimTime, sched: &mut Scheduler<
         }
     }
     let sender = &mut e.conns[c].sender;
+    // Pacer-held departures re-enter through the stall-retry event, exactly
+    // like the serial world.
+    if let Some(at) = sender.pacing_retry_at(now) {
+        sched.at(at, DEv::StallRetry { u, c: c as u32 });
+    }
     sender.update_lim_state(now);
     if let Some(d) = sender.rto_deadline() {
         let needs = match e.conns[c].scheduled_rto {
@@ -874,7 +879,7 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
         };
         for &i in &pair_conns[p] {
             let f = &sc.flows[i as usize];
-            let cc = make_cc(f.algo, &sc.tcp);
+            let cc = make_cc(f.algo, &sc.tcp).unwrap_or_else(|e| panic!("flows[{i}]: {e}"));
             let mut sender = TcpSender::new(ConnId(i), sc.tcp, cc, f.app.initial_bytes());
             sender.web100_mut().sample_stride = sc.web100_stride;
             e.conns.push(ConnState {

@@ -427,6 +427,18 @@ pub enum CcDef {
         /// bytes per ACK (default 100, i.e. Kelly's a = 0.01).
         ai_cnt: Option<u32>,
     },
+    /// BBR-style rate probing (Cardwell et al. 2016): paces at gain × the
+    /// windowed-max delivery rate through startup/drain/probe-bw, window
+    /// capped at 2 × BDP. No parameters — the reference gain constants.
+    Bbr,
+    /// Relentless congestion control (Mathis, arXiv:1102.3270): decrease
+    /// the window by exactly the segments lost instead of halving. No
+    /// parameters.
+    Relentless,
+    /// Hybrid Start (Ha & Rhee 2011): standard slow-start with ACK-train and
+    /// delay-increase exits ahead of loss. No parameters — the reference
+    /// thresholds.
+    Hybrid,
 }
 
 /// How the Restricted Slow-Start PID gains are chosen.
@@ -757,6 +769,9 @@ impl CcDef {
                 }
                 CcAlgorithm::Scalable(cfg)
             }
+            CcDef::Bbr => CcAlgorithm::Bbr,
+            CcDef::Relentless => CcAlgorithm::Relentless,
+            CcDef::Hybrid => CcAlgorithm::Hybrid,
         };
         rss_cc::registry::validate(&algo).map_err(|e| SpecError::new(e.msg))?;
         Ok(algo)

@@ -21,7 +21,7 @@ use rss_net::{
 };
 use rss_sim::{Model, Scheduler, SimDuration, SimRng, SimTime, TimeSeries};
 use rss_tcp::{
-    make_cc, AckToSend, ConnId, IfqSnapshot, SegKind, TcpReceiver, TcpSegment, TcpSender,
+    make_cc, AckToSend, CcError, ConnId, IfqSnapshot, SegKind, TcpReceiver, TcpSegment, TcpSender,
 };
 use rss_workload::AppDriver;
 
@@ -123,7 +123,11 @@ pub struct World {
 impl World {
     /// Build the world for a scenario. The returned engine events must be
     /// seeded with [`World::initial_events`].
-    pub fn build(sc: &Scenario) -> World {
+    ///
+    /// Fails with the registry's path-qualified [`CcError`] when a flow's
+    /// congestion-control selection is rejected (the declarative spec
+    /// pipeline normally catches this earlier with the same qualification).
+    pub fn build(sc: &Scenario) -> Result<World, CcError> {
         let pairs = sc.host_pairs();
         let access_delay = sc.path.access_delay;
         let one_way = sc.path.rtt / 2;
@@ -207,7 +211,9 @@ impl World {
             let pair = sc.flow_pair(i);
             let src = d.senders[pair];
             let dst = d.receivers[pair];
-            let cc = make_cc(f.algo, &sc.tcp);
+            let cc = make_cc(f.algo, &sc.tcp).map_err(|e| CcError {
+                msg: format!("flows[{i}]: {e}"),
+            })?;
             let mut sender = TcpSender::new(ConnId(i as u32), sc.tcp, cc, f.app.initial_bytes());
             sender.web100_mut().sample_stride = sc.web100_stride;
             let receiver = TcpReceiver::new(ConnId(i as u32), sc.tcp);
@@ -243,7 +249,7 @@ impl World {
             }
         }
 
-        World {
+        Ok(World {
             fabric,
             nics,
             host_links,
@@ -259,7 +265,7 @@ impl World {
             bottleneck: d.bottleneck,
             cross_delivered_pkts: 0,
             cross_delivered_bytes: 0,
-        }
+        })
     }
 
     /// The events to seed the engine with before running.
@@ -408,8 +414,13 @@ impl World {
                 }
             }
         }
-        // Post-pump bookkeeping: limitation state and RTO scheduling.
+        // Post-pump bookkeeping: pacing wakeup, limitation state, RTO
+        // scheduling. A pacer-held departure re-enters through the same
+        // retry event a stall uses — the handler just pumps again.
         let sender = &mut self.conns[ci].sender;
+        if let Some(at) = sender.pacing_retry_at(now) {
+            sched.at(at, Ev::StallRetry { conn: ci as u32 });
+        }
         sender.update_lim_state(now);
         if let Some(d) = sender.rto_deadline() {
             let needs = match self.scheduled_rto[ci] {

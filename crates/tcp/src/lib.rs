@@ -31,9 +31,10 @@ pub mod sender;
 pub mod types;
 
 pub use cc::{
-    CcAlgorithm, CcEngine, CcParams, CcView, CongestionControl, CongestionEvent, HighSpeedTcp,
-    LimitedSlowStart, Reno, RestrictedSlowStart, RssConfig, ScalableConfig, ScalableTcp, SslConfig,
-    SsthreshlessStart, StallResponse,
+    BbrProbe, CcAlgorithm, CcEngine, CcError, CcParams, CcView, CongestionControl, CongestionEvent,
+    HighSpeedTcp, HybridStart, LimitedSlowStart, PacingDecision, RecoveryEvent, RelentlessCc, Reno,
+    RestrictedSlowStart, RssConfig, ScalableConfig, ScalableTcp, SslConfig, SsthreshlessStart,
+    StallResponse,
 };
 pub use receiver::{AckToSend, ReceiverStats, TcpReceiver};
 pub use rtt::RttEstimator;
@@ -45,7 +46,11 @@ pub use types::{AckPolicy, ConnId, SegKind, TcpConfig, TcpSegment};
 /// dispatching through the [`rss_cc::registry`] table. Standard Reno comes
 /// back on the [`CcEngine`] monomorphized fast path; every other variant
 /// rides the boxed registry path.
-pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> CcEngine {
+///
+/// Returns the registry's [`CcError`] when validation rejects the algorithm
+/// selection or the derived parameters; callers surface it on their own
+/// error channel (the declarative pipeline path-qualifies it per flow).
+pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> Result<CcEngine, CcError> {
     rss_cc::make_cc_engine(&algo, &cfg.cc_params())
 }
 
@@ -53,36 +58,49 @@ pub fn make_cc(algo: CcAlgorithm, cfg: &TcpConfig) -> CcEngine {
 mod tests {
     use super::*;
 
+    fn built(algo: CcAlgorithm, cfg: &TcpConfig) -> CcEngine {
+        make_cc(algo, cfg).expect("default config builds every variant")
+    }
+
     #[test]
     fn factory_builds_each_algorithm() {
         let cfg = TcpConfig::default();
-        assert_eq!(make_cc(CcAlgorithm::Reno, &cfg).name(), "reno");
+        assert_eq!(built(CcAlgorithm::Reno, &cfg).name(), "reno");
         assert_eq!(
-            make_cc(CcAlgorithm::Restricted(RssConfig::tuned()), &cfg).name(),
+            built(CcAlgorithm::Restricted(RssConfig::tuned()), &cfg).name(),
             "restricted-slow-start"
         );
         assert_eq!(
-            make_cc(CcAlgorithm::Limited { max_ssthresh: None }, &cfg).name(),
+            built(CcAlgorithm::Limited { max_ssthresh: None }, &cfg).name(),
             "limited-slow-start"
         );
         assert_eq!(
-            make_cc(CcAlgorithm::Ssthreshless(SslConfig::default()), &cfg).name(),
+            built(CcAlgorithm::Ssthreshless(SslConfig::default()), &cfg).name(),
             "ssthreshless-start"
         );
+        assert_eq!(built(CcAlgorithm::HighSpeed, &cfg).name(), "highspeed-tcp");
         assert_eq!(
-            make_cc(CcAlgorithm::HighSpeed, &cfg).name(),
-            "highspeed-tcp"
-        );
-        assert_eq!(
-            make_cc(CcAlgorithm::Scalable(ScalableConfig::default()), &cfg).name(),
+            built(CcAlgorithm::Scalable(ScalableConfig::default()), &cfg).name(),
             "scalable-tcp"
         );
+        assert_eq!(built(CcAlgorithm::Bbr, &cfg).name(), "bbr-probe");
+        assert_eq!(built(CcAlgorithm::Relentless, &cfg).name(), "relentless-cc");
+        assert_eq!(built(CcAlgorithm::Hybrid, &cfg).name(), "hybrid-start");
+    }
+
+    #[test]
+    fn factory_propagates_registry_rejection() {
+        let cfg = TcpConfig {
+            mss: 0,
+            ..Default::default()
+        };
+        assert!(make_cc(CcAlgorithm::Reno, &cfg).is_err());
     }
 
     #[test]
     fn factory_uses_config_initial_window() {
         let cfg = TcpConfig::default();
-        let cc = make_cc(CcAlgorithm::Reno, &cfg);
+        let cc = built(CcAlgorithm::Reno, &cfg);
         assert_eq!(cc.cwnd(), cfg.initial_cwnd());
     }
 

@@ -9,7 +9,9 @@
 //! the driver schedules a check event for each deadline it observes and the
 //! sender ignores checks that no longer apply.
 
-use crate::cc::{CcEngine, CcView, CongestionControl, CongestionEvent};
+use crate::cc::{
+    CcEngine, CcView, CongestionControl, CongestionEvent, PacingDecision, RecoveryEvent,
+};
 use crate::rtt::RttEstimator;
 use crate::types::{ConnId, StallResponse, TcpConfig};
 use rss_sim::{SimDuration, SimTime};
@@ -41,6 +43,13 @@ pub struct IfqSnapshot {
 struct SentInfo {
     sent_at: SimTime,
     retransmitted: bool,
+    /// Cumulative bytes delivered when this segment departed: the ACK that
+    /// covers it turns `delivered − this` over `now − sent_at` into a
+    /// delivery-rate sample.
+    delivered_at_send: u64,
+    /// True when the application had run dry at departure time — the rate
+    /// sample this segment produces measures the app, not the path.
+    app_limited: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +92,24 @@ pub struct TcpSender {
     last_rtt: Option<SimDuration>,
     min_rtt: Option<SimDuration>,
 
+    /// Cumulative payload bytes delivered (cumulatively ACKed) so far.
+    delivered: u64,
+    /// Latest delivery-rate sample (payload bytes/second), the interval it
+    /// was measured over, and whether it was taken application-limited —
+    /// the rate-sample triple surfaced through [`CcView`]. Samples ride the
+    /// same Karn filter as RTT: retransmitted segments never produce one.
+    delivery_rate: Option<u64>,
+    delivery_interval: Option<SimDuration>,
+    rate_app_limited: bool,
+
+    /// Earliest time the pacer permits the next departure. Only consulted
+    /// while the controller actually requests pacing; window variants
+    /// (`PacingDecision::Unpaced`) never touch this path.
+    pacing_next: SimTime,
+    /// Release instant a pacing retry is already armed for (dedup so each
+    /// pump schedules at most one wakeup per release time).
+    pacing_armed: Option<SimTime>,
+
     rto_deadline: Option<SimTime>,
     /// Start of the current run of consecutive RTOs (an "episode"), cleared
     /// by forward progress. Feeds the recovery telemetry in run reports.
@@ -124,6 +151,12 @@ impl TcpSender {
             sent_times: VecDeque::new(),
             last_rtt: None,
             min_rtt: None,
+            delivered: 0,
+            delivery_rate: None,
+            delivery_interval: None,
+            rate_app_limited: false,
+            pacing_next: SimTime::ZERO,
+            pacing_armed: None,
             rto_deadline: None,
             rto_episode_since: None,
             rto_episodes: 0,
@@ -244,6 +277,10 @@ impl TcpSender {
             ifq_max: ifq.max,
             last_rtt: self.last_rtt,
             min_rtt: self.min_rtt,
+            delivered: self.delivered,
+            delivery_rate: self.delivery_rate,
+            delivery_interval: self.delivery_interval,
+            app_limited: self.rate_app_limited,
         }
     }
 
@@ -263,12 +300,30 @@ impl TcpSender {
 
     /// What the sender would transmit right now, if anything. Pure; call
     /// [`TcpSender::commit_transmit`] once the segment is safely on the IFQ.
+    /// Honors the congestion controller's pacing rate: a departure the
+    /// window would allow is still held until [`pacing_retry_at`] releases
+    /// it.
+    ///
+    /// [`pacing_retry_at`]: TcpSender::pacing_retry_at
     #[inline]
     pub fn can_transmit(&self, now: SimTime) -> Option<TxPlan> {
+        self.transmit_plan(now, false)
+    }
+
+    /// `can_transmit`, optionally ignoring the pacing gate (the pacer itself
+    /// needs to know whether a departure is pending behind it).
+    #[inline]
+    fn transmit_plan(&self, now: SimTime, ignore_pacing: bool) -> Option<TxPlan> {
         if let Some(until) = self.stall_until {
             if now < until {
                 return None;
             }
+        }
+        if !ignore_pacing
+            && now < self.pacing_next
+            && matches!(self.cc.pacing(), PacingDecision::Rate { .. })
+        {
+            return None;
         }
         if let Some(&(seq, len)) = self.retx_queue.front() {
             return Some(TxPlan {
@@ -314,9 +369,16 @@ impl TcpSender {
         }
         let was_sent_before = end <= self.max_sent;
         self.max_sent = self.max_sent.max(end);
+        // Application-limited when the send window still has room but the
+        // app has nothing further to write — a rate sample over this
+        // departure measures the app, not the path.
+        let app_limited =
+            self.app_bytes_remaining() == 0 && self.flight() < self.effective_window();
         let info = SentInfo {
             sent_at: now,
             retransmitted: plan.retransmit || was_sent_before,
+            delivered_at_send: self.delivered,
+            app_limited,
         };
         // Ring insert, ordered by end-offset. New data lands at the back;
         // retransmissions overwrite the earlier record for the same range.
@@ -332,9 +394,34 @@ impl TcpSender {
             .on_data_sent(plan.len, plan.retransmit || was_sent_before);
         // Stall window passed: clear the retry gate on successful enqueue.
         self.stall_until = None;
+        // Advance the pacer by this segment's serialization time at the
+        // controller's rate. Unpaced controllers never reach this arm, so
+        // the window-variant path is byte-identical to the pre-pacing code.
+        if let PacingDecision::Rate { bytes_per_sec } = self.cc.pacing() {
+            // Floor division: an effectively-infinite rate (`u64::MAX`)
+            // yields a zero gap and reproduces the unpaced schedule exactly.
+            let gap_ns = plan.len as u128 * 1_000_000_000 / bytes_per_sec as u128;
+            self.pacing_next = self.pacing_next.max(now) + SimDuration::from_nanos(gap_ns as u64);
+            self.pacing_armed = None;
+        }
         if self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.rtt.rto());
         }
+    }
+
+    /// When the pacer is the only thing holding a transmission back, the
+    /// release instant the driver must schedule a retry for. Arms at most
+    /// once per release time; committing a transmit re-arms.
+    pub fn pacing_retry_at(&mut self, now: SimTime) -> Option<SimTime> {
+        if now >= self.pacing_next
+            || !matches!(self.cc.pacing(), PacingDecision::Rate { .. })
+            || self.pacing_armed == Some(self.pacing_next)
+            || self.transmit_plan(now, true).is_none()
+        {
+            return None;
+        }
+        self.pacing_armed = Some(self.pacing_next);
+        Some(self.pacing_next)
     }
 
     /// The IFQ rejected the segment: a send-stall. Mirrors Linux 2.4: the
@@ -367,6 +454,7 @@ impl TcpSender {
             let newly = ack - self.snd_una;
             self.web100.on_ack_in(now, newly, false);
             self.snd_una = ack;
+            self.delivered += newly;
             // A late ACK can outrun a go-back-N rollback: segments sent
             // before the timeout are still in flight and may be acked after
             // snd_nxt was pulled back. Never let snd_una pass snd_nxt.
@@ -400,11 +488,13 @@ impl TcpSender {
                 Some(r) if ack >= r.recover => {
                     self.recovery = None;
                     self.retx_queue.clear();
-                    self.cc.on_recovery_exit(&view);
+                    self.cc
+                        .on_recovery(&view, RecoveryEvent::Exit { newly_acked: newly });
                 }
                 Some(_) => {
                     // Partial ACK: retransmit the next hole immediately.
-                    self.cc.on_recovery_partial_ack(&view, newly);
+                    self.cc
+                        .on_recovery(&view, RecoveryEvent::PartialAck { newly_acked: newly });
                     let len = (self.cfg.mss as u64).min(self.snd_nxt - self.snd_una) as u32;
                     if len > 0 && self.retx_queue.is_empty() {
                         self.retx_queue.push_back((self.snd_una, len));
@@ -432,7 +522,7 @@ impl TcpSender {
             let was_ss = self.cc.in_slow_start();
             let view = self.view(now, ifq);
             if self.recovery.is_some() {
-                self.cc.on_recovery_dupack(&view);
+                self.cc.on_recovery(&view, RecoveryEvent::DupAck);
                 self.after_cc_change(now, was_ss);
             } else if self.dupacks == self.cfg.dupack_threshold {
                 self.enter_fast_recovery(now, view, was_ss);
@@ -457,8 +547,11 @@ impl TcpSender {
     #[inline]
     fn take_rtt_sample(&mut self, now: SimTime, ack: u64) {
         // Newest fully-acked, never-retransmitted segment gives the sample
-        // (Karn's rule). Acked records sit at the front of the ring.
+        // (Karn's rule). Acked records sit at the front of the ring. The
+        // same segment also anchors the delivery-rate sample: bytes
+        // delivered since it departed, over the time since it departed.
         let mut sample: Option<SimDuration> = None;
+        let mut rate_anchor: Option<SentInfo> = None;
         while let Some(&(end, info)) = self.sent_times.front() {
             if end > ack {
                 break;
@@ -466,6 +559,17 @@ impl TcpSender {
             self.sent_times.pop_front();
             if !info.retransmitted {
                 sample = Some(now.saturating_since(info.sent_at));
+                rate_anchor = Some(info);
+            }
+        }
+        if let Some(info) = rate_anchor {
+            let interval = now.saturating_since(info.sent_at);
+            if interval > SimDuration::ZERO {
+                let bytes = self.delivered - info.delivered_at_send;
+                let rate = (bytes as u128 * 1_000_000_000 / interval.as_nanos() as u128) as u64;
+                self.delivery_rate = Some(rate);
+                self.delivery_interval = Some(interval);
+                self.rate_app_limited = info.app_limited;
             }
         }
         if let Some(rtt) = sample {
@@ -882,6 +986,164 @@ mod tests {
         let p = s.can_transmit(d + SimDuration::from_millis(2)).unwrap();
         assert_eq!(p.seq, 500, "must resume at the ACK point: {p:?}");
         assert!(p.retransmit, "bytes below max_sent are retransmissions");
+    }
+
+    /// A window controller with a fixed pacing rate bolted on — exercises
+    /// the sender's pacing gate without a full rate-based variant.
+    #[derive(Debug)]
+    struct PacedStub {
+        inner: Reno,
+        rate: u64,
+    }
+
+    impl CongestionControl for PacedStub {
+        fn cwnd(&self) -> u64 {
+            self.inner.cwnd()
+        }
+        fn ssthresh(&self) -> u64 {
+            self.inner.ssthresh()
+        }
+        fn on_ack(&mut self, view: &CcView, newly_acked: u64) {
+            self.inner.on_ack(view, newly_acked);
+        }
+        fn on_congestion(&mut self, view: &CcView, ev: CongestionEvent) {
+            self.inner.on_congestion(view, ev);
+        }
+        fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
+            self.inner.on_recovery(view, ev);
+        }
+        fn pacing(&self) -> PacingDecision {
+            PacingDecision::Rate {
+                bytes_per_sec: self.rate,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "paced-stub"
+        }
+    }
+
+    use crate::cc::{PacingDecision, RecoveryEvent};
+
+    fn paced_sender(rate: u64, cwnd_mss: u32) -> TcpSender {
+        let c = TcpConfig {
+            initial_cwnd_mss: cwnd_mss,
+            ..cfg()
+        };
+        let cc = CcEngine::from(Box::new(PacedStub {
+            inner: Reno::new(
+                c.initial_cwnd(),
+                c.effective_initial_ssthresh(),
+                c.mss,
+                StallResponse::Cwr,
+            ),
+            rate,
+        }) as Box<dyn CongestionControl>);
+        TcpSender::new(ConnId(0), c, cc, None)
+    }
+
+    #[test]
+    fn pacing_spreads_departures_at_the_configured_rate() {
+        // 1 MB/s and 1000-byte segments: one departure per millisecond.
+        let mut s = paced_sender(1_000_000, 8);
+        let plans = drain(&mut s, t(0));
+        assert_eq!(plans.len(), 1, "pacer releases one segment per gap");
+        // The pacer, not the window, is the limiter — and it says when.
+        let retry = s.pacing_retry_at(t(0)).expect("held by the pacer");
+        assert_eq!(retry, t(1));
+        assert!(s.pacing_retry_at(t(0)).is_none(), "armed once per release");
+        // At the release instant the next segment goes out.
+        let plans = drain(&mut s, t(1));
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].seq, 1000);
+    }
+
+    #[test]
+    fn paced_departures_never_exceed_the_window() {
+        // A generous pacing gap budget over a long stretch of time must
+        // still respect cwnd: jump far past many release instants and check
+        // the window clamps the burst.
+        let mut s = paced_sender(1_000_000, 4);
+        let mut sent = drain(&mut s, t(0)).len();
+        let mut now = t(0);
+        for _ in 0..20 {
+            now += SimDuration::from_millis(100);
+            sent += drain(&mut s, now).len();
+        }
+        assert_eq!(sent as u64 * 1000, s.flight());
+        assert!(s.flight() <= s.cc().cwnd(), "pacing never overrides cwnd");
+        assert_eq!(s.cc().cwnd(), 4000);
+        assert!(
+            s.pacing_retry_at(now).is_none(),
+            "window-limited, not pacer-limited: no retry to arm"
+        );
+    }
+
+    #[test]
+    fn effectively_infinite_rate_matches_the_unpaced_schedule() {
+        // Satellite invariant: Rate { u64::MAX } must reproduce the unpaced
+        // sender byte-for-byte — same plans at the same instants.
+        let mut paced = paced_sender(u64::MAX, 2);
+        let mut plain = sender(None);
+        for step in 0u64..40 {
+            let now = t(step * 10);
+            assert_eq!(drain(&mut paced, now), drain(&mut plain, now));
+            assert_eq!(paced.pacing_retry_at(now), None);
+            if step % 3 == 0 {
+                let ack = paced.snd_una() + 1000;
+                paced.on_ack(now, ack, 1_000_000, ifq());
+                plain.on_ack(now, ack, 1_000_000, ifq());
+            }
+        }
+        assert_eq!(paced.snd_nxt(), plain.snd_nxt());
+        assert_eq!(paced.flight(), plain.flight());
+    }
+
+    #[test]
+    fn delivery_rate_sample_rides_the_karn_path() {
+        let mut s = sender(None);
+        drain(&mut s, t(0)); // two segments depart at t=0
+                             // Both acked 50 ms later: 2000 bytes over 50 ms = 40 kB/s.
+        s.on_ack(t(50), 2000, 1_000_000, ifq());
+        let v = s.view(t(50), ifq());
+        assert_eq!(v.delivered, 2000);
+        assert_eq!(v.delivery_rate, Some(40_000));
+        assert_eq!(v.delivery_interval, Some(SimDuration::from_millis(50)));
+        assert!(!v.app_limited);
+    }
+
+    #[test]
+    fn retransmitted_segments_produce_no_rate_sample() {
+        let mut s = sender(None);
+        drain(&mut s, t(0));
+        let d = s.rto_deadline().unwrap();
+        s.on_rto_check(d, ifq());
+        let p = s.can_transmit(d).unwrap();
+        s.commit_transmit(d, p);
+        s.on_ack(d + SimDuration::from_millis(60), 1000, 1_000_000, ifq());
+        let v = s.view(d + SimDuration::from_millis(60), ifq());
+        assert_eq!(v.delivery_rate, None, "Karn: retransmission, no sample");
+        assert_eq!(v.delivered, 1000, "delivery count still advances");
+    }
+
+    #[test]
+    fn app_limited_departures_are_stamped() {
+        // A 2500-byte transfer under a 4-segment window: the tail segment
+        // departs with window room left and the app dry.
+        let c = TcpConfig {
+            initial_cwnd_mss: 4,
+            ..cfg()
+        };
+        let cc = CcEngine::from(Reno::new(
+            c.initial_cwnd(),
+            c.effective_initial_ssthresh(),
+            c.mss,
+            StallResponse::Cwr,
+        ));
+        let mut s = TcpSender::new(ConnId(0), c, cc, Some(2500));
+        drain(&mut s, t(0));
+        s.on_ack(t(50), 2500, 1_000_000, ifq());
+        let v = s.view(t(50), ifq());
+        assert!(v.app_limited, "tail sample must carry the app-limited mark");
     }
 
     #[test]

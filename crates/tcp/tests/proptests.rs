@@ -66,7 +66,7 @@ proptest! {
     /// [1 MSS, initial + total_acked + inflation] and never hits zero.
     #[test]
     fn cc_window_stays_sane(
-        algo_pick in 0u8..6,
+        algo_pick in 0u8..9,
         events in prop::collection::vec((0u8..4, 1u64..20_000), 1..300),
     ) {
         let cfg = TcpConfig::default();
@@ -76,9 +76,12 @@ proptest! {
             2 => CcAlgorithm::Ssthreshless(SslConfig::default()),
             3 => CcAlgorithm::HighSpeed,
             4 => CcAlgorithm::Scalable(ScalableConfig::default()),
+            5 => CcAlgorithm::Bbr,
+            6 => CcAlgorithm::Relentless,
+            7 => CcAlgorithm::Hybrid,
             _ => CcAlgorithm::Limited { max_ssthresh: None },
         };
-        let mut cc = make_cc(algo, &cfg);
+        let mut cc = make_cc(algo, &cfg).expect("default config is valid");
         let mss = cfg.mss as u64;
         let mut now_us = 0u64;
         for &(kind, arg) in &events {
@@ -94,6 +97,12 @@ proptest! {
                 // some trajectories and not others.
                 last_rtt: Some(SimDuration::from_micros(60_000 + (arg * 7919) % 180_000)),
                 min_rtt: Some(SimDuration::from_micros(60_000)),
+                delivered: now_us / 10,
+                // Wandering rate samples (with occasional app-limited marks)
+                // drive the rate-based arms' bandwidth filters.
+                delivery_rate: Some(1 + (arg * 104_729) % 10_000_000),
+                delivery_interval: Some(SimDuration::from_micros(60_000)),
+                app_limited: arg % 5 == 0,
             };
             match kind {
                 0 => cc.on_ack(&view, arg.min(3 * mss)),
@@ -115,7 +124,8 @@ proptest! {
         depths in prop::collection::vec(0u32..150, 1..500),
     ) {
         let cfg = TcpConfig::default();
-        let mut cc = make_cc(CcAlgorithm::Restricted(RssConfig::tuned()), &cfg);
+        let mut cc = make_cc(CcAlgorithm::Restricted(RssConfig::tuned()), &cfg)
+            .expect("default config is valid");
         let mss = cfg.mss as u64;
         let mut now_us = 0u64;
         let mut prev = cc.cwnd();
@@ -129,6 +139,10 @@ proptest! {
                 ifq_max: 100,
                 last_rtt: None,
                 min_rtt: None,
+                delivered: 0,
+                delivery_rate: None,
+                delivery_interval: None,
+                app_limited: false,
             };
             cc.on_ack(&view, mss);
             prop_assert!(

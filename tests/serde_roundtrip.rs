@@ -44,6 +44,9 @@ fn arb_cc() -> impl Strategy<Value = CcDef> {
         Just(CcDef::HighSpeed),
         prop_oneof![Just(None), (1u32..5000).prop_map(Some)]
             .prop_map(|ai_cnt| CcDef::Scalable { ai_cnt }),
+        Just(CcDef::Bbr),
+        Just(CcDef::Relentless),
+        Just(CcDef::Hybrid),
     ]
 }
 
