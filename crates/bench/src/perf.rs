@@ -119,6 +119,10 @@ pub fn manyflow(shards: Option<u32>) -> Scenario {
 /// the 10k-flow dumbbell; their wall times are recorded in the trajectory
 /// but exempt from the regression gate (parallel speedup is a property of
 /// the host's core count — see [`PerfReport::check_against`]).
+/// `manyflow_serial` is the same serial 10k-flow run under a gated name:
+/// it pins the many-flow hot path (packet arena, lazy timer cancellation,
+/// envelope batching) against wall-time regressions the way the paper rows
+/// pin the single-flow path.
 pub fn run_perf(iters: u32) -> PerfReport {
     run_perf_scenarios(
         &[
@@ -127,6 +131,7 @@ pub fn run_perf(iters: u32) -> PerfReport {
                 "paper_run_restricted_25s",
                 Scenario::paper_testbed_restricted(),
             ),
+            ("manyflow_serial", manyflow(None)),
             ("shard_scaling_serial_legacy", manyflow(None)),
             ("shard_scaling_1", manyflow(Some(1))),
             ("shard_scaling_2", manyflow(Some(2))),

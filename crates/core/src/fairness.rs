@@ -86,13 +86,23 @@ impl FairnessReport {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         let end_s = report.duration_s;
 
-        // Per-flow goodput timeseries, transposed into per-window Jain.
-        let per_flow: Vec<Vec<(f64, f64)>> = report
-            .flows
-            .iter()
-            .map(|f| f.goodput_series_bps(window_s, end_s))
-            .collect();
-        let n_windows = per_flow.first().map_or(0, Vec::len);
+        // Per-flow goodput timeseries, flattened into one preallocated
+        // flows × windows table (one row per flow) instead of a Vec-of-Vecs
+        // of pairs that is then transposed — manyflow scenarios run this
+        // over thousands of flows, and the flat table is the only buffer.
+        let mut window_ends: Vec<f64> = Vec::new();
+        let mut t = window_s;
+        while t <= end_s + 1e-9 {
+            window_ends.push(t);
+            t += window_s;
+        }
+        let n_flows = report.flows.len();
+        let n_windows = if n_flows == 0 { 0 } else { window_ends.len() };
+        let mut table: Vec<f64> = Vec::with_capacity(n_flows * n_windows);
+        for f in &report.flows {
+            f.goodput_series_fill(window_s, end_s, &mut table);
+        }
+        debug_assert_eq!(table.len(), n_flows * n_windows);
         let mut jain_series = Vec::with_capacity(n_windows);
         // Windows where no flow moved any data score Jain = 1.0 (the
         // degenerate all-zero case) but say nothing about fairness — a run
@@ -100,13 +110,14 @@ impl FairnessReport {
         // "converged" over its idle tail. They stay in the series (the
         // timeline is complete) but are excluded as convergence evidence.
         let mut active_jain = Vec::with_capacity(n_windows);
+        let mut allocs: Vec<f64> = Vec::with_capacity(n_flows);
         for w in 0..n_windows {
-            let t = per_flow[0][w].0;
-            let allocs: Vec<f64> = per_flow.iter().map(|s| s[w].1).collect();
+            allocs.clear();
+            allocs.extend((0..n_flows).map(|f| table[f * n_windows + w]));
             let j = jain_fairness(&allocs);
-            jain_series.push((t, j));
+            jain_series.push((window_ends[w], j));
             if allocs.iter().any(|&x| x > 0.0) {
-                active_jain.push((t, j));
+                active_jain.push((window_ends[w], j));
             }
         }
 
@@ -265,6 +276,7 @@ mod tests {
             cross_offered_bytes: 0,
             cross_delivered_bytes: 0,
             events_processed: 0,
+            engine: None,
             truncated: None,
         }
     }

@@ -49,7 +49,7 @@ pub mod world;
 pub use body::WireBody;
 pub use fairness::{fairness_csv, fairness_reports, FairnessReport, FlowFairness, VariantFairness};
 pub use report::{FlowReport, RunReport};
-pub use runner::{run, run_many, run_many_memo};
+pub use runner::{run, run_many, run_many_memo, run_many_memo_timed, run_many_timed, run_timed};
 pub use scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
 pub use spec::{
     results_csv, BurstLossDef, CcDef, CrossDef, ExpandedRun, FairnessDef, FlapDef, FlowDef,

@@ -2,7 +2,7 @@
 //! logs and series, plus world-level link/NIC accounting.
 
 use rss_host::NicStats;
-use rss_sim::jain_fairness;
+use rss_sim::{jain_fairness, QueueCounters};
 use rss_web100::Web100Vars;
 use serde::{Deserialize, Serialize};
 
@@ -71,8 +71,27 @@ impl FlowReport {
     /// `window_s = 1`. This is the series the fairness subsystem compares
     /// across flows.
     pub fn goodput_series_bps(&self, window_s: f64, end_s: f64) -> Vec<(f64, f64)> {
+        let mut vals = Vec::new();
+        self.goodput_series_fill(window_s, end_s, &mut vals);
+        // Window end times accumulate exactly as in the fill loop, so the
+        // pairs match what a fused loop would produce bit-for-bit.
+        let mut t = window_s;
+        vals.into_iter()
+            .map(|g| {
+                let sample = (t, g);
+                t += window_s;
+                sample
+            })
+            .collect()
+    }
+
+    /// Append this flow's per-window goodputs (bits/s; one value per window
+    /// ending at `window_s`, `2·window_s`, … up to `end_s`) to `out` — the
+    /// allocation-free core of [`Self::goodput_series_bps`]. The fairness
+    /// pass uses it to fill one row of a preallocated flows × windows table
+    /// instead of materializing a `Vec` of pairs per flow.
+    pub fn goodput_series_fill(&self, window_s: f64, end_s: f64, out: &mut Vec<f64>) {
         assert!(window_s > 0.0, "window must be positive");
-        let mut out = Vec::new();
         let mut i = 0usize;
         let mut cum = 0.0; // cumulative acked bytes at the current window end
         let mut cum_prev = 0.0; // ... at the previous window end
@@ -82,11 +101,10 @@ impl FlowReport {
                 cum = self.acked_series[i].1;
                 i += 1;
             }
-            out.push((t, (cum - cum_prev) * 8.0 / window_s));
+            out.push((cum - cum_prev) * 8.0 / window_s);
             cum_prev = cum;
             t += window_s;
         }
-        out
     }
 
     /// Goodput over a window `[a_s, b_s]`, bits/s, from the acked series.
@@ -134,6 +152,12 @@ pub struct RunReport {
     /// Discrete events the engine dispatched during the run (the simulator
     /// perf harness divides these by wall time for events/sec).
     pub events_processed: u64,
+    /// Event-queue counters of the serial engine (wheel hit rate, tombstone
+    /// sweeps, far-heap migrations). `None` for sharded runs: queue
+    /// placement depends on each domain's private engine, so the counters
+    /// are not grouping-invariant and would break the byte-identical
+    /// reports-across-shard-counts guarantee.
+    pub engine: Option<QueueCounters>,
     /// `Some(reason)` when the run was ended by a watchdog (`max_sim_time`
     /// or `max_events`) rather than running its course — the explicit
     /// "this run was cut short" marker for un-completable scenarios.
@@ -254,6 +278,7 @@ mod tests {
             cross_offered_bytes: 1000,
             cross_delivered_bytes: 900,
             events_processed: 12345,
+            engine: None,
             truncated: None,
         };
         assert!((r.total_goodput_bps() - 100e6).abs() < 1.0);
@@ -277,6 +302,15 @@ mod tests {
             cross_offered_bytes: 0,
             cross_delivered_bytes: 0,
             events_processed: 777,
+            engine: Some(QueueCounters {
+                scheduled: 10,
+                pops: 9,
+                placed_wheel: 8,
+                placed_far: 2,
+                far_migrations: 1,
+                cancelled: 1,
+                tombstones_swept: 1,
+            }),
             truncated: None,
         };
         let json = r.to_json();
@@ -291,6 +325,9 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"stall_times_s\":[1.5]"), "{json}");
+        // Engine queue counters ride along in full when present.
+        assert!(json.contains("\"engine\":{\"scheduled\":10"), "{json}");
+        assert!(json.contains("\"tombstones_swept\":1"), "{json}");
         // Every flow field of the Web100 block must be present exactly once.
         assert_eq!(json.matches("\"send_stall\":").count(), 1, "{json}");
     }

@@ -95,6 +95,7 @@ pub fn run(sc: &Scenario) -> RunReport {
     let horizon = sc.max_sim_time.map_or(sc.duration, |t| t.min(sc.duration));
     let stats = engine.run_until(SimTime::ZERO + horizon);
     let end = engine.now();
+    let queue_counters = engine.queue_counters();
     let mut world = engine.into_model();
 
     let mut flows = Vec::with_capacity(world.conn_count());
@@ -130,17 +131,26 @@ pub fn run(sc: &Scenario) -> RunReport {
         cross_offered_bytes: offered_bytes,
         cross_delivered_bytes: world.cross_delivered_bytes,
         events_processed: stats.events_processed,
+        engine: Some(queue_counters),
         truncated: serial_truncation(sc, &stats),
     }
 }
 
-/// Run a batch of scenarios across worker threads (order-preserving).
+/// [`run`], measuring wall time. Returns `(report, wall_ms)`.
+pub fn run_timed(sc: &Scenario) -> (RunReport, f64) {
+    let t0 = std::time::Instant::now();
+    let report = run(sc);
+    (report, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run a batch of scenarios across worker threads (order-preserving),
+/// measuring per-run wall time in milliseconds.
 ///
 /// Each scenario is an independent deterministic simulation, so parallelism
 /// is embarrassingly safe; a shared atomic cursor hands out work.
-pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
+pub fn run_many_timed(scenarios: &[Scenario]) -> Vec<(RunReport, f64)> {
     if scenarios.len() <= 1 {
-        return scenarios.iter().map(run).collect();
+        return scenarios.iter().map(run_timed).collect();
     }
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -149,7 +159,7 @@ pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
     let cursor = AtomicUsize::new(0);
     // Each slot is written exactly once, by the unique worker that claimed
     // its index off the cursor; OnceLock gives lock-free single-writer slots.
-    let results: Vec<std::sync::OnceLock<RunReport>> = scenarios
+    let results: Vec<std::sync::OnceLock<(RunReport, f64)>> = scenarios
         .iter()
         .map(|_| std::sync::OnceLock::new())
         .collect();
@@ -163,7 +173,7 @@ pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
                 if i >= scenarios.len() {
                     break;
                 }
-                let report = run(&scenarios[i]);
+                let report = run_timed(&scenarios[i]);
                 results[i].set(report).expect("slot claimed twice");
             });
         }
@@ -175,14 +185,22 @@ pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
         .collect()
 }
 
+/// Run a batch of scenarios across worker threads (order-preserving).
+pub fn run_many(scenarios: &[Scenario]) -> Vec<RunReport> {
+    run_many_timed(scenarios)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
 /// The process-global run cache backing [`run_many_memo`].
 ///
 /// Scenario aggregates plain config (no floats with NaN, no interior
 /// mutability), so its Debug rendering is a faithful identity key; runs are
 /// deterministic, so a cached report is indistinguishable from a fresh one.
-fn run_cache() -> &'static std::sync::Mutex<std::collections::HashMap<String, RunReport>> {
+fn run_cache() -> &'static std::sync::Mutex<std::collections::HashMap<String, (RunReport, f64)>> {
     static CACHE: std::sync::OnceLock<
-        std::sync::Mutex<std::collections::HashMap<String, RunReport>>,
+        std::sync::Mutex<std::collections::HashMap<String, (RunReport, f64)>>,
     > = std::sync::OnceLock::new();
     CACHE.get_or_init(Default::default)
 }
@@ -199,6 +217,13 @@ fn run_cache() -> &'static std::sync::Mutex<std::collections::HashMap<String, Ru
 /// (cells already in the global cache still count as distinct, but cost no
 /// simulation).
 pub fn run_many_memo(scenarios: &[Scenario]) -> (Vec<RunReport>, usize) {
+    let (timed, distinct) = run_many_memo_timed(scenarios);
+    (timed.into_iter().map(|(r, _)| r).collect(), distinct)
+}
+
+/// [`run_many_memo`], keeping per-run wall time in milliseconds. Cache hits
+/// report the wall time of the original simulation, not the lookup.
+pub fn run_many_memo_timed(scenarios: &[Scenario]) -> (Vec<(RunReport, f64)>, usize) {
     let keys: Vec<String> = scenarios.iter().map(|sc| format!("{sc:?}")).collect();
     let mut distinct: BTreeMap<&str, usize> = BTreeMap::new();
     let mut fresh: Vec<Scenario> = Vec::new();
@@ -213,7 +238,7 @@ pub fn run_many_memo(scenarios: &[Scenario]) -> (Vec<RunReport>, usize) {
             }
         }
     }
-    let fresh_reports = run_many(&fresh);
+    let fresh_reports = run_many_timed(&fresh);
     let mut cache = run_cache().lock().expect("run cache poisoned");
     for (key, report) in fresh_keys.into_iter().zip(fresh_reports) {
         cache.insert(key.to_string(), report);

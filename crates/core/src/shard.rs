@@ -665,6 +665,16 @@ impl Model for DomainWorld {
                 };
                 let ci = c as usize;
                 e.conns[ci].scheduled_rto = None;
+                // Coalesced deadline check, exactly like the serial world: a
+                // stale pop (deadline moved later) re-arms and does nothing
+                // else. Per-connection, so grouping-invariant.
+                if let Some(d) = e.conns[ci].sender.rto_deadline() {
+                    if now < d {
+                        sched.at(d, DEv::RtoCheck { u, c });
+                        e.conns[ci].scheduled_rto = Some(d);
+                        return;
+                    }
+                }
                 let snap = snd_snapshot(e);
                 e.conns[ci].sender.on_rto_check(now, snap);
                 pump(e, u, ci, now, sched);
@@ -765,8 +775,8 @@ impl Domain for ShardDomain {
         self.engine.run_until(horizon).events_processed
     }
 
-    fn take_outgoing(&mut self) -> Vec<Env> {
-        std::mem::take(&mut self.engine.model_mut().outgoing)
+    fn drain_outgoing(&mut self, into: &mut Vec<Env>) {
+        into.append(&mut self.engine.model_mut().outgoing);
     }
 
     fn take_completions(&mut self) -> u64 {
@@ -1058,6 +1068,9 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
         cross_offered_bytes,
         cross_delivered_bytes,
         events_processed: stats.events_processed,
+        // Queue-placement counters are not grouping-invariant across shard
+        // counts, and the reports must compare byte-equal; leave them out.
+        engine: None,
         truncated: (sc.max_sim_time.is_some_and(|t| t < sc.duration) && !stats.stopped_early).then(
             || {
                 format!(

@@ -28,8 +28,9 @@ use rss_workload::AppDriver;
 /// Events of the complete experiment world.
 #[derive(Debug, Clone)]
 pub enum Ev {
-    /// Network-fabric internal event.
-    Net(NetEvent<WireBody>),
+    /// Network-fabric internal event (POD; payloads live in the fabric's
+    /// packet arena).
+    Net(NetEvent),
     /// A host NIC finished serializing a packet.
     NicTxDone {
         /// Host node id (raw).
@@ -544,13 +545,12 @@ impl Model for World {
         let now = sched.now();
         match ev {
             Ev::Net(nev) => {
-                let mut pending: Vec<(SimDuration, NetEvent<WireBody>)> = Vec::new();
-                let delivered = self
-                    .fabric
-                    .handle(nev, now, &mut |d, e| pending.push((d, e)));
-                for (d, e) in pending {
+                // Fabric follow-ups go straight into the scheduler: the
+                // closure borrows only `sched`, disjoint from `self.fabric`,
+                // so the hot path buffers (and allocates) nothing.
+                let delivered = self.fabric.handle(nev, now, &mut |d, e| {
                     sched.after(d, Ev::Net(e));
-                }
+                });
                 if let Some((node, pkt)) = delivered {
                     self.deliver(node, pkt, now, sched);
                 }
@@ -558,14 +558,10 @@ impl Model for World {
             Ev::NicTxDone { host } => {
                 let pkt = self.nic_mut(host).on_tx_done(now);
                 let link = self.host_links[host as usize].expect("host has no access link");
-                let mut pending: Vec<(SimDuration, NetEvent<WireBody>)> = Vec::new();
                 self.fabric
                     .start_flight(now, NodeId(host), link, pkt, &mut |d, e| {
-                        pending.push((d, e))
+                        sched.after(d, Ev::Net(e));
                     });
-                for (d, e) in pending {
-                    sched.after(d, Ev::Net(e));
-                }
                 self.kick_nic(host, now, sched);
                 // A queue slot freed: stalled connections on this host may
                 // proceed. (Index loop: `host_conns` is frozen after build,
@@ -586,6 +582,18 @@ impl Model for World {
             Ev::RtoCheck { conn } => {
                 let ci = conn as usize;
                 self.scheduled_rto[ci] = None;
+                // Coalesced deadline check: every ACK pushes the RTO deadline
+                // out, so most checks pop stale. A stale pop re-arms at the
+                // live deadline and does nothing else — the expensive
+                // snapshot + timer + pump path runs only when the deadline
+                // has actually arrived (or vanished).
+                if let Some(d) = self.conns[ci].sender.rto_deadline() {
+                    if now < d {
+                        sched.at(d, Ev::RtoCheck { conn });
+                        self.scheduled_rto[ci] = Some(d);
+                        return;
+                    }
+                }
                 let host = self.conns[ci].src.0;
                 let snap = self.ifq_snapshot(host);
                 self.conns[ci].sender.on_rto_check(now, snap);

@@ -10,6 +10,7 @@
 //! callback, so the embedding world model decides how fabric events are
 //! represented in its own event enum.
 
+use crate::arena::{ArenaMode, PacketArena, PacketRef};
 use crate::impair::{Impairment, Verdict};
 use crate::packet::{Body, LinkId, NodeId, Packet};
 use crate::queue::{DropTailQueue, QueueConfig, QueueStats};
@@ -20,16 +21,20 @@ use serde::{Deserialize, Serialize};
 
 /// Fabric-internal events. The embedding model stores these in its own event
 /// enum and feeds them back into [`Fabric::handle`].
-#[derive(Debug, Clone)]
-pub enum NetEvent<B> {
+///
+/// Plain-old-data: in-flight packet payloads are parked in the fabric's
+/// [`PacketArena`] and the event carries only the 8-byte [`PacketRef`], so
+/// scheduling a hop copies ~16 bytes instead of a full [`Packet`].
+#[derive(Debug, Clone, Copy)]
+pub enum NetEvent {
     /// A packet finished propagating along `link` and reached `node`.
     Arrival {
         /// Node the packet arrived at.
         node: NodeId,
         /// Link it arrived on.
         link: LinkId,
-        /// The packet.
-        pkt: Packet<B>,
+        /// Handle to the packet, parked in the fabric's arena.
+        pkt: PacketRef,
     },
     /// A router egress port finished serializing its current packet.
     PortTxDone {
@@ -118,6 +123,8 @@ pub struct Fabric<B> {
     impairments: Vec<Option<Impairment>>,
     /// Per-link transfer statistics, indexed by raw link id.
     link_stats: Vec<LinkStats>,
+    /// In-flight packet payloads, referenced by [`NetEvent::Arrival`] events.
+    arena: PacketArena<B>,
     /// Packets dropped at routers because no route existed.
     pub unroutable_drops: u64,
     /// Packets dropped at router queues.
@@ -149,9 +156,23 @@ impl<B: Body> Fabric<B> {
             routes,
             ports,
             rng,
+            arena: PacketArena::new(),
             unroutable_drops: 0,
             queue_drops: 0,
         }
+    }
+
+    /// Switch the in-flight arena's slot-recycling policy (testing aid:
+    /// [`ArenaMode::Fresh`] is the allocation-per-packet reference build).
+    /// Call before any traffic starts.
+    pub fn set_arena_mode(&mut self, mode: ArenaMode) {
+        self.arena.set_mode(mode);
+    }
+
+    /// Packets currently in flight on links (parked in the arena). A drained
+    /// run ends at zero; anything else is a leak.
+    pub fn packets_in_flight(&self) -> usize {
+        self.arena.live()
     }
 
     /// Replace the queue on one router egress port with RED.
@@ -219,7 +240,7 @@ impl<B: Body> Fabric<B> {
         from: NodeId,
         link: LinkId,
         pkt: Packet<B>,
-        sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
+        sched: &mut dyn FnMut(SimDuration, NetEvent),
     ) {
         let spec = *self.topo.link(link);
         let stats = &mut self.link_stats[link.0 as usize];
@@ -255,23 +276,25 @@ impl<B: Body> Fabric<B> {
                 .dup_jitter();
             stats.delivered_pkts += 1;
             stats.delivered_bytes += pkt.wire_size() as u64;
+            let dup = self.arena.insert(pkt.clone());
             sched(
                 spec.params.prop_delay + extra2,
                 NetEvent::Arrival {
                     node: to,
                     link,
-                    pkt: pkt.clone(),
+                    pkt: dup,
                 },
             );
         }
         stats.delivered_pkts += 1;
         stats.delivered_bytes += pkt.wire_size() as u64;
+        let parked = self.arena.insert(pkt);
         sched(
             spec.params.prop_delay + extra_delay,
             NetEvent::Arrival {
                 node: to,
                 link,
-                pkt,
+                pkt: parked,
             },
         );
     }
@@ -283,7 +306,7 @@ impl<B: Body> Fabric<B> {
         node: NodeId,
         link: LinkId,
         now: SimTime,
-        sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
+        sched: &mut dyn FnMut(SimDuration, NetEvent),
     ) {
         let idx = port_index(&self.topo, node, link);
         let port = self.ports[idx].as_mut().expect("missing port");
@@ -302,12 +325,13 @@ impl<B: Body> Fabric<B> {
     /// reaches an end host — the caller delivers it to the transport layer.
     pub fn handle(
         &mut self,
-        ev: NetEvent<B>,
+        ev: NetEvent,
         now: SimTime,
-        sched: &mut dyn FnMut(SimDuration, NetEvent<B>),
+        sched: &mut dyn FnMut(SimDuration, NetEvent),
     ) -> Option<(NodeId, Packet<B>)> {
         match ev {
             NetEvent::Arrival { node, pkt, .. } => {
+                let pkt = self.arena.take(pkt);
                 if self.topo.kind(node) == NodeKind::Host {
                     return Some((node, pkt));
                 }
@@ -372,16 +396,14 @@ mod tests {
     }
 
     impl Model for RawWorld {
-        type Event = NetEvent<RawBody>;
+        type Event = NetEvent;
         fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<'_, Self::Event>) {
             let now = sched.now();
-            let mut pending = Vec::new();
-            let out = self
-                .fabric
-                .handle(ev, now, &mut |d, e| pending.push((d, e)));
-            for (d, e) in pending {
+            // Fabric follow-up events go straight into the scheduler — no
+            // per-hop buffering.
+            let out = self.fabric.handle(ev, now, &mut |d, e| {
                 sched.after(d, e);
-            }
+            });
             if let Some((node, pkt)) = out {
                 self.delivered.push((now, node, pkt.id));
             }
@@ -406,9 +428,13 @@ mod tests {
         )
     }
 
+    /// Injection-time events outlive the `model_mut` borrow, so they stage
+    /// through `pending` — a buffer the caller reuses across injections.
+    #[allow(clippy::too_many_arguments)]
     fn send(
         eng: &mut Engine<RawWorld>,
         ids: &mut PacketIdGen,
+        pending: &mut Vec<(SimDuration, NetEvent)>,
         from: NodeId,
         link: LinkId,
         dst: NodeId,
@@ -424,11 +450,10 @@ mod tests {
             body: RawBody { size },
         };
         // Emulate a host NIC that has already serialized the packet.
-        let mut pending = Vec::new();
         eng.model_mut()
             .fabric
             .start_flight(at, from, link, pkt, &mut |d, e| pending.push((d, e)));
-        for (d, e) in pending {
+        for (d, e) in pending.drain(..) {
             eng.schedule_at(at + d, e);
         }
     }
@@ -438,9 +463,11 @@ mod tests {
         let (world, d) = mk_world(1, 100_000_000, QueueConfig::packets(100));
         let mut eng = Engine::new(world);
         let mut ids = PacketIdGen::new();
+        let mut pending = Vec::new();
         send(
             &mut eng,
             &mut ids,
+            &mut pending,
             d.senders[0],
             d.sender_access[0],
             d.receivers[0],
@@ -452,6 +479,8 @@ mod tests {
         assert_eq!(delivered.len(), 1);
         let (t, node, _) = delivered[0];
         assert_eq!(node, d.receivers[0]);
+        // A drained run leaves no packets parked in the arena.
+        assert_eq!(eng.model().fabric.packets_in_flight(), 0);
         // Latency: prop 100us + (ser 120us + prop 10ms) + (ser 12us + prop 100us)
         let expect = SimDuration::from_micros(100)
             + SimDuration::for_bytes_at_rate(1500, 100_000_000)
@@ -466,12 +495,14 @@ mod tests {
         let (world, d) = mk_world(1, 100_000_000, QueueConfig::packets(100));
         let mut eng = Engine::new(world);
         let mut ids = PacketIdGen::new();
+        let mut pending = Vec::new();
         // Two packets injected at the same instant: the second must leave the
         // bottleneck one serialization time after the first.
         for _ in 0..2 {
             send(
                 &mut eng,
                 &mut ids,
+                &mut pending,
                 d.senders[0],
                 d.sender_access[0],
                 d.receivers[0],
@@ -492,10 +523,12 @@ mod tests {
         let (world, d) = mk_world(1, 10_000_000, QueueConfig::packets(2));
         let mut eng = Engine::new(world);
         let mut ids = PacketIdGen::new();
+        let mut pending = Vec::new();
         for _ in 0..10 {
             send(
                 &mut eng,
                 &mut ids,
+                &mut pending,
                 d.senders[0],
                 d.sender_access[0],
                 d.receivers[0],
@@ -515,10 +548,12 @@ mod tests {
         let (world, d) = mk_world(1, 50_000_000, QueueConfig::packets(100));
         let mut eng = Engine::new(world);
         let mut ids = PacketIdGen::new();
+        let mut pending = Vec::new();
         for i in 0..20u64 {
             send(
                 &mut eng,
                 &mut ids,
+                &mut pending,
                 d.senders[0],
                 d.sender_access[0],
                 d.receivers[0],
@@ -550,10 +585,12 @@ mod tests {
                 delivered: vec![],
             });
             let mut ids = PacketIdGen::new();
+            let mut pending = Vec::new();
             for i in 0..100u64 {
                 send(
                     &mut eng,
                     &mut ids,
+                    &mut pending,
                     d.senders[0],
                     d.sender_access[0],
                     d.receivers[0],
@@ -575,10 +612,12 @@ mod tests {
         let (world, d) = mk_world(1, 100_000_000, QueueConfig::packets(100));
         let mut eng = Engine::new(world);
         let mut ids = PacketIdGen::new();
+        let mut pending = Vec::new();
         for _ in 0..5 {
             send(
                 &mut eng,
                 &mut ids,
+                &mut pending,
                 d.senders[0],
                 d.sender_access[0],
                 d.receivers[0],

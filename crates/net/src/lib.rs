@@ -12,6 +12,7 @@
 //! cycle.
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod fabric;
 pub mod impair;
 pub mod packet;
@@ -20,6 +21,7 @@ pub mod red;
 pub mod topology;
 pub mod traffic;
 
+pub use arena::{ArenaMode, PacketArena, PacketRef};
 pub use fabric::{Fabric, LinkStats, NetEvent, PortQueue};
 pub use impair::{
     DropCause, Flap, GilbertElliott, ImpairStats, Impairment, ImpairmentConfig, Jitter,

@@ -1,8 +1,12 @@
-//! Property-based tests for queues and topology routing.
+//! Property-based tests for queues, topology routing, and the packet arena.
 
 use proptest::prelude::*;
-use rss_net::{DropTailQueue, FlowId, LinkParams, NodeId, Packet, QueueConfig, RawBody, Topology};
-use rss_sim::{SimDuration, SimTime};
+use rss_net::{
+    dumbbell, ArenaMode, DropTailQueue, Fabric, FlowId, GilbertElliott, Impairment,
+    ImpairmentConfig, Jitter, LinkParams, NetEvent, NodeId, Packet, PacketIdGen, QueueConfig,
+    RawBody, Topology,
+};
+use rss_sim::{Engine, Model, Scheduler, SimDuration, SimRng, SimTime};
 
 fn pkt(id: u64, size: u32) -> Packet<RawBody> {
     Packet {
@@ -12,6 +16,125 @@ fn pkt(id: u64, size: u32) -> Packet<RawBody> {
         flow: FlowId(0),
         created: SimTime::ZERO,
         body: RawBody { size: size.max(1) },
+    }
+}
+
+/// Raw packets pumped through a fabric; the delivered `(time, node, id)`
+/// trace is the observable the arena-mode differential compares.
+struct ArenaWorld {
+    fabric: Fabric<RawBody>,
+    delivered: Vec<(SimTime, NodeId, u64)>,
+}
+
+impl Model for ArenaWorld {
+    type Event = NetEvent;
+    fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<'_, Self::Event>) {
+        let now = sched.now();
+        let out = self.fabric.handle(ev, now, &mut |d, e| {
+            sched.after(d, e);
+        });
+        if let Some((node, pkt)) = out {
+            self.delivered.push((now, node, pkt.id));
+        }
+    }
+}
+
+/// One full run of `sends` packets through an impaired dumbbell with the
+/// given arena recycling policy; returns the delivered trace.
+fn impaired_run(
+    seed: u64,
+    mode: ArenaMode,
+    imp: &ImpairmentConfig,
+    sends: &[(u64, u32)], // (inject gap µs, wire size)
+) -> Vec<(SimTime, NodeId, u64)> {
+    let access = LinkParams::new(1_000_000_000, SimDuration::from_micros(100));
+    let bottleneck = LinkParams::new(50_000_000, SimDuration::from_millis(5));
+    let (topo, d) = dumbbell(1, access, bottleneck);
+    let mut fabric: Fabric<RawBody> =
+        Fabric::new(topo, QueueConfig::packets(32), SimRng::seed_from_u64(seed));
+    fabric.set_arena_mode(mode);
+    // Impair the bottleneck's forward direction: loss, reordering jitter and
+    // duplication all exercise distinct arena insert/take paths.
+    fabric.set_impairment(
+        d.bottleneck,
+        d.left_router,
+        Impairment::from_config(
+            imp,
+            &SimRng::seed_from_u64(seed ^ 0x5eed),
+            SimTime::from_secs(60),
+        ),
+    );
+    let mut eng = Engine::new(ArenaWorld {
+        fabric,
+        delivered: vec![],
+    });
+    let mut ids = PacketIdGen::new();
+    let mut pending: Vec<(SimDuration, NetEvent)> = Vec::new();
+    let mut at = SimTime::ZERO;
+    for &(gap_us, size) in sends {
+        at += SimDuration::from_micros(gap_us);
+        let pkt = Packet {
+            id: ids.next_id(),
+            src: d.senders[0],
+            dst: d.receivers[0],
+            flow: FlowId(0),
+            created: at,
+            body: RawBody { size: size.max(40) },
+        };
+        eng.model_mut().fabric.start_flight(
+            at,
+            d.senders[0],
+            d.sender_access[0],
+            pkt,
+            &mut |dl, e| pending.push((dl, e)),
+        );
+        for (dl, e) in pending.drain(..) {
+            eng.schedule_at(at + dl, e);
+        }
+    }
+    eng.run_to_completion();
+    assert_eq!(
+        eng.model().fabric.packets_in_flight(),
+        0,
+        "drained run leaked arena slots"
+    );
+    eng.into_model().delivered
+}
+
+proptest! {
+    /// Slot recycling is invisible: a pooled arena and a fresh-slot-per-
+    /// packet arena produce byte-identical delivered traces under loss,
+    /// reordering jitter and duplication — the full impairment surface that
+    /// exercises every arena insert/take path, including the duplicate
+    /// double-insert.
+    #[test]
+    fn arena_pooling_is_invisible_under_impairments(
+        seed in 0u64..1_000_000,
+        dup in 0.0f64..0.5,
+        jitter_prob in 0.0f64..1.0,
+        jitter_max_us in 0u64..20_000,
+        bursty in any::<bool>(),
+        p_gb in 0.001f64..0.3,
+        p_bg in 0.05f64..1.0,
+        sends in prop::collection::vec((0u64..500, 40u32..1500), 1..120),
+    ) {
+        let imp = ImpairmentConfig {
+            burst_loss: bursty.then_some(GilbertElliott {
+                p_good_to_bad: p_gb,
+                p_bad_to_good: p_bg,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            }),
+            jitter: Some(Jitter {
+                prob: jitter_prob,
+                max: SimDuration::from_micros(jitter_max_us),
+            }),
+            duplicate_prob: dup,
+            ..Default::default()
+        };
+        let pooled = impaired_run(seed, ArenaMode::Pooled, &imp, &sends);
+        let fresh = impaired_run(seed, ArenaMode::Fresh, &imp, &sends);
+        prop_assert_eq!(pooled, fresh);
     }
 }
 

@@ -5,7 +5,7 @@
 //! [`Scheduler`] handle. The engine never inspects event payloads; it only
 //! guarantees causal, deterministic ordering.
 
-use crate::queue::{EventId, EventQueue};
+use crate::queue::{EventId, EventQueue, QueueCounters};
 use crate::time::{SimDuration, SimTime};
 
 /// Scheduling interface handed to the model while it processes an event.
@@ -144,11 +144,17 @@ impl<M: Model> Engine<M> {
         self.queue.len()
     }
 
-    /// Dispatch the single earliest event. Returns false if the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some((time, event)) = self.queue.pop() else {
-            return false;
-        };
+    /// The event queue's activity counters (pops, wheel-vs-heap placement,
+    /// migrations, cancels, tombstone sweeps). Always maintained; reading
+    /// them costs nothing beyond this copy.
+    pub fn queue_counters(&self) -> QueueCounters {
+        self.queue.counters()
+    }
+
+    /// Dispatch one already-popped event. Returns false if the model
+    /// requested a stop.
+    #[inline]
+    fn dispatch(&mut self, time: SimTime, event: M::Event) -> bool {
         debug_assert!(time >= self.now, "event queue violated causality");
         self.now = time;
         self.events_processed += 1;
@@ -162,6 +168,14 @@ impl<M: Model> Engine<M> {
         !stop
     }
 
+    /// Dispatch the single earliest event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatch(time, event)
+    }
+
     /// Run until the queue drains, the model requests a stop, or the horizon
     /// is passed. Events scheduled exactly at `horizon` still fire.
     pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
@@ -170,28 +184,33 @@ impl<M: Model> Engine<M> {
         let mut stopped_by_model = false;
         let mut budget_exhausted = false;
         loop {
-            match self.queue.peek_time() {
-                None => {
-                    drained = true;
-                    break;
+            if self
+                .event_budget
+                .is_some_and(|b| self.events_processed >= b)
+            {
+                // Only report exhaustion while in-horizon work remains (the
+                // cold path, so the extra peek costs nothing in steady state).
+                match self.queue.peek_time() {
+                    None => drained = true,
+                    Some(t) if t > horizon => {}
+                    Some(_) => budget_exhausted = true,
                 }
-                Some(t) if t > horizon => break,
-                Some(_) => {}
+                break;
             }
+            // The bounded pop fuses the peek-then-pop pair into one bucket
+            // scan — the hot loop touches the cursor bucket exactly once per
+            // event.
+            let Some((time, event)) = self.queue.pop_at_or_before(horizon) else {
+                drained = self.queue.is_empty();
+                break;
+            };
             if self.events_processed - start_events >= self.event_limit {
                 panic!(
                     "event limit {} exceeded at t={:?}; runaway schedule?",
                     self.event_limit, self.now
                 );
             }
-            if self
-                .event_budget
-                .is_some_and(|b| self.events_processed >= b)
-            {
-                budget_exhausted = true;
-                break;
-            }
-            if !self.step() {
+            if !self.dispatch(time, event) {
                 stopped_by_model = true;
                 break;
             }
@@ -227,19 +246,14 @@ impl<M: Model> Engine<M> {
     /// assert in [`Engine::schedule_at`].
     pub fn run_window(&mut self, end: SimTime) -> u64 {
         let start_events = self.events_processed;
-        loop {
-            match self.queue.peek_time() {
-                None => break,
-                Some(t) if t >= end => break,
-                Some(_) => {}
-            }
+        while let Some((time, event)) = self.queue.pop_before(end) {
             if self.events_processed - start_events >= self.event_limit {
                 panic!(
                     "event limit {} exceeded at t={:?}; runaway schedule?",
                     self.event_limit, self.now
                 );
             }
-            if !self.step() {
+            if !self.dispatch(time, event) {
                 break;
             }
         }

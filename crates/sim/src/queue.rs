@@ -13,23 +13,36 @@
 //! `WHEEL_BUCKETS` buckets of `GRANULE_NANOS` each, covering a sliding
 //! window of roughly 134 ms — with a binary heap as the fallback for events
 //! beyond the wheel horizon (retransmission timers and the like). Bucket
-//! membership is a plain `Vec<u32>` of slot indices kept sorted by
-//! `(time, seq)`, so the front bucket's head is always the global minimum.
+//! membership is a plain `Vec` of `(time, seq, slot)` entries; future
+//! buckets are append-only and sorted wholesale when the cursor reaches
+//! them, so scheduling is O(1) and only the bucket being consumed pays for
+//! order.
 //!
 //! Cancellation is O(1) to *validate* (a slot-index probe plus a sequence
-//! check — no hashing) and eagerly removes wheel-resident events; events in
-//! the far heap are freed immediately and their heap entries skipped when
-//! they surface, so [`EventQueue::len`] is always exact.
+//! check — no hashing) and O(1) to *perform*: the event's slot is freed
+//! immediately but its bucket (or far-heap) entry stays behind as a
+//! tombstone, swept by a generation check when the pop cursor reaches it.
+//! [`EventQueue::len`] is always exact — the live count is decremented at
+//! cancel time, not at sweep time.
+//!
+//! The pop path consumes the cursor bucket through a moving head offset
+//! (`cursor_head`) instead of `Vec::remove(0)`, so a bucket of depth *k* is
+//! drained with zero memmoves and its allocation is reused for the next
+//! revolution. [`EventQueue::pop_at_or_before`] fuses the engine's
+//! peek-then-pop pair into one bucket scan.
 
 use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Number of buckets in the calendar wheel (one revolution).
-const WHEEL_BUCKETS: usize = 1024;
-/// Width of one bucket in nanoseconds (~131 µs; the paper testbed schedules
-/// an event every ~16 µs on average, so buckets stay shallow).
-const GRANULE_NANOS: u64 = 1 << 17;
+const WHEEL_BUCKETS: usize = 8192;
+/// Width of one bucket in nanoseconds (~16 µs). The paper testbed schedules
+/// an event every ~16 µs on average; the 10k-flow dumbbell clusters ~8× as
+/// many into the same span, so the finer granule keeps the cursor bucket —
+/// the only one inserts must keep sorted — shallow in both regimes.
+const GRANULE_NANOS: u64 = 1 << 14;
 /// Time span covered by one wheel revolution.
 const HORIZON_NANOS: u64 = WHEEL_BUCKETS as u64 * GRANULE_NANOS;
 /// Free-list terminator / "no slot" marker.
@@ -64,6 +77,71 @@ struct Slot<E> {
     time: SimTime,
     loc: Loc,
     event: Option<E>,
+}
+
+/// A bucket entry: the sort key is carried inline so ordering, liveness
+/// checks and tombstone sweeps never dereference the slab. Entries outlive
+/// their event (lazy cancellation), which is safe exactly because the key is
+/// self-contained.
+#[derive(Debug, Clone, Copy)]
+struct WheelEntry {
+    time_ns: u64,
+    seq: u64,
+    slot: u32,
+}
+
+/// Cheap always-on activity counters, one per queue. Plain unconditional
+/// `u64` increments on paths that already touch the same cache lines —
+/// branch-free whether or not anyone reads them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCounters {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Live events removed through the pop path.
+    pub pops: u64,
+    /// Events placed directly into a wheel bucket at schedule time.
+    pub placed_wheel: u64,
+    /// Events that overflowed to the far-future heap at schedule time.
+    pub placed_far: u64,
+    /// Far-heap events migrated into the wheel as the window advanced.
+    pub far_migrations: u64,
+    /// Live events cancelled before firing.
+    pub cancelled: u64,
+    /// Dead (cancelled) entries swept past by pops, peeks and heap cleaning.
+    pub tombstones_swept: u64,
+}
+
+impl QueueCounters {
+    /// Fraction of scheduled events that went straight into the wheel
+    /// (vs overflowing to the far heap). 1.0 for an idle queue.
+    pub fn wheel_hit_rate(&self) -> f64 {
+        if self.scheduled == 0 {
+            1.0
+        } else {
+            self.placed_wheel as f64 / self.scheduled as f64
+        }
+    }
+
+    /// Dead entries swept per successful pop. 0.0 for an idle queue.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.pops == 0 {
+            0.0
+        } else {
+            self.tombstones_swept as f64 / self.pops as f64
+        }
+    }
+
+    /// Accumulate another queue's counters (used when a sharded run merges
+    /// its per-domain engines).
+    pub fn merge(&mut self, other: &QueueCounters) {
+        self.scheduled += other.scheduled;
+        self.pops += other.pops;
+        self.placed_wheel += other.placed_wheel;
+        self.placed_far += other.placed_far;
+        self.far_migrations += other.far_migrations;
+        self.cancelled += other.cancelled;
+        self.tombstones_swept += other.tombstones_swept;
+    }
 }
 
 /// Far-heap entry: ordering only, payload stays in the slab.
@@ -101,11 +179,18 @@ pub struct EventQueue<E> {
     free_head: u32,
     /// `buckets[(t / GRANULE) % WHEEL_BUCKETS]`, each sorted ascending by
     /// `(time, seq)`. The cursor bucket additionally absorbs any event at or
-    /// before the current granule, so its head is the global minimum.
-    buckets: Vec<Vec<u32>>,
+    /// before the current granule, so its first live entry is the global
+    /// minimum. Entries may be tombstones (cancelled events); liveness is a
+    /// slab generation check.
+    buckets: Vec<Vec<WheelEntry>>,
     /// Bucket index the wheel window starts at; always equals
     /// `(wheel_start / GRANULE) % WHEEL_BUCKETS`.
     cursor: usize,
+    /// Consumed prefix of the cursor bucket: entries below this offset have
+    /// been popped or swept. Only the cursor bucket is ever partially
+    /// consumed; it is cleared (capacity kept) when the prefix reaches the
+    /// end.
+    cursor_head: usize,
     /// Lower bound (nanos, granule-aligned) of the cursor bucket.
     wheel_start: u64,
     far: BinaryHeap<Far>,
@@ -114,8 +199,7 @@ pub struct EventQueue<E> {
     /// All live events (wheel + far).
     live: usize,
     next_seq: u64,
-    scheduled_total: u64,
-    cancelled_total: u64,
+    counters: QueueCounters,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -132,13 +216,13 @@ impl<E> EventQueue<E> {
             free_head: NIL,
             buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
             cursor: 0,
+            cursor_head: 0,
             wheel_start: 0,
             far: BinaryHeap::new(),
             in_wheel: 0,
             live: 0,
             next_seq: 0,
-            scheduled_total: 0,
-            cancelled_total: 0,
+            counters: QueueCounters::default(),
         }
     }
 
@@ -174,20 +258,48 @@ impl<E> EventQueue<E> {
         event
     }
 
-    /// Sorted insertion of `slot` into bucket `idx` by `(time, seq)`.
+    /// True if a bucket entry still refers to a live event. Sequence numbers
+    /// are never reused, so a matching `seq` identifies the exact event; the
+    /// location check rejects a cancelled-but-not-yet-reused slot (freeing
+    /// keeps the stale `seq` behind).
+    #[inline]
+    fn entry_live(&self, e: &WheelEntry) -> bool {
+        let s = &self.slots[e.slot as usize];
+        s.seq == e.seq && matches!(s.loc, Loc::Bucket(_))
+    }
+
+    /// Insert `slot` into bucket `idx`. Future buckets are append-only
+    /// (unsorted) and sorted once, wholesale, when the cursor arrives —
+    /// O(1) per insert instead of a memmove per insert. Only the cursor
+    /// bucket, which is being consumed in order, takes a sorted insert.
     fn bucket_insert(&mut self, idx: usize, slot: u32) {
         self.slots[slot as usize].loc = Loc::Bucket(idx as u32);
-        let key = (
-            self.slots[slot as usize].time,
-            self.slots[slot as usize].seq,
-        );
+        let entry = WheelEntry {
+            time_ns: self.slots[slot as usize].time.as_nanos(),
+            seq: self.slots[slot as usize].seq,
+            slot,
+        };
         let bucket = &mut self.buckets[idx];
-        let pos = bucket.partition_point(|&s| {
-            let e = &self.slots[s as usize];
-            (e.time, e.seq) < key
-        });
-        bucket.insert(pos, slot);
+        if idx == self.cursor {
+            // The consumed prefix stays put; an overdue event must still land
+            // after what already fired.
+            let key = (entry.time_ns, entry.seq);
+            let start = self.cursor_head;
+            let pos = start + bucket[start..].partition_point(|e| (e.time_ns, e.seq) < key);
+            bucket.insert(pos, entry);
+        } else {
+            bucket.push(entry);
+        }
         self.in_wheel += 1;
+    }
+
+    /// Establish the cursor bucket's sort order on arrival. `seq` is unique,
+    /// so `(time, seq)` is a total order and the unstable sort is
+    /// deterministic. Tombstones from earlier revolutions carry older
+    /// timestamps and sort to the front, where the sweep removes them first.
+    fn sort_cursor_bucket(&mut self) {
+        debug_assert_eq!(self.cursor_head, 0);
+        self.buckets[self.cursor].sort_unstable_by_key(|e| (e.time_ns, e.seq));
     }
 
     /// The bucket an in-window timestamp belongs to: the cursor bucket for
@@ -209,6 +321,7 @@ impl<E> EventQueue<E> {
         if t < self.wheel_start.saturating_add(HORIZON_NANOS) {
             let idx = self.in_window_bucket(t);
             self.bucket_insert(idx, slot);
+            self.counters.placed_wheel += 1;
         } else {
             let s = &mut self.slots[slot as usize];
             s.loc = Loc::Far;
@@ -217,6 +330,7 @@ impl<E> EventQueue<E> {
                 seq: s.seq,
                 slot,
             });
+            self.counters.placed_far += 1;
         }
     }
 
@@ -229,6 +343,7 @@ impl<E> EventQueue<E> {
                 break;
             }
             self.far.pop();
+            self.counters.tombstones_swept += 1;
         }
     }
 
@@ -253,6 +368,7 @@ impl<E> EventQueue<E> {
             let f = self.far.pop().expect("peeked entry vanished");
             let idx = self.in_window_bucket(f.time.as_nanos());
             self.bucket_insert(idx, f.slot);
+            self.counters.far_migrations += 1;
         }
     }
 
@@ -263,6 +379,7 @@ impl<E> EventQueue<E> {
         let granule = nanos / GRANULE_NANOS;
         self.wheel_start = granule * GRANULE_NANOS;
         self.cursor = (granule % WHEEL_BUCKETS as u64) as usize;
+        self.sort_cursor_bucket();
         self.migrate_far();
     }
 
@@ -271,6 +388,7 @@ impl<E> EventQueue<E> {
     fn advance_cursor(&mut self) {
         self.cursor = (self.cursor + 1) % WHEEL_BUCKETS;
         self.wheel_start = self.wheel_start.saturating_add(GRANULE_NANOS);
+        self.sort_cursor_bucket();
         self.migrate_far();
     }
 
@@ -278,7 +396,7 @@ impl<E> EventQueue<E> {
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
+        self.counters.scheduled += 1;
         self.live += 1;
         let slot = self.alloc_slot(seq, at, event);
         self.place(slot);
@@ -303,19 +421,13 @@ impl<E> EventQueue<E> {
         }
         match s.loc {
             Loc::Free(_) => false,
-            Loc::Bucket(idx) => {
-                let key = (s.time, s.seq);
-                let bucket = &mut self.buckets[idx as usize];
-                let pos = bucket
-                    .binary_search_by(|&c| {
-                        let e = &self.slots[c as usize];
-                        (e.time, e.seq).cmp(&key)
-                    })
-                    .expect("bucket entry missing for live slot");
-                bucket.remove(pos);
+            Loc::Bucket(_) => {
+                // Lazy: free the slot now, leave the bucket entry behind as a
+                // tombstone for the pop cursor to sweep. The live count stays
+                // exact; only the entry lingers.
                 self.in_wheel -= 1;
                 self.live -= 1;
-                self.cancelled_total += 1;
+                self.counters.cancelled += 1;
                 self.free_slot(id.slot);
                 true
             }
@@ -323,7 +435,7 @@ impl<E> EventQueue<E> {
                 // The heap entry stays behind; it fails the generation check
                 // when it surfaces. Keep the heap top live for `peek_time`.
                 self.live -= 1;
-                self.cancelled_total += 1;
+                self.counters.cancelled += 1;
                 self.free_slot(id.slot);
                 self.clean_far_top();
                 true
@@ -331,29 +443,70 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Remove and return the earliest live event.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    /// Remove and return the earliest live event at or before `limit`
+    /// (in nanos); `None` lifts the bound. Shared scan behind [`Self::pop`]
+    /// and [`Self::pop_at_or_before`] — one pass finds, bounds-checks and
+    /// consumes the minimum, sweeping tombstones on the way.
+    fn pop_bounded(&mut self, limit_ns: Option<u64>) -> Option<(SimTime, E)> {
         if self.live == 0 {
             return None;
         }
         loop {
-            if !self.buckets[self.cursor].is_empty() {
-                let slot = self.buckets[self.cursor].remove(0);
-                self.in_wheel -= 1;
-                self.live -= 1;
-                let time = self.slots[slot as usize].time;
-                let event = self.free_slot(slot);
-                return Some((time, event));
+            while self.cursor_head < self.buckets[self.cursor].len() {
+                let entry = self.buckets[self.cursor][self.cursor_head];
+                if self.entry_live(&entry) {
+                    if limit_ns.is_some_and(|l| entry.time_ns > l) {
+                        return None;
+                    }
+                    self.cursor_head += 1;
+                    self.in_wheel -= 1;
+                    self.live -= 1;
+                    self.counters.pops += 1;
+                    let event = self.free_slot(entry.slot);
+                    return Some((SimTime::from_nanos(entry.time_ns), event));
+                }
+                self.cursor_head += 1;
+                self.counters.tombstones_swept += 1;
             }
-            if self.in_wheel == 0 {
-                // Everything live is beyond the horizon: jump the window.
-                self.clean_far_top();
-                let t = self.far.peek().expect("live count out of sync").time;
-                self.jump_to(t.as_nanos());
-            } else {
+            // Cursor bucket exhausted: recycle its allocation for the next
+            // revolution and move on.
+            self.buckets[self.cursor].clear();
+            self.cursor_head = 0;
+            if self.in_wheel > 0 {
                 self.advance_cursor();
+                continue;
             }
+            // Everything live is beyond the horizon: jump the window.
+            self.clean_far_top();
+            let t = self
+                .far
+                .peek()
+                .expect("live count out of sync")
+                .time
+                .as_nanos();
+            if limit_ns.is_some_and(|l| t > l) {
+                return None;
+            }
+            self.jump_to(t);
         }
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_bounded(None)
+    }
+
+    /// Remove and return the earliest live event, but only if its timestamp
+    /// is `<= limit`; otherwise leave the queue untouched and return `None`.
+    /// One bucket scan where a `peek_time` + `pop` pair would take two.
+    pub fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        self.pop_bounded(Some(limit.as_nanos()))
+    }
+
+    /// Remove and return the earliest live event strictly before `end`.
+    pub fn pop_before(&mut self, end: SimTime) -> Option<(SimTime, E)> {
+        let limit = end.as_nanos().checked_sub(1)?;
+        self.pop_bounded(Some(limit))
     }
 
     /// The timestamp of the next live event, if any.
@@ -362,15 +515,29 @@ impl<E> EventQueue<E> {
             return None;
         }
         if self.in_wheel > 0 {
-            // Buckets from the cursor forward are in time order; the first
-            // occupied one holds the minimum at its head.
+            // Buckets from the cursor forward partition time, so the first
+            // bucket holding a live entry holds the minimum. The cursor
+            // bucket is sorted (first live entry wins); later buckets are
+            // unsorted until the cursor arrives, so take the min over their
+            // live entries. Tombstones are skipped read-only (sweeping needs
+            // `&mut`).
             for k in 0..WHEEL_BUCKETS {
-                let bucket = &self.buckets[(self.cursor + k) % WHEEL_BUCKETS];
-                if let Some(&slot) = bucket.first() {
-                    return Some(self.slots[slot as usize].time);
+                let idx = (self.cursor + k) % WHEEL_BUCKETS;
+                let start = if k == 0 { self.cursor_head } else { 0 };
+                let mut best: Option<u64> = None;
+                for entry in &self.buckets[idx][start..] {
+                    if self.entry_live(entry) {
+                        if k == 0 {
+                            return Some(SimTime::from_nanos(entry.time_ns));
+                        }
+                        best = Some(best.map_or(entry.time_ns, |b: u64| b.min(entry.time_ns)));
+                    }
+                }
+                if let Some(t) = best {
+                    return Some(SimTime::from_nanos(t));
                 }
             }
-            unreachable!("in_wheel > 0 but all buckets empty");
+            unreachable!("in_wheel > 0 but no live bucket entry");
         }
         // The far-heap top is kept live by every mutating operation.
         self.far.peek().map(|f| {
@@ -389,14 +556,19 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
+    /// Activity counters since construction.
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
+    }
+
     /// Total number of events ever scheduled.
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.counters.scheduled
     }
 
     /// Total number of events cancelled before firing.
     pub fn cancelled_total(&self) -> u64 {
-        self.cancelled_total
+        self.counters.cancelled
     }
 }
 
@@ -559,6 +731,95 @@ mod tests {
         q.schedule_at(SimTime::from_secs(2), "t2");
         assert_eq!(q.pop(), Some((SimTime::from_millis(1), "past")));
         assert_eq!(q.pop(), Some((SimTime::from_secs(2), "t2")));
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_the_bound() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop_at_or_before(SimTime::from_millis(5)), None);
+        assert_eq!(q.len(), 2, "a bounded miss must not consume anything");
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), "a")),
+            "the bound is inclusive"
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_millis(19)), None);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_millis(25)),
+            Some((SimTime::from_millis(20), "b"))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn pop_before_is_exclusive() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "a");
+        assert_eq!(q.pop_before(SimTime::from_millis(10)), None);
+        assert_eq!(q.pop_before(SimTime::ZERO), None, "end = 0 pops nothing");
+        assert_eq!(
+            q.pop_before(SimTime::from_nanos(SimTime::from_millis(10).as_nanos() + 1)),
+            Some((SimTime::from_millis(10), "a"))
+        );
+    }
+
+    #[test]
+    fn bounded_miss_beyond_horizon_leaves_far_events_poppable() {
+        // The bound check must also stop the wheel from jumping to a far
+        // event it is not allowed to pop yet.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "far");
+        assert_eq!(q.pop_at_or_before(SimTime::from_secs(1)), None);
+        assert_eq!(q.len(), 1);
+        // An earlier event scheduled after the miss still pops first.
+        q.schedule_at(SimTime::from_secs(5), "near");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), "far")));
+    }
+
+    #[test]
+    fn lazy_cancel_tombstones_are_swept_at_pop() {
+        let mut q = EventQueue::new();
+        // All in one granule: the cancelled middle entries become tombstones
+        // in the same bucket the survivors pop from.
+        let t = |us: u64| SimTime::from_micros(us);
+        let a = q.schedule_at(t(10), "a");
+        let b = q.schedule_at(t(20), "b");
+        let c = q.schedule_at(t(30), "c");
+        let d = q.schedule_at(t(40), "d");
+        assert!(q.cancel(b));
+        assert!(q.cancel(c));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(40), "d")));
+        assert_eq!(q.pop(), None);
+        let counters = q.counters();
+        assert_eq!(counters.cancelled, 2);
+        assert_eq!(counters.tombstones_swept, 2, "both tombstones swept");
+        assert_eq!(counters.pops, 2);
+        let _ = (a, d);
+    }
+
+    #[test]
+    fn counters_track_placement_and_migration() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1), "wheel");
+        q.schedule_at(SimTime::from_secs(10), "far");
+        let c = q.counters();
+        assert_eq!(c.scheduled, 2);
+        assert_eq!(c.placed_wheel, 1);
+        assert_eq!(c.placed_far, 1);
+        assert_eq!(c.far_migrations, 0);
+        assert!((c.wheel_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "wheel")));
+        // Popping the far event forces the window jump + migration.
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), "far")));
+        let c = q.counters();
+        assert_eq!(c.far_migrations, 1);
+        assert_eq!(c.pops, 2);
+        assert_eq!(c.tombstone_ratio(), 0.0);
     }
 
     #[test]

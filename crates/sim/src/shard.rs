@@ -88,8 +88,12 @@ pub trait Domain: Send {
     fn run_window(&mut self, end: SimTime) -> u64;
     /// Final inclusive pass: run events up to and at `horizon`.
     fn finish(&mut self, horizon: SimTime) -> u64;
-    /// Drain messages produced since the last call.
-    fn take_outgoing(&mut self) -> Vec<Envelope<Self::Msg>>;
+    /// Append messages produced since the last call to `into`, leaving the
+    /// domain's internal buffer empty *with its capacity intact* — the
+    /// executor calls this once per window per domain, and the contract
+    /// exists so the steady state recycles both buffers instead of
+    /// allocating a fresh `Vec` every window.
+    fn drain_outgoing(&mut self, into: &mut Vec<Envelope<Self::Msg>>);
     /// Drain the count of flows newly completed since the last call.
     fn take_completions(&mut self) -> u64;
 }
@@ -287,6 +291,11 @@ pub fn run_sharded<D: Domain>(
                 let mut w = SimTime::ZERO;
                 let mut events = 0u64;
                 let mut inbound: Vec<Envelope<D::Msg>> = Vec::new();
+                // Per-thread scratch, all capacity-recycled across windows:
+                // the domain drains into `outgoing`, which is routed into
+                // the per-destination `outgoing_bufs`, which the rings
+                // consume with an append. Steady state allocates nothing.
+                let mut outgoing: Vec<Envelope<D::Msg>> = Vec::new();
                 let mut outgoing_bufs: Vec<Vec<Envelope<D::Msg>>> =
                     (0..n).map(|_| Vec::new()).collect();
                 let outcome = loop {
@@ -329,7 +338,11 @@ pub fn run_sharded<D: Domain>(
                         // above; messages produced now would be due after it.
                         match catch_unwind(AssertUnwindSafe(|| {
                             let e = domain.finish(horizon);
-                            domain.take_outgoing();
+                            // Messages produced at the horizon would be due
+                            // after it; drain and discard them.
+                            outgoing.clear();
+                            domain.drain_outgoing(&mut outgoing);
+                            outgoing.clear();
                             e
                         })) {
                             Ok(e) => events += e,
@@ -351,7 +364,8 @@ pub fn run_sharded<D: Domain>(
                         if done > 0 {
                             completions.fetch_add(done, Ordering::AcqRel);
                         }
-                        for env in domain.take_outgoing() {
+                        domain.drain_outgoing(&mut outgoing);
+                        for env in outgoing.drain(..) {
                             outgoing_bufs[unit_domain[env.dst_unit as usize] as usize].push(env);
                         }
                         for (dst, buf) in outgoing_bufs.iter_mut().enumerate() {
@@ -505,8 +519,8 @@ mod tests {
             }
             events
         }
-        fn take_outgoing(&mut self) -> Vec<Envelope<u64>> {
-            std::mem::take(&mut self.outgoing)
+        fn drain_outgoing(&mut self, into: &mut Vec<Envelope<u64>>) {
+            into.append(&mut self.outgoing);
         }
         fn take_completions(&mut self) -> u64 {
             0
@@ -593,8 +607,8 @@ mod tests {
         fn finish(&mut self, horizon: SimTime) -> u64 {
             self.inner.finish(horizon)
         }
-        fn take_outgoing(&mut self) -> Vec<Envelope<u64>> {
-            self.inner.take_outgoing()
+        fn drain_outgoing(&mut self, into: &mut Vec<Envelope<u64>>) {
+            self.inner.drain_outgoing(into);
         }
         fn take_completions(&mut self) -> u64 {
             self.inner.take_completions()

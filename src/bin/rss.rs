@@ -16,7 +16,7 @@
 
 use restricted_slow_start::plot::ascii_table;
 use restricted_slow_start::{
-    cc_registry, fairness_csv, fairness_reports, results_csv, run_many_memo, FairnessReport,
+    cc_registry, fairness_csv, fairness_reports, results_csv, run_many_memo_timed, FairnessReport,
     ScenarioSpec, ShardsDef,
 };
 use std::path::{Component, Path, PathBuf};
@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rss run <scenario.json> [--out <dir>] [--shards <n|auto>]\n                                          execute and write artifacts (--shards overrides\n                                          the file's executor choice; results are identical)\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate [--recursive] <path>...    parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it;\n                                          --recursive descends into subdirectories)"
+        "usage:\n  rss run <scenario.json> [--out <dir>] [--shards <n|auto>] [--stats]\n                                          execute and write artifacts (--shards overrides\n                                          the file's executor choice; results are identical;\n                                          --stats prints engine queue counters per run)\n  rss list [<dir>]                        summarize scenario files (default: scenarios/)\n  rss list --variants [--markdown]        list the registered congestion-control variants\n                                          (--markdown emits docs/VARIANTS.md)\n  rss validate [--recursive] <path>...    parse + semantic-check, no execution\n                                          (a directory validates every *.json inside it;\n                                          --recursive descends into subdirectories)"
     );
     ExitCode::from(2)
 }
@@ -105,9 +105,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut file = None;
     let mut out_dir = PathBuf::from("results");
     let mut shards_override = None;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stats" => stats = true,
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -159,7 +161,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
 
     let scenarios: Vec<_> = runs.iter().map(|r| r.scenario.clone()).collect();
-    let (reports, unique) = run_many_memo(&scenarios);
+    let (timed_reports, unique) = run_many_memo_timed(&scenarios);
+    let (reports, walls): (Vec<_>, Vec<f64>) = timed_reports.into_iter().unzip();
     println!(
         "{}: {} run(s) across {} cell(s), {} unique simulation(s)",
         spec.name,
@@ -173,8 +176,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
     let rows: Vec<Vec<String>> = runs
         .iter()
-        .zip(&reports)
-        .map(|(er, rep)| {
+        .zip(reports.iter().zip(&walls))
+        .map(|(er, (rep, wall_ms))| {
             let sc = &er.scenario;
             vec![
                 er.cell.to_string(),
@@ -186,6 +189,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 format!("{:.2}", rep.total_goodput_bps() / 1e6),
                 rep.total_stalls().to_string(),
                 rep.events_processed.to_string(),
+                format!("{wall_ms:.1}"),
+                format!(
+                    "{:.2}",
+                    rep.events_processed as f64 / (wall_ms / 1e3).max(1e-9) / 1e6
+                ),
             ]
         })
         .collect();
@@ -201,11 +209,55 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "flows",
                 "goodput Mbit/s",
                 "stalls",
-                "events"
+                "events",
+                "wall ms",
+                "Mev/s"
             ],
             &rows
         )
     );
+
+    // Engine queue counters on request: serial runs expose the calendar
+    // wheel's placement/cancellation telemetry; sharded runs show "-" (the
+    // counters are not grouping-invariant, so reports omit them there).
+    if stats {
+        let rows: Vec<Vec<String>> = runs
+            .iter()
+            .zip(&reports)
+            .map(|(er, rep)| {
+                let mut row = vec![er.cell.to_string(), er.label.clone()];
+                match &rep.engine {
+                    Some(q) => row.extend([
+                        q.scheduled.to_string(),
+                        q.pops.to_string(),
+                        format!("{:.1}", q.wheel_hit_rate() * 100.0),
+                        q.cancelled.to_string(),
+                        format!("{:.1}", q.tombstone_ratio() * 100.0),
+                        q.far_migrations.to_string(),
+                    ]),
+                    None => row.extend(std::iter::repeat_n("-".to_string(), 6)),
+                }
+                row
+            })
+            .collect();
+        println!("engine queue counters (serial runs only; sharded executors omit them):");
+        println!(
+            "{}",
+            ascii_table(
+                &[
+                    "cell",
+                    "run",
+                    "scheduled",
+                    "pops",
+                    "wheel hit %",
+                    "cancelled",
+                    "tombstone %",
+                    "far migrations"
+                ],
+                &rows
+            )
+        );
+    }
 
     // Recovery & watchdog summary: only printed when fault injection left a
     // trace (an RTO episode, or a truncated run) so ordinary scenarios keep
