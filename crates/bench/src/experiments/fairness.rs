@@ -304,7 +304,11 @@ pub fn run_friendliness() -> FriendlinessResult {
         ),
     ] {
         let mut sc = Scenario::paper_testbed(algo);
-        sc.red_bottleneck = red;
+        if red {
+            sc = sc.with_queue(rss_core::QueueDiscipline::Red(
+                rss_core::RedParams::for_capacity(100),
+            ));
+        }
         sc.path.access_rate_bps = Some(1_000_000_000);
         sc.host.nic_rate_bps = 1_000_000_000;
         sc.path.router_queue_pkts = 100;

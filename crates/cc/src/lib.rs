@@ -133,7 +133,8 @@ pub enum CongestionEvent {
 }
 
 /// What happened inside fast recovery — the argument of
-/// [`CongestionControl::on_recovery`].
+/// [`CongestionControl::on_recovery`] — plus the ECN echo, which shares the
+/// delivery path so every variant reacts without per-variant sender code.
 ///
 /// Collapsing the three former per-event hooks into one enum keeps the trait
 /// from growing a method per future recovery event, and lets wrappers forward
@@ -156,6 +157,13 @@ pub enum RecoveryEvent {
         /// keep growing through recovery (Relentless) must not lose it.
         newly_acked: u64,
     },
+    /// An ACK carried an ECN echo (ECE): the network CE-marked a packet
+    /// instead of dropping it (RFC 3168). Unlike the other recovery events
+    /// this one can arrive *outside* fast recovery — nothing was lost, so
+    /// there is no retransmission episode. The sender throttles it to once
+    /// per RTT (CWR semantics); the baseline response is a Reno halving
+    /// without retransmission, exactly like a CWR local stall.
+    EcnEcho,
 }
 
 /// The segment-departure schedule a congestion controller asks of the sender.
@@ -226,7 +234,9 @@ pub trait CongestionControl: std::fmt::Debug + Send {
 
     /// A fast-recovery event occurred (see [`RecoveryEvent`] for the cases).
     /// Called instead of [`CongestionControl::on_ack`] while the sender is in
-    /// fast recovery.
+    /// fast recovery. [`RecoveryEvent::EcnEcho`] is the exception: it is
+    /// delivered whenever an ECE-bearing ACK passes the sender's once-per-RTT
+    /// gate, in or out of recovery.
     fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent);
 
     /// The departure schedule this controller currently wants (queried by the

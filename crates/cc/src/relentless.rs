@@ -132,6 +132,17 @@ impl CongestionControl for RelentlessCc {
                 self.base.force_ssthresh(self.recovery_target);
             }
             RecoveryEvent::DupAck => {}
+            RecoveryEvent::EcnEcho => {
+                // A CE mark is one congestion signal, not a loss: decrease by
+                // exactly one segment, in the spirit of decrease-by-losses,
+                // instead of delegating to the base's CWR halving. Early
+                // return — the unconditional base delegation below would
+                // halve on top of this.
+                let target = self.base.cwnd().saturating_sub(self.mss).max(2 * self.mss);
+                self.base.force_ssthresh(target);
+                self.base.force_cwnd(target);
+                return;
+            }
         }
         self.base.on_recovery(view, ev);
     }
@@ -250,6 +261,19 @@ mod tests {
         }
         cc.on_recovery(&v, RecoveryEvent::Exit { newly_acked: 0 });
         assert_eq!(cc.cwnd(), 2 * MSS as u64);
+    }
+
+    #[test]
+    fn ecn_echo_costs_exactly_one_segment() {
+        let mut cc = relentless(100);
+        let v = test_view(0, MSS, 100 * MSS as u64);
+        cc.on_recovery(&v, RecoveryEvent::EcnEcho);
+        assert_eq!(cc.cwnd(), 99 * MSS as u64, "one mark, one segment");
+        assert!(!cc.in_slow_start(), "stays in congestion avoidance");
+        // Floors at two segments like every other decrease.
+        let mut small = relentless(2);
+        small.on_recovery(&v, RecoveryEvent::EcnEcho);
+        assert_eq!(small.cwnd(), 2 * MSS as u64);
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl CongestionControl for Reno {
         self.handle_congestion(view, ev);
     }
 
-    fn on_recovery(&mut self, _view: &CcView, ev: RecoveryEvent) {
+    fn on_recovery(&mut self, view: &CcView, ev: RecoveryEvent) {
         match ev {
             RecoveryEvent::DupAck => {
                 // Window inflation: each dup ACK means a segment left the
@@ -140,6 +140,13 @@ impl CongestionControl for Reno {
             }
             RecoveryEvent::Exit { .. } => {
                 // Deflate to ssthresh; congestion avoidance resumes there.
+                self.cwnd = self.ssthresh;
+                self.ca_accum = 0;
+            }
+            RecoveryEvent::EcnEcho => {
+                // RFC 3168 CWR response: halve and leave slow-start, no
+                // retransmission — the same reduction as a CWR local stall.
+                self.halve(view);
                 self.cwnd = self.ssthresh;
                 self.ca_accum = 0;
             }
@@ -257,6 +264,20 @@ mod tests {
         let before = cc.cwnd();
         cc.on_congestion(&v, CongestionEvent::LocalStall);
         assert_eq!(cc.cwnd(), before);
+    }
+
+    #[test]
+    fn ecn_echo_halves_like_cwr() {
+        let mut cc = reno(StallResponse::Cwr);
+        let v = test_view(0, MSS, 20 * MSS as u64);
+        cc.on_recovery(&v, RecoveryEvent::EcnEcho);
+        assert_eq!(cc.ssthresh(), 10 * MSS as u64);
+        assert_eq!(cc.cwnd(), 10 * MSS as u64);
+        assert!(!cc.in_slow_start(), "ECN echo leaves slow-start");
+        // A second echo at the reduced flight keeps halving, floored at 2 MSS.
+        let v = test_view(0, MSS, 3 * MSS as u64);
+        cc.on_recovery(&v, RecoveryEvent::EcnEcho);
+        assert_eq!(cc.cwnd(), 2 * MSS as u64);
     }
 
     #[test]

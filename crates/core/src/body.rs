@@ -1,7 +1,7 @@
 //! The concrete packet body flowing through the simulated network: TCP
 //! segments plus raw cross-traffic datagrams.
 
-use rss_net::Body;
+use rss_net::{Body, Ecn};
 use rss_tcp::TcpSegment;
 
 /// Everything that can ride a packet in an experiment.
@@ -23,6 +23,19 @@ impl Body for WireBody {
             WireBody::Raw { size } => *size,
         }
     }
+
+    fn ecn(&self) -> Ecn {
+        match self {
+            WireBody::Tcp(seg) => seg.ecn(),
+            WireBody::Raw { .. } => Ecn::NotEct,
+        }
+    }
+
+    fn set_ecn(&mut self, codepoint: Ecn) {
+        if let WireBody::Tcp(seg) = self {
+            seg.set_ecn(codepoint);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -42,7 +55,28 @@ mod tests {
                 retransmit: false,
             },
             header_bytes: 52,
+            ecn: Ecn::NotEct,
         });
         assert_eq!(tcp.wire_size(), 1500);
+    }
+
+    #[test]
+    fn ecn_forwards_to_tcp_only() {
+        let mut raw = WireBody::Raw { size: 999 };
+        raw.set_ecn(Ecn::Ce);
+        assert_eq!(raw.ecn(), Ecn::NotEct);
+        let mut tcp = WireBody::Tcp(TcpSegment {
+            conn: ConnId(0),
+            kind: SegKind::Data {
+                seq: 0,
+                len: 1448,
+                retransmit: false,
+            },
+            header_bytes: 52,
+            ecn: Ecn::Ect,
+        });
+        assert_eq!(tcp.ecn(), Ecn::Ect);
+        tcp.set_ecn(Ecn::Ce);
+        assert_eq!(tcp.ecn(), Ecn::Ce);
     }
 }

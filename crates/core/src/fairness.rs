@@ -273,6 +273,10 @@ mod tests {
             sender_nic: NicStats::default(),
             sender_nic_utilization: 0.9,
             router_queue_drops: 0,
+            router_red_early_drops: 0,
+            router_red_forced_drops: 0,
+            router_ecn_marks: 0,
+            bottleneck_queue_series: vec![],
             cross_offered_bytes: 0,
             cross_delivered_bytes: 0,
             events_processed: 0,

@@ -145,6 +145,18 @@ pub struct RunReport {
     pub sender_nic_utilization: f64,
     /// Packets dropped at router queues.
     pub router_queue_drops: u64,
+    /// RED probabilistic (early) drops at the bottleneck, both directions.
+    /// Zero on a drop-tail bottleneck.
+    pub router_red_early_drops: u64,
+    /// RED forced drops (average queue above the hard threshold, or the
+    /// physical queue full), both directions. Zero on a drop-tail bottleneck.
+    pub router_red_forced_drops: u64,
+    /// CE marks applied by the bottleneck instead of drops (RED with ECN
+    /// only), both directions.
+    pub router_ecn_marks: u64,
+    /// Bottleneck queue-depth samples `(t_s, packets)` in the forward
+    /// (data) direction, on the same grid as `sender_ifq_series`.
+    pub bottleneck_queue_series: Vec<(f64, f64)>,
     /// Cross-traffic bytes offered by the sources.
     pub cross_offered_bytes: u64,
     /// Cross-traffic bytes delivered to sinks.
@@ -275,6 +287,10 @@ mod tests {
             sender_nic: NicStats::default(),
             sender_nic_utilization: 0.9,
             router_queue_drops: 0,
+            router_red_early_drops: 0,
+            router_red_forced_drops: 0,
+            router_ecn_marks: 0,
+            bottleneck_queue_series: vec![],
             cross_offered_bytes: 1000,
             cross_delivered_bytes: 900,
             events_processed: 12345,
@@ -299,6 +315,10 @@ mod tests {
             sender_nic: NicStats::default(),
             sender_nic_utilization: 0.9,
             router_queue_drops: 2,
+            router_red_early_drops: 1,
+            router_red_forced_drops: 0,
+            router_ecn_marks: 4,
+            bottleneck_queue_series: vec![],
             cross_offered_bytes: 0,
             cross_delivered_bytes: 0,
             events_processed: 777,

@@ -118,6 +118,12 @@ pub fn run(sc: &Scenario) -> RunReport {
         .iter()
         .fold((0u64, 0u64), |acc, &(p, b)| (acc.0 + p, acc.1 + b));
     let _ = offered_pkts;
+    let red = world.red_stats();
+    let bottleneck_queue_series = world
+        .bottleneck_series()
+        .iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect();
 
     RunReport {
         duration_s: end.as_secs_f64(),
@@ -128,6 +134,10 @@ pub fn run(sc: &Scenario) -> RunReport {
         sender_nic: nic_stats,
         sender_nic_utilization: nic_util,
         router_queue_drops: world.fabric().queue_drops,
+        router_red_early_drops: red.map_or(0, |s| s.early_drops),
+        router_red_forced_drops: red.map_or(0, |s| s.forced_drops),
+        router_ecn_marks: red.map_or(0, |s| s.ecn_marks),
+        bottleneck_queue_series,
         cross_offered_bytes: offered_bytes,
         cross_delivered_bytes: world.cross_delivered_bytes,
         events_processed: stats.events_processed,

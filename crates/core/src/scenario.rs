@@ -5,10 +5,87 @@
 //! bulk flow, a 25-second horizon.
 
 use rss_host::HostConfig;
-use rss_net::{ImpairmentConfig, TrafficPattern};
+use rss_net::{ImpairmentConfig, QueueConfig, RedConfig, TrafficPattern};
 use rss_sim::{SimDuration, SimTime};
 use rss_tcp::{CcAlgorithm, RssConfig, TcpConfig};
 use rss_workload::AppModel;
+
+/// RED parameters at scenario level (thresholds in packets). Mirrors
+/// [`rss_net::RedConfig`] minus the storage/idle-compensation fields the
+/// world derives from the path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedParams {
+    /// Average-queue threshold below which nothing is dropped or marked.
+    pub min_th: f64,
+    /// Start of the forced-drop region (or of the gentle ramp).
+    pub max_th: f64,
+    /// EWMA weight for the average queue size.
+    pub wq: f64,
+    /// Drop/mark probability at `max_th`.
+    pub max_p: f64,
+    /// Gentle mode: `max_p`→1 ramp over `(max_th, 2·max_th)` instead of a
+    /// cliff at `max_th`.
+    pub gentle: bool,
+}
+
+impl RedParams {
+    /// The ns-2 style defaults for a queue of `cap` packets — identical to
+    /// [`rss_net::RedConfig::for_capacity`], so the deprecated
+    /// `red_bottleneck: true` spec alias reproduces the legacy runs
+    /// byte-for-byte.
+    pub fn for_capacity(cap: u32) -> Self {
+        RedParams {
+            min_th: cap as f64 * 0.25,
+            max_th: cap as f64 * 0.75,
+            wq: 0.002,
+            max_p: 0.1,
+            gentle: false,
+        }
+    }
+}
+
+/// Queue discipline on the bottleneck router egress ports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueDiscipline {
+    /// Plain drop-tail FIFO (the paper's testbed; the default).
+    DropTail,
+    /// RED early dropping with the given parameters.
+    Red(RedParams),
+    /// RED with ECN: in-band decisions CE-mark ECT packets instead of
+    /// dropping them.
+    RedEcn(RedParams),
+}
+
+impl QueueDiscipline {
+    /// The RED parameters, when the discipline is a RED variant.
+    pub fn red_params(&self) -> Option<&RedParams> {
+        match self {
+            QueueDiscipline::DropTail => None,
+            QueueDiscipline::Red(p) | QueueDiscipline::RedEcn(p) => Some(p),
+        }
+    }
+
+    /// True when the bottleneck CE-marks instead of dropping.
+    pub fn ecn_marking(&self) -> bool {
+        matches!(self, QueueDiscipline::RedEcn(_))
+    }
+
+    /// The [`rss_net::RedConfig`] to install on a bottleneck port of `cap`
+    /// packets whose small-packet transmission time is `mean_pkt_time`;
+    /// `None` for drop-tail.
+    pub fn to_red_config(&self, cap: u32, mean_pkt_time: SimDuration) -> Option<RedConfig> {
+        self.red_params().map(|p| RedConfig {
+            min_th: p.min_th,
+            max_th: p.max_th,
+            max_p: p.max_p,
+            wq: p.wq,
+            capacity: QueueConfig::packets(cap),
+            mean_pkt_time,
+            gentle: p.gentle,
+            ecn: self.ecn_marking(),
+        })
+    }
+}
 
 /// The network path under test.
 #[derive(Debug, Clone, Copy)]
@@ -114,8 +191,8 @@ pub struct Scenario {
     pub web100_stride: u32,
     /// Stop as soon as every bounded flow completes.
     pub stop_when_complete: bool,
-    /// Use RED (instead of drop-tail) on the bottleneck router ports.
-    pub red_bottleneck: bool,
+    /// Queue discipline on the bottleneck router ports.
+    pub queue: QueueDiscipline,
     /// Run through the sharded parallel executor with this many shards
     /// (`None` = the classic serial world). Any count — including 1 — uses
     /// the shard-exact event path, whose results are identical for every
@@ -164,7 +241,7 @@ impl Scenario {
             sample_interval: SimDuration::from_millis(10),
             web100_stride: 1,
             stop_when_complete: false,
-            red_bottleneck: false,
+            queue: QueueDiscipline::DropTail,
             shards: None,
             haul_impairment: None,
             access_impairment: None,
@@ -199,6 +276,15 @@ impl Scenario {
     /// Builder: replace `txqueuelen`.
     pub fn with_txqueuelen(mut self, pkts: u32) -> Self {
         self.host.txqueuelen = pkts;
+        self
+    }
+
+    /// Builder: replace the bottleneck queue discipline. A RED-with-ECN
+    /// discipline also switches every flow to ECN ([`TcpConfig::ecn`])
+    /// unless the transport config is adjusted afterwards.
+    pub fn with_queue(mut self, queue: QueueDiscipline) -> Self {
+        self.queue = queue;
+        self.tcp.ecn = queue.ecn_marking();
         self
     }
 

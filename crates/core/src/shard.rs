@@ -47,8 +47,8 @@ use crate::runner::flow_report;
 use crate::scenario::Scenario;
 use rss_host::HostNic;
 use rss_net::{
-    DropTailQueue, FlowId, Impairment, NodeId, OutageSchedule, Packet, PortQueue, QueueConfig,
-    RedConfig, RedQueue, TrafficSource, Verdict,
+    DropTailQueue, Ecn, FlowId, Impairment, NodeId, OutageSchedule, Packet, PortQueue, QueueConfig,
+    RedQueue, RedStats, TrafficSource, Verdict,
 };
 use rss_sim::{
     partition_units, run_sharded, Domain, Engine, Envelope, Model, Scheduler, SimDuration, SimRng,
@@ -226,6 +226,9 @@ struct HubUnit {
     /// Haul impairment for this direction (private per-packet stream; the
     /// two directions share one outage realization).
     impairment: Option<Impairment>,
+    /// Queue-depth series on the boundary-sampling grid (forward hub only;
+    /// the grid depends only on the lookahead, so it is grouping-invariant).
+    series: Option<TimeSeries>,
 }
 
 /// Consult one (optional) impairment at a packet departure.
@@ -324,6 +327,11 @@ fn pump(e: &mut EdgeUnit, u: u32, c: usize, now: SimTime, sched: &mut Scheduler<
                 retransmit: plan.retransmit,
             },
             header_bytes: header,
+            ecn: if e.conns[c].sender.config().ecn {
+                Ecn::Ect
+            } else {
+                Ecn::NotEct
+            },
         };
         let pkt = Packet {
             id: e.next_id(),
@@ -384,8 +392,10 @@ fn send_ack(
         kind: SegKind::Ack {
             ack: ack.ack,
             rwnd: ack.rwnd,
+            ece: ack.ece,
         },
         header_bytes: header,
+        ecn: Ecn::NotEct,
     };
     let pkt = Packet {
         id: e.next_id(),
@@ -418,6 +428,9 @@ fn deliver(
             let c = e.conn_local(seg.conn.0);
             match seg.kind {
                 SegKind::Data { seq, len, .. } => {
+                    if seg.ecn == Ecn::Ce {
+                        e.conns[c].receiver.on_ce();
+                    }
                     match e.conns[c].receiver.on_segment(now, seq, len) {
                         Some(a) => send_ack(e, u, c, a, now, sched),
                         None => {
@@ -427,8 +440,11 @@ fn deliver(
                         }
                     }
                 }
-                SegKind::Ack { ack, rwnd } => {
+                SegKind::Ack { ack, rwnd, ece } => {
                     let snap = snd_snapshot(e);
+                    if ece {
+                        e.conns[c].sender.on_ecn_echo(now, snap);
+                    }
                     e.conns[c].sender.on_ack(now, ack, rwnd, snap);
                     if e.conns[c].sender.is_complete() && e.conns[c].completed_at.is_none() {
                         e.conns[c].completed_at = Some(now);
@@ -757,9 +773,17 @@ impl Domain for ShardDomain {
         while self.next_sample <= now && self.next_sample <= self.sample_end {
             let world = self.engine.model_mut();
             for unit in &mut world.units {
-                if let Unit::Edge(e) = unit {
-                    if let Some(series) = e.ifq_series.as_mut() {
-                        series.push(self.next_sample, e.snd_nic.ifq_queued() as f64);
+                match unit {
+                    Unit::Edge(e) => {
+                        if let Some(series) = e.ifq_series.as_mut() {
+                            series.push(self.next_sample, e.snd_nic.ifq_queued() as f64);
+                        }
+                    }
+                    Unit::Hub(h) => {
+                        let depth = h.queue.len();
+                        if let Some(series) = h.series.as_mut() {
+                            series.push(self.next_sample, depth as f64);
+                        }
                     }
                 }
             }
@@ -924,15 +948,11 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
         (hub_fwd, 0xFAB0u64, haul_imp_fwd.take()),
         (hub_rev, 0xFAB1u64, haul_imp_rev.take()),
     ] {
-        let queue = if sc.red_bottleneck {
-            PortQueue::Red(RedQueue::new(RedConfig::for_capacity(
+        let queue = match sc.queue.to_red_config(sc.path.router_queue_pkts, mean_pkt) {
+            Some(red) => PortQueue::Red(RedQueue::new(red)),
+            None => PortQueue::DropTail(DropTailQueue::new(QueueConfig::packets(
                 sc.path.router_queue_pkts,
-                mean_pkt,
-            )))
-        } else {
-            PortQueue::DropTail(DropTailQueue::new(QueueConfig::packets(
-                sc.path.router_queue_pkts,
-            )))
+            ))),
         };
         let d = unit_domain[hub_unit as usize] as usize;
         worlds[d].local[hub_unit as usize] = worlds[d].units.len() as u32;
@@ -947,6 +967,7 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
             seq: 0,
             queue_drops: 0,
             impairment,
+            series: (hub_unit == hub_fwd).then(|| TimeSeries::new("bottleneck_queue")),
         })));
     }
 
@@ -1009,6 +1030,8 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
     let mut router_queue_drops = 0u64;
     let mut cross_offered_bytes = 0u64;
     let mut cross_delivered_bytes = 0u64;
+    let mut red_total: Option<RedStats> = None;
+    let mut bottleneck_queue_series: Vec<(f64, f64)> = Vec::new();
     for w in &mut worlds {
         for unit in &mut w.units {
             match unit {
@@ -1021,7 +1044,19 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
                         conn_refs[g] = Some(c);
                     }
                 }
-                Unit::Hub(h) => router_queue_drops += h.queue_drops,
+                Unit::Hub(h) => {
+                    router_queue_drops += h.queue_drops;
+                    if let Some(s) = h.queue.red_stats() {
+                        let acc = red_total.get_or_insert(RedStats::default());
+                        acc.early_drops += s.early_drops;
+                        acc.forced_drops += s.forced_drops;
+                        acc.ecn_marks += s.ecn_marks;
+                    }
+                    if let Some(series) = h.series.as_ref() {
+                        bottleneck_queue_series =
+                            series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
+                    }
+                }
             }
         }
     }
@@ -1065,6 +1100,10 @@ pub(crate) fn run_sharded_scenario(sc: &Scenario, shards: u32) -> RunReport {
         sender_nic: e0.snd_nic.stats(),
         sender_nic_utilization: e0.snd_nic.utilization(end),
         router_queue_drops,
+        router_red_early_drops: red_total.map_or(0, |s| s.early_drops),
+        router_red_forced_drops: red_total.map_or(0, |s| s.forced_drops),
+        router_ecn_marks: red_total.map_or(0, |s| s.ecn_marks),
+        bottleneck_queue_series,
         cross_offered_bytes,
         cross_delivered_bytes,
         events_processed: stats.events_processed,
@@ -1186,12 +1225,34 @@ mod tests {
 
     #[test]
     fn red_bottleneck_is_grouping_invariant() {
+        use crate::scenario::{QueueDiscipline, RedParams};
         let mut sc = busy(4);
-        sc.red_bottleneck = true;
         sc.path.router_queue_pkts = 40;
+        sc = sc.with_queue(QueueDiscipline::Red(RedParams::for_capacity(40)));
         let a = report_json(&sc, 1);
         let b = report_json(&sc, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecn_bottleneck_is_grouping_invariant_and_marks() {
+        use crate::scenario::{QueueDiscipline, RedParams};
+        let mut sc = busy(4);
+        sc.path.router_queue_pkts = 40;
+        sc = sc.with_queue(QueueDiscipline::RedEcn(RedParams::for_capacity(40)));
+        let r = run_sharded_scenario(&sc, 2);
+        assert!(
+            r.router_ecn_marks > 0,
+            "a congested ECN bottleneck never marked"
+        );
+        for f in &r.flows {
+            assert!(f.vars.thru_bytes_acked > 0, "flow {} starved", f.conn);
+        }
+        let a = report_json(&sc, 1);
+        for shards in [2, 4] {
+            let b = report_json(&sc, shards);
+            assert_eq!(a, b, "{shards} shards diverged under ECN");
+        }
     }
 
     /// Every impairment mechanism at once, on both the haul and the access

@@ -70,7 +70,7 @@
 //! ```
 
 use crate::report::RunReport;
-use crate::scenario::{CrossSpec, FlowSpec, PathSpec, Scenario};
+use crate::scenario::{CrossSpec, FlowSpec, PathSpec, QueueDiscipline, RedParams, Scenario};
 use rss_host::HostConfig;
 use rss_net::{Flap, GilbertElliott, ImpairmentConfig, Jitter, OutageWindow, TrafficPattern};
 use rss_sim::{SimDuration, SimTime};
@@ -189,9 +189,13 @@ pub struct RunSpec {
     /// Stop as soon as every bounded flow completes (JSON
     /// `stop_when_complete`, default false).
     pub stop_when_complete: Option<bool>,
-    /// Use RED instead of drop-tail on the bottleneck (JSON
-    /// `red_bottleneck`, default false).
+    /// **Deprecated alias** for `queue`: `true` expands to `{"Red": {}}`
+    /// with the default thresholds, `false` to `"DropTail"` (JSON
+    /// `red_bottleneck`, default absent; mutually exclusive with `queue`).
     pub red_bottleneck: Option<bool>,
+    /// Bottleneck queue discipline (JSON `queue`: `"DropTail"`,
+    /// `{"Red": {...}}` or `{"RedEcn": {...}}`; default `"DropTail"`).
+    pub queue: Option<QueueDef>,
     /// World-series sampling interval, milliseconds (JSON
     /// `sample_interval_ms`, default 10).
     pub sample_interval_ms: Option<f64>,
@@ -370,6 +374,55 @@ pub struct TcpDef {
     /// Duplicate ACKs triggering fast retransmit, count (JSON
     /// `dupack_threshold`, default 3).
     pub dupack_threshold: Option<u32>,
+    /// ECN negotiation for every flow (JSON `ecn`, default: `true` exactly
+    /// when the run's `queue` is `RedEcn`). Explicitly setting it decouples
+    /// the transport from the queue discipline — e.g. `false` under a
+    /// `RedEcn` bottleneck models non-ECN traffic through a marking queue.
+    pub ecn: Option<bool>,
+}
+
+/// Bottleneck queue discipline (JSON `queue`). Threshold and weight knobs
+/// are optional; omitted ones default from the path's `router_queue_pkts`
+/// exactly as the deprecated `red_bottleneck: true` alias did.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum QueueDef {
+    /// Plain drop-tail FIFO (the default).
+    #[default]
+    DropTail,
+    /// RED early dropping.
+    Red {
+        /// Average-queue threshold where early drops begin, packets (JSON
+        /// `min_th`, default `0.25 × router_queue_pkts`).
+        min_th: Option<f64>,
+        /// Average-queue threshold where the drop probability reaches
+        /// `max_p`, packets (JSON `max_th`, default
+        /// `0.75 × router_queue_pkts`; must exceed `min_th`).
+        max_th: Option<f64>,
+        /// EWMA weight of the average-queue filter, dimensionless in (0, 1]
+        /// (JSON `w_q`, default 0.002).
+        w_q: Option<f64>,
+        /// Drop/mark probability at `max_th`, dimensionless in (0, 1] (JSON
+        /// `max_p`, default 0.1).
+        max_p: Option<f64>,
+        /// Gentle mode: ramp `max_p`→1 over `(max_th, 2·max_th)` instead of
+        /// force-dropping at `max_th` (JSON `gentle`, default false).
+        gentle: Option<bool>,
+    },
+    /// RED with ECN: CE-mark ECT packets in the probabilistic band instead
+    /// of dropping them (same knobs as `Red`). Also switches every flow to
+    /// ECN unless `tcp.ecn` overrides it.
+    RedEcn {
+        /// As `Red` (JSON `min_th`).
+        min_th: Option<f64>,
+        /// As `Red` (JSON `max_th`).
+        max_th: Option<f64>,
+        /// As `Red` (JSON `w_q`).
+        w_q: Option<f64>,
+        /// As `Red` (JSON `max_p`).
+        max_p: Option<f64>,
+        /// As `Red` (JSON `gentle`).
+        gentle: Option<bool>,
+    },
 }
 
 /// One TCP flow.
@@ -714,6 +767,94 @@ impl ImpairmentDef {
 // Conversion to concrete scenarios
 // ---------------------------------------------------------------------------
 
+/// Resolve one RED parameter block against the `for_capacity` defaults,
+/// rejecting out-of-range knobs with the exact JSON path (`what` is
+/// `queue.Red` or `queue.RedEcn`).
+#[allow(clippy::too_many_arguments)]
+fn red_params(
+    cap: u32,
+    min_th: Option<f64>,
+    max_th: Option<f64>,
+    w_q: Option<f64>,
+    max_p: Option<f64>,
+    gentle: Option<bool>,
+    what: &str,
+) -> Result<RedParams, SpecError> {
+    let d = RedParams::for_capacity(cap);
+    let p = RedParams {
+        min_th: min_th.unwrap_or(d.min_th),
+        max_th: max_th.unwrap_or(d.max_th),
+        wq: w_q.unwrap_or(d.wq),
+        max_p: max_p.unwrap_or(d.max_p),
+        gentle: gentle.unwrap_or(d.gentle),
+    };
+    if !p.min_th.is_finite() || p.min_th < 0.0 {
+        return Err(SpecError::new(format!(
+            "{what}.min_th must be non-negative, got {}",
+            p.min_th
+        )));
+    }
+    if !p.max_th.is_finite() || p.min_th >= p.max_th {
+        return Err(SpecError::new(format!(
+            "{what}.min_th must be below {what}.max_th, got {} >= {}",
+            p.min_th, p.max_th
+        )));
+    }
+    if !(p.wq > 0.0 && p.wq <= 1.0) {
+        return Err(SpecError::new(format!(
+            "{what}.w_q must be in (0, 1], got {}",
+            p.wq
+        )));
+    }
+    if !(p.max_p > 0.0 && p.max_p <= 1.0) {
+        return Err(SpecError::new(format!(
+            "{what}.max_p must be in (0, 1], got {}",
+            p.max_p
+        )));
+    }
+    Ok(p)
+}
+
+impl QueueDef {
+    /// Resolve to the scenario-level discipline for a bottleneck of `cap`
+    /// packets, validating every knob with its JSON path.
+    pub fn to_discipline(&self, cap: u32) -> Result<QueueDiscipline, SpecError> {
+        Ok(match *self {
+            QueueDef::DropTail => QueueDiscipline::DropTail,
+            QueueDef::Red {
+                min_th,
+                max_th,
+                w_q,
+                max_p,
+                gentle,
+            } => QueueDiscipline::Red(red_params(
+                cap,
+                min_th,
+                max_th,
+                w_q,
+                max_p,
+                gentle,
+                "queue.Red",
+            )?),
+            QueueDef::RedEcn {
+                min_th,
+                max_th,
+                w_q,
+                max_p,
+                gentle,
+            } => QueueDiscipline::RedEcn(red_params(
+                cap,
+                min_th,
+                max_th,
+                w_q,
+                max_p,
+                gentle,
+                "queue.RedEcn",
+            )?),
+        })
+    }
+}
+
 impl CcDef {
     /// Resolve to a concrete algorithm for a flow on a `path_rate_bps` path
     /// with `wire_pkt_bytes` packets, one of `n_flows` on its sending host.
@@ -812,6 +953,18 @@ impl RunSpec {
             },
             access_delay: SimDuration::from_nanos((access_delay_us * 1e3).round() as u64),
         };
+        let queue = match (self.red_bottleneck, &self.queue) {
+            (Some(_), Some(_)) => {
+                return Err(SpecError::new(
+                    "`red_bottleneck` is a deprecated alias for `queue`; set only one of them",
+                ));
+            }
+            (Some(true), None) => {
+                QueueDiscipline::Red(RedParams::for_capacity(path.router_queue_pkts))
+            }
+            (Some(false) | None, None) => QueueDiscipline::DropTail,
+            (None, Some(q)) => q.to_discipline(path.router_queue_pkts)?,
+        };
         let (haul_impairment, access_impairment) = match &p.impairments {
             None => (None, None),
             Some(d) => (
@@ -879,6 +1032,7 @@ impl RunSpec {
         if let Some(x) = t.dupack_threshold {
             tcp.dupack_threshold = x;
         }
+        tcp.ecn = t.ecn.unwrap_or(queue.ecn_marking());
 
         let flows: Vec<FlowSpec> = match (&self.gridftp, &self.flows) {
             (Some(_), Some(defs)) if !defs.is_empty() => {
@@ -977,7 +1131,7 @@ impl RunSpec {
             )?,
             web100_stride,
             stop_when_complete: self.stop_when_complete.unwrap_or(false),
-            red_bottleneck: self.red_bottleneck.unwrap_or(false),
+            queue,
             // The spec-level `shards` knob is applied during expansion.
             shards: None,
             haul_impairment,
@@ -1736,5 +1890,143 @@ mod tests {
         .validate()
         .unwrap_err();
         assert!(err.msg.contains("access_delay_us"), "{}", err.msg);
+    }
+
+    #[test]
+    fn red_bottleneck_alias_expands_to_the_default_red_queue() {
+        // `red_bottleneck: true` and an empty `queue: {"Red": {}}` block must
+        // build the same scenario — the alias is sugar, not a second code
+        // path.
+        let alias = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"red_bottleneck":true}]"#,
+        ))
+        .unwrap();
+        let block = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"queue":{"Red":{}}}]"#,
+        ))
+        .unwrap();
+        let a = &alias.expand().unwrap()[0].scenario;
+        let b = &block.expand().unwrap()[0].scenario;
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(matches!(a.queue, QueueDiscipline::Red(_)));
+        let d = RedParams::for_capacity(a.path.router_queue_pkts);
+        assert_eq!(a.queue.red_params(), Some(&d));
+        // `false` and absent both mean drop-tail.
+        for doc in [
+            r#"[{"label":"x","flows":[{}],"red_bottleneck":false}]"#,
+            r#"[{"label":"x","flows":[{}]}]"#,
+        ] {
+            let sc = &ScenarioSpec::from_json(&minimal(doc))
+                .unwrap()
+                .expand()
+                .unwrap()[0]
+                .scenario;
+            assert_eq!(sc.queue, QueueDiscipline::DropTail);
+        }
+        // Alias and block together is ambiguous and loudly rejected.
+        let err = ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"red_bottleneck":true,"queue":"DropTail"}]"#,
+        ))
+        .unwrap()
+        .expand()
+        .unwrap_err();
+        assert!(err.msg.contains("deprecated alias"), "{}", err.msg);
+    }
+
+    #[test]
+    fn queue_knobs_are_validated_with_their_json_path() {
+        for (knob, fragment, detail) in [
+            (
+                "queue.Red.min_th",
+                r#"{"Red":{"min_th":80,"max_th":20}}"#,
+                "must be below",
+            ),
+            (
+                "queue.Red.min_th",
+                r#"{"Red":{"min_th":-1}}"#,
+                "non-negative",
+            ),
+            ("queue.Red.w_q", r#"{"Red":{"w_q":0}}"#, "in (0, 1]"),
+            ("queue.Red.w_q", r#"{"Red":{"w_q":1.5}}"#, "in (0, 1]"),
+            ("queue.Red.max_p", r#"{"Red":{"max_p":0}}"#, "in (0, 1]"),
+            (
+                "queue.RedEcn.max_p",
+                r#"{"RedEcn":{"max_p":2}}"#,
+                "in (0, 1]",
+            ),
+            (
+                "queue.RedEcn.min_th",
+                r#"{"RedEcn":{"min_th":30,"max_th":30}}"#,
+                "must be below",
+            ),
+        ] {
+            let doc = minimal(&format!(
+                r#"[{{"label":"x","flows":[{{}}],"queue":{fragment}}}]"#
+            ));
+            let err = ScenarioSpec::from_json(&doc).unwrap().expand().unwrap_err();
+            assert!(err.msg.contains(knob), "missing `{knob}` in: {}", err.msg);
+            assert!(
+                err.msg.contains(detail),
+                "missing `{detail}` in: {}",
+                err.msg
+            );
+        }
+        // Unknown discipline names get the open-enum treatment.
+        let err =
+            ScenarioSpec::from_json(&minimal(r#"[{"label":"x","flows":[{}],"queue":"Codel"}]"#))
+                .unwrap_err();
+        assert!(err.msg.contains("unknown variant `Codel`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn red_ecn_queue_turns_on_tcp_ecn_unless_overridden() {
+        // RedEcn implies ECT senders by default...
+        let sc = &ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"queue":{"RedEcn":{}}}]"#,
+        ))
+        .unwrap()
+        .expand()
+        .unwrap()[0]
+            .scenario;
+        assert!(sc.queue.ecn_marking());
+        assert!(sc.tcp.ecn, "RedEcn queue should default tcp.ecn on");
+        // ...a dropping RED queue does not...
+        let sc = &ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"queue":{"Red":{}}}]"#,
+        ))
+        .unwrap()
+        .expand()
+        .unwrap()[0]
+            .scenario;
+        assert!(!sc.tcp.ecn);
+        // ...and an explicit tcp.ecn wins in both directions.
+        let sc = &ScenarioSpec::from_json(&minimal(
+            r#"[{"label":"x","flows":[{}],"queue":{"RedEcn":{}},"tcp":{"ecn":false}}]"#,
+        ))
+        .unwrap()
+        .expand()
+        .unwrap()[0]
+            .scenario;
+        assert!(!sc.tcp.ecn, "explicit tcp.ecn=false must override RedEcn");
+        assert!(sc.queue.ecn_marking(), "queue still marks; senders ignore");
+    }
+
+    #[test]
+    fn queue_block_round_trips_through_json() {
+        for queue in [
+            r#""DropTail""#,
+            r#"{"Red":{"min_th":10,"max_th":40,"w_q":0.005,"max_p":0.2,"gentle":true}}"#,
+            r#"{"Red":{}}"#,
+            r#"{"RedEcn":{"min_th":5}}"#,
+        ] {
+            let doc = minimal(&format!(
+                r#"[{{"label":"x","flows":[{{}}],"queue":{queue}}}]"#
+            ));
+            let spec = ScenarioSpec::from_json(&doc).unwrap();
+            let json = serde::to_json_string(&spec);
+            let back = ScenarioSpec::from_json(&json).unwrap();
+            assert_eq!(spec, back);
+            assert_eq!(json, serde::to_json_string(&back));
+        }
     }
 }

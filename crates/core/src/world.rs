@@ -16,8 +16,8 @@ use crate::body::WireBody;
 use crate::scenario::Scenario;
 use rss_host::HostNic;
 use rss_net::{
-    dumbbell, Fabric, Impairment, LinkId, LinkParams, NetEvent, NodeId, OutageSchedule, Packet,
-    PacketIdGen, QueueConfig, TrafficSource,
+    dumbbell, Ecn, Fabric, Impairment, LinkId, LinkParams, NetEvent, NodeId, OutageSchedule,
+    Packet, PacketIdGen, QueueConfig, RedStats, TrafficSource,
 };
 use rss_sim::{Model, Scheduler, SimDuration, SimRng, SimTime, TimeSeries};
 use rss_tcp::{
@@ -113,6 +113,11 @@ pub struct World {
     sample_interval: SimDuration,
     duration: SimDuration,
     stop_when_complete: bool,
+    /// Bottleneck queue-depth series (forward-direction router port,
+    /// instantaneous packets), sampled on the same grid as the IFQ series.
+    bottleneck_series: TimeSeries,
+    /// The two routers framing the bottleneck (forward direction first).
+    routers: (NodeId, NodeId),
     /// The shared long-haul (bottleneck) link.
     pub bottleneck: LinkId,
     /// Cross-traffic packets delivered to their sinks.
@@ -143,11 +148,10 @@ impl World {
             QueueConfig::packets(sc.path.router_queue_pkts),
             rng.derive(0xFAB),
         );
-        if sc.red_bottleneck {
-            // RED on both directions of the shared long-haul link, sized to
-            // the drop-tail capacity with ns-2-style thresholds.
-            let mean_pkt = rss_sim::SimDuration::for_bytes_at_rate(1500, sc.path.rate_bps);
-            let red = rss_net::RedConfig::for_capacity(sc.path.router_queue_pkts, mean_pkt);
+        // RED (with or without ECN marking) on both directions of the shared
+        // long-haul link, sized to the drop-tail capacity.
+        let mean_pkt = rss_sim::SimDuration::for_bytes_at_rate(1500, sc.path.rate_bps);
+        if let Some(red) = sc.queue.to_red_config(sc.path.router_queue_pkts, mean_pkt) {
             fabric.set_red_port(d.left_router, d.bottleneck, red);
             fabric.set_red_port(d.right_router, d.bottleneck, red);
         }
@@ -263,6 +267,8 @@ impl World {
             sample_interval: sc.sample_interval,
             duration: sc.duration,
             stop_when_complete: sc.stop_when_complete,
+            bottleneck_series: TimeSeries::new("bottleneck_queue"),
+            routers: (d.left_router, d.right_router),
             bottleneck: d.bottleneck,
             cross_delivered_pkts: 0,
             cross_delivered_bytes: 0,
@@ -335,6 +341,29 @@ impl World {
         &self.fabric
     }
 
+    /// RED/ECN statistics summed over both bottleneck ports (`None` on a
+    /// drop-tail bottleneck).
+    pub fn red_stats(&self) -> Option<RedStats> {
+        let fwd = self
+            .fabric
+            .red_port_stats(self.routers.0, self.bottleneck)?;
+        let rev = self
+            .fabric
+            .red_port_stats(self.routers.1, self.bottleneck)?;
+        Some(RedStats {
+            avg: fwd.avg,
+            early_drops: fwd.early_drops + rev.early_drops,
+            forced_drops: fwd.forced_drops + rev.forced_drops,
+            ecn_marks: fwd.ecn_marks + rev.ecn_marks,
+        })
+    }
+
+    /// Forward-direction bottleneck queue-depth series (instantaneous
+    /// packets on the sampling grid).
+    pub fn bottleneck_series(&self) -> &TimeSeries {
+        &self.bottleneck_series
+    }
+
     /// Bytes each cross stream has offered so far.
     pub fn cross_offered(&self) -> Vec<(u64, u64)> {
         self.cross
@@ -389,6 +418,11 @@ impl World {
                     retransmit: plan.retransmit,
                 },
                 header_bytes: header,
+                ecn: if conn.sender.config().ecn {
+                    Ecn::Ect
+                } else {
+                    Ecn::NotEct
+                },
             };
             let pkt = Packet {
                 id: self.ids.next_id(),
@@ -443,8 +477,10 @@ impl World {
             kind: SegKind::Ack {
                 ack: ack.ack,
                 rwnd: ack.rwnd,
+                ece: ack.ece,
             },
             header_bytes: conn.sender.config().header_bytes,
+            ecn: Ecn::NotEct,
         };
         let pkt = Packet {
             id: self.ids.next_id(),
@@ -478,6 +514,9 @@ impl World {
                 match seg.kind {
                     SegKind::Data { seq, len, .. } => {
                         debug_assert_eq!(node, self.conns[ci].dst, "data at wrong host");
+                        if seg.ecn == Ecn::Ce {
+                            self.conns[ci].receiver.on_ce();
+                        }
                         let maybe_ack = self.conns[ci].receiver.on_segment(now, seq, len);
                         match maybe_ack {
                             Some(a) => self.send_ack(ci, a, now, sched),
@@ -488,11 +527,14 @@ impl World {
                             }
                         }
                     }
-                    SegKind::Ack { ack, rwnd } => {
+                    SegKind::Ack { ack, rwnd, ece } => {
                         debug_assert_eq!(node, self.conns[ci].src, "ack at wrong host");
                         let host = self.conns[ci].src.0;
                         let snap = self.ifq_snapshot(host);
                         let sender = &mut self.conns[ci].sender;
+                        if ece {
+                            sender.on_ecn_echo(now, snap);
+                        }
                         sender.on_ack(now, ack, rwnd, snap);
                         if sender.is_complete() && self.conns[ci].completed_at.is_none() {
                             self.conns[ci].completed_at = Some(now);
@@ -628,6 +670,9 @@ impl Model for World {
                         let depth = self.nics[host].as_ref().expect("nic").ifq_queued();
                         series.push(now, depth as f64);
                     }
+                }
+                if let Some(depth) = self.fabric.port_queue_len(self.routers.0, self.bottleneck) {
+                    self.bottleneck_series.push(now, depth as f64);
                 }
                 let next = now + self.sample_interval;
                 if next <= SimTime::ZERO + self.duration {

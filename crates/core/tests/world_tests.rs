@@ -76,18 +76,19 @@ fn shared_host_flows_share_one_ifq() {
 
 #[test]
 fn red_bottleneck_run_works_and_differs_from_droptail() {
-    let mk = |red: bool| {
+    use rss_core::{QueueDiscipline, RedParams};
+    let mk = |queue: QueueDiscipline| {
         let mut sc = base(CcAlgorithm::Reno);
         // Fast NICs so the router queue is the contention point.
         sc.path.access_rate_bps = Some(200_000_000);
         sc.host.nic_rate_bps = 200_000_000;
         sc.path.router_queue_pkts = 50;
-        sc.red_bottleneck = red;
+        sc = sc.with_queue(queue);
         sc.duration = SimDuration::from_secs(5);
         sc
     };
-    let droptail = run(&mk(false));
-    let red = run(&mk(true));
+    let droptail = run(&mk(QueueDiscipline::DropTail));
+    let red = run(&mk(QueueDiscipline::Red(RedParams::for_capacity(50))));
     assert!(droptail.flows[0].vars.thru_bytes_acked > 0);
     assert!(red.flows[0].vars.thru_bytes_acked > 0);
     // RED drops early: the flow sees loss events before the hard limit and
@@ -100,6 +101,49 @@ fn red_bottleneck_run_works_and_differs_from_droptail() {
         red.flows[0].vars.fast_retran + red.flows[0].vars.timeouts > 0,
         "RED produced no congestion signals"
     );
+    assert!(
+        red.router_red_early_drops > 0,
+        "no early drops counted in the report"
+    );
+    assert_eq!(red.router_ecn_marks, 0, "plain RED must never CE-mark");
+    assert_eq!(droptail.router_red_early_drops, 0);
+}
+
+#[test]
+fn ecn_bottleneck_marks_instead_of_dropping_and_still_controls_the_queue() {
+    use rss_core::{QueueDiscipline, RedParams};
+    let mk = |queue: QueueDiscipline| {
+        let mut sc = base(CcAlgorithm::Reno);
+        sc.path.access_rate_bps = Some(200_000_000);
+        sc.host.nic_rate_bps = 200_000_000;
+        sc.path.router_queue_pkts = 50;
+        sc = sc.with_queue(queue);
+        sc.duration = SimDuration::from_secs(5);
+        sc
+    };
+    let red = run(&mk(QueueDiscipline::Red(RedParams::for_capacity(50))));
+    let ecn = run(&mk(QueueDiscipline::RedEcn(RedParams::for_capacity(50))));
+    assert!(ecn.router_ecn_marks > 0, "ECN bottleneck never marked");
+    assert!(
+        ecn.flows[0].vars.ecn_echoes > 0,
+        "sender never saw an ECN echo"
+    );
+    // Marks replace in-band drops, so the ECN run retransmits less than the
+    // dropping RED run while the queue stays controlled.
+    assert!(
+        ecn.flows[0].vars.pkts_retrans < red.flows[0].vars.pkts_retrans,
+        "ECN {} vs RED {} retransmits",
+        ecn.flows[0].vars.pkts_retrans,
+        red.flows[0].vars.pkts_retrans
+    );
+    assert!(ecn.flows[0].vars.thru_bytes_acked > 0);
+    // The average queue must not sit pinned at the hard limit.
+    let peak = ecn
+        .bottleneck_queue_series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    assert!(peak <= 50.0, "queue beyond capacity: {peak}");
 }
 
 #[test]

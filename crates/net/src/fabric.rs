@@ -14,7 +14,7 @@ use crate::arena::{ArenaMode, PacketArena, PacketRef};
 use crate::impair::{Impairment, Verdict};
 use crate::packet::{Body, LinkId, NodeId, Packet};
 use crate::queue::{DropTailQueue, QueueConfig, QueueStats};
-use crate::red::{RedConfig, RedQueue};
+use crate::red::{RedConfig, RedQueue, RedStats};
 use crate::topology::{NodeKind, RoutingTable, Topology};
 use rss_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -85,6 +85,13 @@ impl<B: Body> PortQueue<B> {
         match self {
             PortQueue::DropTail(q) => q.stats(),
             PortQueue::Red(q) => q.stats(),
+        }
+    }
+    /// RED counters, when this port runs RED (None for drop-tail).
+    pub fn red_stats(&self) -> Option<RedStats> {
+        match self {
+            PortQueue::DropTail(_) => None,
+            PortQueue::Red(q) => Some(q.red_stats()),
         }
     }
 }
@@ -227,6 +234,14 @@ impl<B: Body> Fabric<B> {
         try_port_index(&self.topo, node, link)
             .and_then(|idx| self.ports[idx].as_ref())
             .map(|p| p.queue.len())
+    }
+
+    /// RED counters of a router egress port; None when the pair is not a
+    /// router egress port or the port runs drop-tail.
+    pub fn red_port_stats(&self, node: NodeId, link: LinkId) -> Option<RedStats> {
+        try_port_index(&self.topo, node, link)
+            .and_then(|idx| self.ports[idx].as_ref())
+            .and_then(|p| p.queue.red_stats())
     }
 
     /// Put a fully serialized packet onto `link` leaving `from`: applies the

@@ -27,9 +27,9 @@ pub use impair::{
     DropCause, Flap, GilbertElliott, ImpairStats, Impairment, ImpairmentConfig, Jitter,
     OutageSchedule, OutageWindow, Verdict,
 };
-pub use packet::{Body, FlowId, LinkId, NodeId, Packet, PacketIdGen, RawBody};
+pub use packet::{Body, Ecn, FlowId, LinkId, NodeId, Packet, PacketIdGen, RawBody};
 pub use queue::{DropTailQueue, EnqueueError, QueueConfig, QueueStats};
-pub use red::{RedConfig, RedQueue};
+pub use red::{RedConfig, RedQueue, RedStats};
 pub use topology::{
     dumbbell, single_path, Dumbbell, LinkParams, LinkSpec, NodeKind, RoutingTable, Topology,
 };

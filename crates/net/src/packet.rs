@@ -19,11 +19,35 @@ pub struct LinkId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FlowId(pub u32);
 
+/// ECN codepoint carried by a packet (RFC 3168's two-bit field, collapsed to
+/// the three states the simulation distinguishes — ECT(0)/ECT(1) are not
+/// told apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ecn {
+    /// Not ECN-capable transport: AQM drops instead of marking.
+    NotEct,
+    /// ECN-capable transport: an AQM in its marking band sets CE instead of
+    /// dropping.
+    Ect,
+    /// Congestion experienced: an AQM marked this packet.
+    Ce,
+}
+
 /// Anything that can ride inside a [`Packet`].
 pub trait Body: Clone + std::fmt::Debug {
     /// Total on-the-wire size in bytes, headers included. Determines
     /// serialization time and queue byte occupancy.
     fn wire_size(&self) -> u32;
+
+    /// The body's ECN codepoint. Defaults to [`Ecn::NotEct`], so bodies
+    /// that never negotiated ECN keep the pre-ECN drop behaviour everywhere.
+    fn ecn(&self) -> Ecn {
+        Ecn::NotEct
+    }
+
+    /// Overwrite the ECN codepoint (an AQM setting CE). The default is a
+    /// no-op, matching the `NotEct` default above.
+    fn set_ecn(&mut self, _codepoint: Ecn) {}
 }
 
 /// A packet in flight: routing metadata plus an opaque body.

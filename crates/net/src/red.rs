@@ -7,9 +7,18 @@
 //!
 //! Implementation follows Floyd & Jacobson 1993: EWMA average queue length,
 //! linear drop probability between `min_th` and `max_th`, count-based spacing
-//! of drops, and idle-time compensation.
+//! of drops, and idle-time compensation. Two optional extensions:
+//!
+//! * **Gentle mode** (Floyd 2000): instead of dropping everything at
+//!   `max_th`, the drop probability ramps linearly from `max_p` to 1 over
+//!   `(max_th, 2·max_th)`, removing the sharp cliff.
+//! * **ECN marking** (RFC 3168): in the probabilistic band, ECT packets are
+//!   CE-marked and enqueued instead of dropped. Above `max_th` (or
+//!   `2·max_th` in gentle mode) packets are dropped regardless of ECT, per
+//!   RFC 3168 §7 — once the average exceeds the band, marking no longer
+//!   protects the queue.
 
-use crate::packet::{Body, Packet};
+use crate::packet::{Body, Ecn, Packet};
 use crate::queue::{DropTailQueue, EnqueueError, QueueConfig, QueueStats};
 use rss_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -19,7 +28,8 @@ use serde::{Deserialize, Serialize};
 pub struct RedConfig {
     /// Average-queue threshold below which no packet is dropped.
     pub min_th: f64,
-    /// Average-queue threshold above which every packet is dropped.
+    /// Average-queue threshold above which every packet is dropped
+    /// (in gentle mode, the start of the `max_p`→1 ramp instead).
     pub max_th: f64,
     /// Drop probability at `max_th`.
     pub max_p: f64,
@@ -29,6 +39,11 @@ pub struct RedConfig {
     pub capacity: QueueConfig,
     /// Assumed transmission time of a small packet, for idle compensation.
     pub mean_pkt_time: SimDuration,
+    /// Gentle mode: ramp the drop probability from `max_p` to 1 over
+    /// `(max_th, 2·max_th)` instead of force-dropping at `max_th`.
+    pub gentle: bool,
+    /// CE-mark ECT packets in the probabilistic band instead of dropping.
+    pub ecn: bool,
 }
 
 impl RedConfig {
@@ -41,8 +56,39 @@ impl RedConfig {
             wq: 0.002,
             capacity: QueueConfig::packets(cap),
             mean_pkt_time,
+            gentle: false,
+            ecn: false,
         }
     }
+
+    /// Instantaneous drop/mark probability `p_b` at average queue `avg`
+    /// (before the count-since-last-drop correction): 0 below `min_th`,
+    /// linear up to `max_p` at `max_th`, then either 1 (standard) or a
+    /// linear `max_p`→1 ramp over `(max_th, 2·max_th)` (gentle).
+    pub fn mark_prob(&self, avg: f64) -> f64 {
+        if avg <= self.min_th {
+            0.0
+        } else if avg < self.max_th {
+            self.max_p * (avg - self.min_th) / (self.max_th - self.min_th)
+        } else if self.gentle && avg < 2.0 * self.max_th {
+            self.max_p + (1.0 - self.max_p) * (avg - self.max_th) / self.max_th
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Counters exported by a RED queue, for run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RedStats {
+    /// EWMA average queue length at sample time (packets).
+    pub avg: f64,
+    /// Packets dropped by the early-detection mechanism.
+    pub early_drops: u64,
+    /// Packets dropped because the hard capacity was exhausted.
+    pub forced_drops: u64,
+    /// ECT packets CE-marked instead of dropped.
+    pub ecn_marks: u64,
 }
 
 /// A RED-managed queue; wraps a [`DropTailQueue`] for storage.
@@ -55,6 +101,7 @@ pub struct RedQueue<B> {
     idle_since: Option<SimTime>,
     early_drops: u64,
     forced_drops: u64,
+    ecn_marks: u64,
 }
 
 impl<B: Body> RedQueue<B> {
@@ -71,6 +118,7 @@ impl<B: Body> RedQueue<B> {
             idle_since: Some(SimTime::ZERO),
             early_drops: 0,
             forced_drops: 0,
+            ecn_marks: 0,
         }
     }
 
@@ -87,6 +135,21 @@ impl<B: Body> RedQueue<B> {
     /// Packets dropped because the hard capacity was exhausted.
     pub fn forced_drops(&self) -> u64 {
         self.forced_drops
+    }
+
+    /// ECT packets CE-marked instead of dropped.
+    pub fn ecn_marks(&self) -> u64 {
+        self.ecn_marks
+    }
+
+    /// Snapshot of the RED counters plus the current average.
+    pub fn red_stats(&self) -> RedStats {
+        RedStats {
+            avg: self.avg,
+            early_drops: self.early_drops,
+            forced_drops: self.forced_drops,
+            ecn_marks: self.ecn_marks,
+        }
     }
 
     /// Storage-layer statistics.
@@ -116,28 +179,59 @@ impl<B: Body> RedQueue<B> {
     }
 
     /// Offer a packet at time `now`. Returns the packet back if RED (or the
-    /// hard limit) drops it.
+    /// hard limit) drops it. With `cfg.ecn`, a probabilistic "drop" decision
+    /// on an ECT packet CE-marks and enqueues it instead.
+    ///
+    /// With `gentle` and `ecn` both off this is the original Floyd &
+    /// Jacobson sequence, drawing from `rng` at exactly the same points, so
+    /// legacy RED runs stay byte-identical.
     pub fn try_enqueue(
         &mut self,
         now: SimTime,
-        pkt: Packet<B>,
+        mut pkt: Packet<B>,
         rng: &mut SimRng,
     ) -> Result<(), (EnqueueError, Packet<B>)> {
         self.update_avg(now);
-        if self.avg >= self.cfg.max_th {
+        let force_th = if self.cfg.gentle {
+            2.0 * self.cfg.max_th
+        } else {
+            self.cfg.max_th
+        };
+        if self.avg >= force_th {
             self.early_drops += 1;
             self.count_since_drop = 0;
             return Err((EnqueueError::PacketLimit, pkt));
         }
-        if self.avg > self.cfg.min_th {
+        if self.cfg.gentle && self.avg >= self.cfg.max_th {
+            // Gentle band (max_th, 2·max_th): probability ramps linearly from
+            // max_p to 1. Always a drop, never a mark — above max_th the
+            // queue is in danger and marking no longer protects it
+            // (RFC 3168 §7).
             self.count_since_drop += 1;
-            let pb =
-                self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+            let pb = self.cfg.max_p
+                + (1.0 - self.cfg.max_p) * (self.avg - self.cfg.max_th) / self.cfg.max_th;
             let pa = pb / (1.0 - (self.count_since_drop as f64 * pb).min(0.999));
             if rng.chance(pa) {
                 self.early_drops += 1;
                 self.count_since_drop = 0;
                 return Err((EnqueueError::PacketLimit, pkt));
+            }
+        } else if self.avg > self.cfg.min_th {
+            self.count_since_drop += 1;
+            let pb =
+                self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+            let pa = pb / (1.0 - (self.count_since_drop as f64 * pb).min(0.999));
+            if rng.chance(pa) {
+                if self.cfg.ecn && pkt.body.ecn() == Ecn::Ect {
+                    pkt.body.set_ecn(Ecn::Ce);
+                    self.ecn_marks += 1;
+                    self.count_since_drop = 0;
+                    // Falls through to the enqueue below.
+                } else {
+                    self.early_drops += 1;
+                    self.count_since_drop = 0;
+                    return Err((EnqueueError::PacketLimit, pkt));
+                }
             }
         } else {
             self.count_since_drop = -1;
@@ -240,6 +334,190 @@ mod tests {
         q.try_enqueue(SimTime::from_secs(10), pkt(99_999), &mut rng)
             .unwrap();
         assert!(q.avg() < 0.1, "avg after idle {}", q.avg());
+    }
+
+    /// Minimal ECN-capable body for marking tests.
+    #[derive(Debug, Clone)]
+    struct EctBody {
+        size: u32,
+        ecn: Ecn,
+    }
+
+    impl Body for EctBody {
+        fn wire_size(&self) -> u32 {
+            self.size
+        }
+        fn ecn(&self) -> Ecn {
+            self.ecn
+        }
+        fn set_ecn(&mut self, codepoint: Ecn) {
+            self.ecn = codepoint;
+        }
+    }
+
+    fn ect(id: u64) -> Packet<EctBody> {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            flow: FlowId(0),
+            created: SimTime::ZERO,
+            body: EctBody {
+                size: 1000,
+                ecn: Ecn::Ect,
+            },
+        }
+    }
+
+    #[test]
+    fn mark_prob_monotone_and_gentle_slope() {
+        let mut c = cfg(100); // min_th 25, max_th 75, max_p 0.1
+        let mut last = -1.0;
+        for i in 0..=200 {
+            let p = c.mark_prob(i as f64);
+            assert!(p >= last, "mark_prob not monotone at avg {i}");
+            last = p;
+        }
+        assert_eq!(c.mark_prob(10.0), 0.0);
+        assert!((c.mark_prob(50.0) - 0.05).abs() < 1e-12);
+        assert_eq!(c.mark_prob(80.0), 1.0);
+        // Gentle: continuous at max_th, linear max_p -> 1 over (max_th, 2max_th).
+        c.gentle = true;
+        let mut last = -1.0;
+        for i in 0..=400 {
+            let p = c.mark_prob(i as f64 / 2.0);
+            assert!(p >= last, "gentle mark_prob not monotone at avg {}", i / 2);
+            last = p;
+        }
+        assert!((c.mark_prob(75.0) - 0.1).abs() < 1e-12);
+        assert!((c.mark_prob(112.5) - 0.55).abs() < 1e-12);
+        assert_eq!(c.mark_prob(150.0), 1.0);
+    }
+
+    #[test]
+    fn count_correction_bounds_inter_drop_gaps() {
+        // Hold avg pinned at 50 via wq = 1 (avg == instantaneous length) and
+        // a steady-state queue of 50 packets: pb = 0.1 * (50-10)/(90-10) =
+        // 0.05, so Floyd's count correction makes inter-drop gaps uniform on
+        // {1..1/pb} — bounded by 20 attempts, mean (1+20)/2 = 10.5 — instead
+        // of the long geometric tail plain Bernoulli drops would have.
+        let c = RedConfig {
+            min_th: 10.0,
+            max_th: 90.0,
+            max_p: 0.1,
+            wq: 1.0,
+            capacity: QueueConfig::packets(200),
+            mean_pkt_time: SimDuration::from_micros(100),
+            gentle: false,
+            ecn: false,
+        };
+        let mut q = RedQueue::new(c);
+        let mut rng = SimRng::seed_from_u64(11);
+        // Fill to 50; in-band drops during the fill are fine, just retry.
+        let mut i = 0u64;
+        while q.len() < 50 {
+            let _ = q.try_enqueue(SimTime::from_micros(i), pkt(i), &mut rng);
+            i += 1;
+        }
+        let mut gaps = Vec::new();
+        let mut since = 0u64;
+        for j in 0..200_000u64 {
+            since += 1;
+            let now = SimTime::from_micros(i + j);
+            if q.try_enqueue(now, pkt(i + j), &mut rng).is_ok() {
+                q.dequeue(now); // keep the queue at exactly 50
+            } else {
+                gaps.push(since);
+                since = 0;
+            }
+        }
+        assert!(gaps.len() > 500, "too few drops: {}", gaps.len());
+        let max = *gaps.iter().max().unwrap();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!(max <= 21, "gap {max} exceeds 1/pb + 1");
+        assert!((8.5..=12.5).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn ecn_marks_ect_instead_of_dropping() {
+        let mut c = cfg(100);
+        c.ecn = true;
+        let mut q = RedQueue::new(c);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut delivered_ce = 0u64;
+        // Fill to 60 (inside the 25..75 band, below the hard cap), then hold
+        // the length there: with ECT traffic and ecn on, every in-band
+        // decision marks instead of drops, so the length stays put while the
+        // EWMA converges into the band.
+        for i in 0..60u64 {
+            q.try_enqueue(SimTime::from_micros(i), ect(i), &mut rng)
+                .unwrap();
+        }
+        for i in 60..20_000u64 {
+            let now = SimTime::from_micros(i);
+            let _ = q.try_enqueue(now, ect(i), &mut rng);
+            if let Some(p) = q.dequeue(now) {
+                if p.body.ecn() == Ecn::Ce {
+                    delivered_ce += 1;
+                }
+            }
+        }
+        let now = SimTime::from_micros(20_000);
+        while let Some(p) = q.dequeue(now) {
+            if p.body.ecn() == Ecn::Ce {
+                delivered_ce += 1;
+            }
+        }
+        assert!(q.ecn_marks() > 0, "no CE marks under band occupancy");
+        assert_eq!(q.ecn_marks(), delivered_ce, "marked != delivered CE");
+        let st = q.red_stats();
+        assert_eq!(st.ecn_marks, q.ecn_marks());
+        assert_eq!(st.early_drops, q.early_drops());
+    }
+
+    #[test]
+    fn non_ect_traffic_still_drops_with_ecn_enabled() {
+        let mut c = cfg(100);
+        c.ecn = true;
+        let mut q = RedQueue::new(c);
+        let mut rng = SimRng::seed_from_u64(6);
+        for i in 0..5000u64 {
+            let now = SimTime::from_micros(i);
+            let _ = q.try_enqueue(now, pkt(i), &mut rng); // RawBody: NotEct
+            if i % 2 == 0 {
+                q.dequeue(now);
+            }
+        }
+        assert_eq!(q.ecn_marks(), 0);
+        assert!(q.early_drops() > 0, "non-ECT must still be dropped");
+    }
+
+    #[test]
+    fn gentle_mode_survives_band_overflow_probabilistically() {
+        // Sustained overload pushes avg past max_th; gentle mode keeps
+        // admitting a (shrinking) fraction instead of force-dropping all.
+        let mut gentle_cfg = cfg(400);
+        gentle_cfg.gentle = true;
+        let run = |c: RedConfig, seed: u64| {
+            let mut q = RedQueue::new(c);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut admitted_above_max_th = 0u64;
+            for i in 0..30_000u64 {
+                let now = SimTime::from_micros(i);
+                let ok = q.try_enqueue(now, pkt(i), &mut rng).is_ok();
+                // try_enqueue refreshed the EWMA on entry, so q.avg() is
+                // exactly the average the admit decision used.
+                if ok && q.avg() >= c.max_th {
+                    admitted_above_max_th += 1;
+                }
+                if i % 2 == 0 {
+                    q.dequeue(now);
+                }
+            }
+            admitted_above_max_th
+        };
+        assert_eq!(run(cfg(400), 9), 0, "standard RED admits nothing >= max_th");
+        assert!(run(gentle_cfg, 9) > 0, "gentle RED should admit some");
     }
 
     #[test]

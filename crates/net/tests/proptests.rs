@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use rss_net::{
-    dumbbell, ArenaMode, DropTailQueue, Fabric, FlowId, GilbertElliott, Impairment,
+    dumbbell, ArenaMode, Body, DropTailQueue, Ecn, Fabric, FlowId, GilbertElliott, Impairment,
     ImpairmentConfig, Jitter, LinkParams, NetEvent, NodeId, Packet, PacketIdGen, QueueConfig,
-    RawBody, Topology,
+    RawBody, RedConfig, RedQueue, Topology,
 };
 use rss_sim::{Engine, Model, Scheduler, SimDuration, SimRng, SimTime};
 
@@ -16,6 +16,25 @@ fn pkt(id: u64, size: u32) -> Packet<RawBody> {
         flow: FlowId(0),
         created: SimTime::ZERO,
         body: RawBody { size: size.max(1) },
+    }
+}
+
+/// Minimal ECN-capable body: RED can CE-mark it, unlike [`RawBody`].
+#[derive(Debug, Clone)]
+struct EctBody {
+    size: u32,
+    ecn: Ecn,
+}
+
+impl Body for EctBody {
+    fn wire_size(&self) -> u32 {
+        self.size
+    }
+    fn ecn(&self) -> Ecn {
+        self.ecn
+    }
+    fn set_ecn(&mut self, codepoint: Ecn) {
+        self.ecn = codepoint;
     }
 }
 
@@ -186,6 +205,107 @@ proptest! {
             expect -= p.wire_size() as u64;
         }
         prop_assert_eq!(q.bytes(), expect);
+    }
+
+    /// RED's admit curve is monotone in the average and saturates exactly at
+    /// the force threshold — `max_th` standard, `2·max_th` gentle — for any
+    /// legal parameter set.
+    #[test]
+    fn red_mark_prob_is_monotone_and_saturates(
+        cap in 10u32..500,
+        min_frac in 1u32..8,   // min_th = cap · frac/10
+        band_frac in 1u32..9,  // max_th = min_th + cap · frac/10, clamped
+        max_p_centi in 1u32..100,
+        gentle in any::<bool>(),
+    ) {
+        let mut c = RedConfig::for_capacity(cap, SimDuration::from_micros(100));
+        c.min_th = cap as f64 * min_frac as f64 / 10.0;
+        c.max_th = (c.min_th + cap as f64 * band_frac as f64 / 10.0).min(cap as f64);
+        prop_assert!(c.min_th < c.max_th, "generator produced an empty band");
+        c.max_p = max_p_centi as f64 / 100.0;
+        c.gentle = gentle;
+        let force_th = if gentle { 2.0 * c.max_th } else { c.max_th };
+        let mut last = -1.0;
+        for i in 0..=1000 {
+            let avg = 2.0 * cap as f64 * i as f64 / 1000.0;
+            let p = c.mark_prob(avg);
+            prop_assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+            prop_assert!(p >= last, "not monotone at avg {avg}");
+            if avg <= c.min_th {
+                prop_assert_eq!(p, 0.0, "non-zero below min_th at {}", avg);
+            }
+            if avg >= force_th {
+                prop_assert_eq!(p, 1.0, "below 1 past force threshold at {}", avg);
+            }
+            last = p;
+        }
+    }
+
+    /// Packet conservation and counter consistency hold for arbitrary RED
+    /// parameters, op sequences and ECN settings: every offered packet is
+    /// queued, dequeued or dropped; drops split exactly into early + forced;
+    /// CE marks appear only with `ecn` on, and every marked packet is
+    /// eventually delivered (marking never drops).
+    #[test]
+    fn red_conserves_packets_for_any_config(
+        cap in 8u32..150,
+        min_frac in 1u32..6,
+        band_frac in 1u32..8,
+        max_p_centi in 1u32..80,
+        wq_milli in 1u32..1000,
+        gentle in any::<bool>(),
+        ecn in any::<bool>(),
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((any::<bool>(), 1u64..400), 1..600),
+    ) {
+        let mut c = RedConfig::for_capacity(cap, SimDuration::from_micros(100));
+        c.min_th = cap as f64 * min_frac as f64 / 10.0;
+        c.max_th = (c.min_th + cap as f64 * band_frac as f64 / 10.0).min(cap as f64);
+        prop_assert!(c.min_th < c.max_th, "generator produced an empty band");
+        c.max_p = max_p_centi as f64 / 100.0;
+        c.wq = wq_milli as f64 / 1000.0;
+        c.gentle = gentle;
+        c.ecn = ecn;
+        let mut q: RedQueue<EctBody> = RedQueue::new(c);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let (mut offered, mut dropped, mut dequeued, mut delivered_ce) = (0u64, 0u64, 0u64, 0u64);
+        let mut now = SimTime::ZERO;
+        for (i, &(is_enq, gap_us)) in ops.iter().enumerate() {
+            now += SimDuration::from_micros(gap_us);
+            if is_enq {
+                offered += 1;
+                let p = Packet {
+                    id: i as u64,
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    flow: FlowId(0),
+                    created: now,
+                    body: EctBody { size: 1000, ecn: Ecn::Ect },
+                };
+                if q.try_enqueue(now, p, &mut rng).is_err() {
+                    dropped += 1;
+                }
+            } else if let Some(p) = q.dequeue(now) {
+                dequeued += 1;
+                if p.body.ecn() == Ecn::Ce {
+                    delivered_ce += 1;
+                }
+            }
+            prop_assert!(q.len() as u32 <= cap, "capacity exceeded");
+            prop_assert!(q.avg() >= 0.0 && q.avg().is_finite());
+        }
+        prop_assert_eq!(offered, dequeued + dropped + q.len() as u64);
+        prop_assert_eq!(q.early_drops() + q.forced_drops(), dropped);
+        if !ecn {
+            prop_assert_eq!(q.ecn_marks(), 0, "marks without ecn enabled");
+        }
+        // Drain: marked packets are all still in flight or delivered.
+        while let Some(p) = q.dequeue(now) {
+            if p.body.ecn() == Ecn::Ce {
+                delivered_ce += 1;
+            }
+        }
+        prop_assert_eq!(q.ecn_marks(), delivered_ce, "a CE mark went missing");
     }
 
     /// On random linear ("chain") topologies, BFS routing reaches every node

@@ -37,6 +37,7 @@ pub use cc::{
     StallResponse,
 };
 pub use receiver::{AckToSend, ReceiverStats, TcpReceiver};
+pub use rss_net::Ecn;
 pub use rtt::RttEstimator;
 pub use sender::{IfqSnapshot, TcpSender, TxPlan};
 pub use types::{AckPolicy, ConnId, SegKind, TcpConfig, TcpSegment};

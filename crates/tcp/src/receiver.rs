@@ -17,6 +17,10 @@ pub struct AckToSend {
     pub ack: u64,
     /// Advertised receive window, bytes.
     pub rwnd: u64,
+    /// ECN echo: a CE mark was observed since the last ACK sent (RFC 3168
+    /// ECE, simplified to echo-once per observed CE batch — the sender's
+    /// once-per-RTT gate makes persistent-ECE semantics redundant here).
+    pub ece: bool,
 }
 
 /// Statistics kept by the receiver (for delivery-invariant checks).
@@ -42,6 +46,8 @@ pub struct TcpReceiver {
     ooo: BTreeMap<u64, u64>,
     segs_since_ack: u32,
     delack_deadline: Option<SimTime>,
+    /// CE observed since the last ACK went out; the next ACK carries ECE.
+    ece_pending: bool,
     stats: ReceiverStats,
 }
 
@@ -55,8 +61,16 @@ impl TcpReceiver {
             ooo: BTreeMap::new(),
             segs_since_ack: 0,
             delack_deadline: None,
+            ece_pending: false,
             stats: ReceiverStats::default(),
         }
+    }
+
+    /// The arriving data segment (about to be fed to
+    /// [`TcpReceiver::on_segment`]) carried a CE mark: the next ACK out
+    /// echoes it as ECE.
+    pub fn on_ce(&mut self) {
+        self.ece_pending = true;
     }
 
     /// The connection this receiver belongs to.
@@ -91,6 +105,7 @@ impl TcpReceiver {
         AckToSend {
             ack: self.rcv_nxt,
             rwnd: self.cfg.rwnd,
+            ece: std::mem::take(&mut self.ece_pending),
         }
     }
 
@@ -292,6 +307,27 @@ mod tests {
         let mut r = TcpReceiver::new(ConnId(0), cfg_every());
         let a = r.on_segment(t(0), 0, 1000).unwrap();
         assert_eq!(a.rwnd, TcpConfig::default().rwnd);
+    }
+
+    #[test]
+    fn ce_mark_echoed_once_then_cleared() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_every());
+        let a = r.on_segment(t(0), 0, 1000).unwrap();
+        assert!(!a.ece, "no CE seen yet");
+        r.on_ce();
+        let a = r.on_segment(t(1), 1000, 1000).unwrap();
+        assert!(a.ece, "CE echoed on the next ACK");
+        let a = r.on_segment(t(2), 2000, 1000).unwrap();
+        assert!(!a.ece, "echo-once: cleared after one ACK");
+    }
+
+    #[test]
+    fn ce_echo_survives_delayed_ack() {
+        let mut r = TcpReceiver::new(ConnId(0), cfg_delayed());
+        r.on_ce();
+        assert!(r.on_segment(t(0), 0, 1000).is_none(), "ack delayed");
+        let a = r.on_delack_timer(t(200)).unwrap();
+        assert!(a.ece, "pending echo rides the delayed ACK");
     }
 
     #[test]

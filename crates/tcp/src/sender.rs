@@ -123,6 +123,9 @@ pub struct TcpSender {
     /// Only signal the congestion layer about stalls again once snd_una
     /// passes this point (once-per-window, like Linux CWR).
     stall_signal_gate: u64,
+    /// Only react to an ECN echo again once snd_una passes this point: the
+    /// RFC 3168 CWR rule of at most one cwnd reduction per window of data.
+    ecn_cwr_gate: u64,
     lim_state: SndLimState,
 }
 
@@ -163,6 +166,7 @@ impl TcpSender {
             rto_max_recovery: None,
             stall_until: None,
             stall_signal_gate: 0,
+            ecn_cwr_gate: 0,
             lim_state: SndLimState::Sender,
         }
     }
@@ -438,6 +442,28 @@ impl TcpSender {
             self.cc.on_congestion(&view, CongestionEvent::LocalStall);
             self.after_cc_change(now, was_ss);
             self.stall_signal_gate = self.snd_nxt;
+        }
+    }
+
+    /// An arriving ACK carried the ECN echo (ECE): the network CE-marked a
+    /// data segment. Per RFC 3168 the sender reduces at most once per window
+    /// of data (CWR semantics) and not at all while loss recovery is already
+    /// reducing for the same window. The reduction itself is delivered
+    /// through [`rss_cc::RecoveryEvent::EcnEcho`], so every registry variant
+    /// reacts through its existing `on_recovery` hook.
+    pub fn on_ecn_echo(&mut self, now: SimTime, ifq: IfqSnapshot) {
+        if self.recovery.is_some() {
+            // Loss recovery already cut the window for this flight; reacting
+            // again would double-punish one congestion episode.
+            return;
+        }
+        if self.snd_una >= self.ecn_cwr_gate {
+            let view = self.view(now, ifq);
+            self.web100.on_congestion(now, CongestionKind::EcnEcho);
+            let was_ss = self.cc.in_slow_start();
+            self.cc.on_recovery(&view, RecoveryEvent::EcnEcho);
+            self.after_cc_change(now, was_ss);
+            self.ecn_cwr_gate = self.snd_nxt;
         }
     }
 
@@ -746,6 +772,46 @@ mod tests {
         s.on_ack(t(120), 2500, 1_000_000, ifq());
         assert!(s.is_complete());
         assert!(s.rto_deadline().is_none(), "no data outstanding");
+    }
+
+    #[test]
+    fn ecn_echo_halves_once_per_window() {
+        let mut s = sender(None);
+        // Grow past the 2-MSS floor so a halving is visible.
+        drain(&mut s, t(0));
+        s.on_ack(t(60), 2000, 1_000_000, ifq());
+        drain(&mut s, t(60)); // flight = cwnd = 3 MSS
+        let cwnd0 = s.cc().cwnd();
+        s.on_ecn_echo(t(70), ifq());
+        let cwnd1 = s.cc().cwnd();
+        assert!(cwnd1 < cwnd0, "first echo reduces cwnd");
+        assert_eq!(s.web100().vars().ecn_echoes, 1);
+        // Second echo in the same window of data: gated off.
+        s.on_ecn_echo(t(71), ifq());
+        assert_eq!(s.cc().cwnd(), cwnd1, "same-window echo ignored");
+        assert_eq!(s.web100().vars().ecn_echoes, 1);
+        // Once snd_una passes the gate (snd_nxt at echo time), echoes count
+        // again.
+        s.on_ack(t(120), s.snd_nxt(), 1_000_000, ifq());
+        s.on_ecn_echo(t(130), ifq());
+        assert_eq!(s.web100().vars().ecn_echoes, 2);
+    }
+
+    #[test]
+    fn ecn_echo_ignored_during_loss_recovery() {
+        let mut s = sender(None);
+        // Grow a window, then force fast recovery with three dup ACKs.
+        drain(&mut s, t(0));
+        s.on_ack(t(60), 2000, 1_000_000, ifq());
+        drain(&mut s, t(60));
+        for i in 0..3 {
+            s.on_ack(t(70 + i), 2000, 1_000_000, ifq());
+        }
+        assert!(s.in_recovery());
+        let cwnd = s.cc().cwnd();
+        s.on_ecn_echo(t(80), ifq());
+        assert_eq!(s.cc().cwnd(), cwnd, "no extra cut while recovering");
+        assert_eq!(s.web100().vars().ecn_echoes, 0);
     }
 
     #[test]

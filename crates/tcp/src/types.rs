@@ -7,7 +7,7 @@
 //! baseline is Linux 2.4.19 Reno/NewReno, and receive windows are configured
 //! statically as on the paper's hand-tuned grid hosts.
 
-use rss_net::{Body, FlowId};
+use rss_net::{Body, Ecn, FlowId};
 use rss_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +30,10 @@ pub struct TcpSegment {
     pub kind: SegKind,
     /// Header overhead on the wire (IP + TCP + options), bytes.
     pub header_bytes: u32,
+    /// ECN codepoint: data segments of an ECN-negotiated flow carry
+    /// [`Ecn::Ect`] (an AQM may rewrite it to [`Ecn::Ce`]); everything else,
+    /// pure ACKs included, is [`Ecn::NotEct`] (RFC 3168 §6.1.4).
+    pub ecn: Ecn,
 }
 
 /// The two segment shapes the simulation uses (data flows one way; pure ACKs
@@ -51,6 +55,9 @@ pub enum SegKind {
         ack: u64,
         /// Receiver's advertised window in bytes.
         rwnd: u64,
+        /// ECN echo: the receiver saw a CE mark since the last echo it sent
+        /// (RFC 3168 ECE flag, simplified to echo-once per observed CE).
+        ece: bool,
     },
 }
 
@@ -60,6 +67,14 @@ impl Body for TcpSegment {
             SegKind::Data { len, .. } => len + self.header_bytes,
             SegKind::Ack { .. } => self.header_bytes,
         }
+    }
+
+    fn ecn(&self) -> Ecn {
+        self.ecn
+    }
+
+    fn set_ecn(&mut self, codepoint: Ecn) {
+        self.ecn = codepoint;
     }
 }
 
@@ -108,6 +123,10 @@ pub struct TcpConfig {
     pub stall_retry: SimDuration,
     /// Number of duplicate ACKs that trigger fast retransmit.
     pub dupack_threshold: u32,
+    /// ECN negotiated for this flow: data segments carry ECT, the receiver
+    /// echoes CE marks as ECE, and the sender answers with a CWR-style
+    /// once-per-RTT reduction. Off by default (pre-ECN behaviour).
+    pub ecn: bool,
 }
 
 impl Default for TcpConfig {
@@ -124,6 +143,7 @@ impl Default for TcpConfig {
             stall_response: StallResponse::Cwr,
             stall_retry: SimDuration::from_millis(1),
             dupack_threshold: 3,
+            ecn: false,
         }
     }
 }
@@ -164,12 +184,18 @@ mod tests {
                 retransmit: false,
             },
             header_bytes: 52,
+            ecn: Ecn::Ect,
         };
         assert_eq!(data.wire_size(), 1500);
         let ack = TcpSegment {
             conn: ConnId(0),
-            kind: SegKind::Ack { ack: 0, rwnd: 1000 },
+            kind: SegKind::Ack {
+                ack: 0,
+                rwnd: 1000,
+                ece: false,
+            },
             header_bytes: 52,
+            ecn: Ecn::NotEct,
         };
         assert_eq!(ack.wire_size(), 52);
     }

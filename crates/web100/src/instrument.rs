@@ -124,6 +124,7 @@ impl InstrumentBlock {
                 self.vars.send_stall += 1;
                 self.send_stalls.record(now);
             }
+            CongestionKind::EcnEcho => self.vars.ecn_echoes += 1,
         }
     }
 

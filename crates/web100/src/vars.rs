@@ -30,6 +30,9 @@ pub enum CongestionKind {
     Timeout,
     /// Local send-stall: the IFQ rejected a segment (host congestion).
     SendStall,
+    /// ECN echo accepted by the sender's once-per-RTT gate: the network
+    /// CE-marked a packet instead of dropping it (RFC 3168).
+    EcnEcho,
 }
 
 /// The instrument block's monotone counters and gauges.
@@ -58,6 +61,8 @@ pub struct Web100Vars {
     pub timeouts: u64,
     /// Send-stall events (the variable Figure 1 plots).
     pub send_stall: u64,
+    /// ECN echoes the sender reacted to (one CWR-style reduction each).
+    pub ecn_echoes: u64,
     /// Duplicate ACKs received.
     pub dup_acks_in: u64,
 
@@ -117,6 +122,7 @@ impl Web100Vars {
             fast_retran: self.fast_retran.saturating_sub(earlier.fast_retran),
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
             send_stall: self.send_stall.saturating_sub(earlier.send_stall),
+            ecn_echoes: self.ecn_echoes.saturating_sub(earlier.ecn_echoes),
             dup_acks_in: self.dup_acks_in.saturating_sub(earlier.dup_acks_in),
             slow_start_episodes: self
                 .slow_start_episodes
@@ -175,6 +181,7 @@ impl Web100Vars {
             ("CurSsthresh", self.cur_ssthresh),
             ("DataBytesOut", self.data_bytes_out),
             ("DupAcksIn", self.dup_acks_in),
+            ("EcnEchoes", self.ecn_echoes),
             ("FastRetran", self.fast_retran),
             ("MaxCwnd", self.max_cwnd),
             ("MaxRTT_us", self.max_rtt_us),
@@ -259,6 +266,6 @@ mod tests {
         assert!(csv.contains("SendStall,4\n"));
         assert!(csv.contains("CurCwnd,123\n"));
         assert!(csv.starts_with("variable,value\n"));
-        assert_eq!(csv.lines().count(), 25);
+        assert_eq!(csv.lines().count(), 26);
     }
 }

@@ -1,0 +1,331 @@
+//! Mean-field validation of the RED/ECN bottleneck at scale.
+//!
+//! With N identical long-lived TCP flows through one RED queue, the
+//! many-flows mean-field limit (arXiv:math/0603325) predicts a stationary
+//! operating point from two coupled laws:
+//!
+//! * the TCP square-root law  `W̄ = sqrt(3 / (2 p))`  (packets per window at
+//!   per-packet congestion-signal probability `p`), and
+//! * link saturation  `N · W̄ = BDP + Q̄`  with RED's linear marking curve
+//!   `p(Q̄) = max_p · (Q̄ − min_th) / (max_th − min_th)` closing the loop.
+//!
+//! Solving the pair gives a unique fixed point `(W̄*, Q̄*)` inside the RED
+//! band; the simulated ensemble must sit near it. A second family of
+//! predictions (arXiv:cs/0609014, and Hollot et al.'s control-theoretic RED
+//! analysis) concerns *stability*: the steeper the marking slope relative to
+//! the band, the larger the loop gain of the TCP/RED feedback and the more
+//! the queue oscillates instead of settling. And drop-tail at deep buffers
+//! has no early signal at all, so the ensemble builds a standing queue near
+//! the hard limit — the bufferbloat collapse RED/ECN exists to prevent.
+//!
+//! These tests run hundreds of concurrent flows, so they double as a
+//! many-flow stress of the sharded executor: the headline scenario must be
+//! byte-identical at 1, 2 and 4 shards.
+
+use restricted_slow_start::{
+    run, CcAlgorithm, FlowSpec, QueueDiscipline, RedParams, RunReport, Scenario, SimDuration,
+    SimTime,
+};
+
+/// The RED fixed point `(W̄*, Q̄*)`: bisect on the average queue, where
+/// `f(Q) = N·sqrt(3/(2·p(Q))) − (BDP + Q)` is strictly decreasing.
+fn red_fixed_point(n: f64, bdp_pkts: f64, red: &RedParams) -> (f64, f64) {
+    let p_of = |q: f64| red.max_p * (q - red.min_th) / (red.max_th - red.min_th);
+    let f = |q: f64| n * (1.5 / p_of(q)).sqrt() - (bdp_pkts + q);
+    let (mut lo, mut hi) = (red.min_th + 1e-9, red.max_th);
+    assert!(f(lo) > 0.0, "fixed point below the RED band");
+    assert!(f(hi) < 0.0, "fixed point above the RED band");
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let q = 0.5 * (lo + hi);
+    (n.recip() * (bdp_pkts + q), q)
+}
+
+/// Mean of a sampled series over `[from, to)`.
+fn series_mean(series: &[(f64, f64)], from: f64, to: f64) -> f64 {
+    let pts: Vec<f64> = series
+        .iter()
+        .filter(|&&(t, _)| t >= from && t < to)
+        .map(|&(_, v)| v)
+        .collect();
+    assert!(pts.len() > 10, "too few samples in [{from}, {to})");
+    pts.iter().sum::<f64>() / pts.len() as f64
+}
+
+/// Standard deviation of a sampled series over `[from, to)`.
+fn series_std(series: &[(f64, f64)], from: f64, to: f64) -> f64 {
+    let mean = series_mean(series, from, to);
+    let pts: Vec<f64> = series
+        .iter()
+        .filter(|&&(t, _)| t >= from && t < to)
+        .map(|&(_, v)| v)
+        .collect();
+    (pts.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / pts.len() as f64).sqrt()
+}
+
+/// Aggregate goodput (bit/s) over `[from, to)` across all flows.
+fn aggregate_goodput_bps(r: &RunReport, from: f64, to: f64) -> f64 {
+    r.flows
+        .iter()
+        .map(|f| f.goodput_in_window_bps(from, to))
+        .sum()
+}
+
+/// N staggered bulk Reno flows into a dumbbell whose only contention point
+/// is the bottleneck router.
+fn ensemble(
+    n: u32,
+    rate_bps: u64,
+    rtt: SimDuration,
+    queue_pkts: u32,
+    duration: SimDuration,
+    seed: u64,
+) -> Scenario {
+    let mut sc = Scenario::paper_testbed_standard()
+        .with_rate(rate_bps)
+        .with_rtt(rtt)
+        .with_seed(seed)
+        .with_duration(duration)
+        .with_access_delay(SimDuration::from_micros(500));
+    // Fast edges: the router queue, not the sender NIC, is the bottleneck.
+    sc.path.access_rate_bps = Some(rate_bps * 4);
+    sc.host.nic_rate_bps = rate_bps * 4;
+    sc.path.router_queue_pkts = queue_pkts;
+    sc.flows.clear();
+    for i in 0..n {
+        let mut f = FlowSpec::bulk(CcAlgorithm::Reno);
+        // Desynchronize: starts spread over the first ~0.5 s.
+        f.start = SimTime::from_micros(2500 * i as u64);
+        sc.flows.push(f);
+    }
+    sc.web100_stride = 256;
+    sc
+}
+
+/// Headline: a 200-flow ensemble through a marking RED bottleneck sits at
+/// the mean-field fixed point — mean window and mean queue both within
+/// tolerance — and the run is byte-identical at 1, 2 and 4 shards.
+#[test]
+fn ecn_ensemble_sits_at_the_mean_field_fixed_point() {
+    let n = 200u32;
+    let rate: u64 = 400_000_000;
+    let rtt = SimDuration::from_millis(60);
+    let red = RedParams {
+        min_th: 100.0,
+        max_th: 400.0,
+        wq: 0.002,
+        max_p: 0.1,
+        gentle: false,
+    };
+    let bdp_pkts = rate as f64 * rtt.as_secs_f64() / 8.0 / 1500.0; // 2000
+    let (w_star, q_star) = red_fixed_point(n as f64, bdp_pkts, &red);
+    assert!(
+        (red.min_th..red.max_th).contains(&q_star),
+        "test misconfigured: fixed point {q_star} outside the band"
+    );
+
+    let mk = |shards: Option<u32>| {
+        let mut sc = ensemble(n, rate, rtt, 500, SimDuration::from_secs(8), 42)
+            .with_queue(QueueDiscipline::RedEcn(red));
+        sc.shards = shards;
+        sc
+    };
+    let r = run(&mk(Some(1)));
+
+    // (1) The marking band did its job: CE marks flowed, forced drops are a
+    // negligible fraction of the signal.
+    assert!(r.router_ecn_marks > 100, "marks: {}", r.router_ecn_marks);
+    assert!(
+        r.router_red_forced_drops < r.router_ecn_marks / 10,
+        "queue escaped the band: {} forced vs {} marks",
+        r.router_red_forced_drops,
+        r.router_ecn_marks
+    );
+
+    // (2) Stationary mean queue near Q̄* (measure the second half only —
+    // the first half contains slow-start and the transient).
+    let (t0, t1) = (4.0, 8.0);
+    let q_sim = series_mean(&r.bottleneck_queue_series, t0, t1);
+    assert!(
+        (q_sim - q_star).abs() / q_star < 0.45,
+        "mean queue {q_sim:.1} vs fixed point {q_star:.1}"
+    );
+
+    // (3) Mean per-flow window near W̄*, recovered from aggregate goodput
+    // via Little's law: W̄ = goodput · RTT_eff / N (in packets).
+    let agg_bps = aggregate_goodput_bps(&r, t0, t1);
+    assert!(
+        agg_bps > 0.80 * rate as f64,
+        "link underused: {agg_bps:.3e} of {rate}"
+    );
+    let rtt_eff = rtt.as_secs_f64() + q_sim * 1500.0 * 8.0 / rate as f64;
+    let w_sim = agg_bps * rtt_eff / 8.0 / 1500.0 / n as f64;
+    assert!(
+        (w_sim - w_star).abs() / w_star < 0.35,
+        "mean window {w_sim:.2} vs fixed point {w_star:.2}"
+    );
+
+    // (4) The same ensemble is byte-identical at 2 and 4 shards.
+    let one = r.to_json();
+    assert_eq!(one, run(&mk(Some(2))).to_json(), "2 shards diverged");
+    assert_eq!(one, run(&mk(Some(4))).to_json(), "4 shards diverged");
+
+    // (5) The serial world is a different event ordering, not different
+    // physics: its macro observables agree with the sharded ensemble.
+    let serial = run(&mk(None));
+    let q_serial = series_mean(&serial.bottleneck_queue_series, t0, t1);
+    assert!(
+        (q_serial - q_sim).abs() / q_sim < 0.20,
+        "serial mean queue {q_serial:.1} vs sharded {q_sim:.1}"
+    );
+}
+
+/// The cs/0609014-style loop-gain discriminant ranks RED configurations:
+/// the linearized TCP/RED feedback gain is the marking slope
+/// `ρ = max_p/(max_th − min_th)` times the TCP transfer gain `(R·C)²`,
+/// low-pass filtered by the EWMA averaging pole (bandwidth ∝ `w_q`).
+/// A flat-sloped, fast-averaging config must settle; a steep narrow-band,
+/// slow-averaging config on the same path must oscillate — global mark
+/// synchronization swinging the queue between empty and full.
+#[test]
+fn stability_discriminant_separates_settling_from_oscillating_red() {
+    let n = 50u32;
+    let rate: u64 = 150_000_000;
+    let rtt = SimDuration::from_millis(40);
+    let bdp_pkts = rate as f64 * rtt.as_secs_f64() / 8.0 / 1500.0; // 500
+    let stable = RedParams {
+        min_th: 40.0,
+        max_th: 280.0,
+        wq: 0.05,
+        max_p: 0.03,
+        gentle: true,
+    };
+    let oscillatory = RedParams {
+        min_th: 140.0,
+        max_th: 160.0,
+        wq: 0.002,
+        max_p: 0.9,
+        gentle: false,
+    };
+
+    // Loop gain of the linearized feedback (after Hollot et al.'s RED
+    // control model): slope × window-to-queue gain, divided by the EWMA
+    // averaging bandwidth — slower averaging (smaller w_q) adds phase lag
+    // and destabilizes.
+    let gain = |red: &RedParams| {
+        let rho = red.max_p / (red.max_th - red.min_th);
+        let c_pkts = rate as f64 / 8.0 / 1500.0;
+        let r_eff = rtt.as_secs_f64() + red.min_th / c_pkts;
+        rho * (r_eff * c_pkts).powi(2) / ((2.0 * n as f64).powi(2) * red.wq)
+    };
+    let (g_stable, g_osc) = (gain(&stable), gain(&oscillatory));
+    assert!(
+        g_stable < 1.0,
+        "stable config predicted unstable: gain {g_stable:.2}"
+    );
+    assert!(
+        g_osc > 100.0 * g_stable,
+        "discriminant failed to separate: {g_osc:.1} vs {g_stable:.2}"
+    );
+
+    let measure = |red: RedParams| {
+        let sc = ensemble(n, rate, rtt, 300, SimDuration::from_secs(8), 7)
+            .with_queue(QueueDiscipline::RedEcn(red));
+        let r = run(&sc);
+        let mean = series_mean(&r.bottleneck_queue_series, 4.0, 8.0);
+        let std = series_std(&r.bottleneck_queue_series, 4.0, 8.0);
+        let empties = r
+            .bottleneck_queue_series
+            .iter()
+            .filter(|&&(t, v)| t >= 4.0 && v < 1.0)
+            .count();
+        (mean, std / mean, empties)
+    };
+    let (mean_stable, cv_stable, empties_stable) = measure(stable);
+    let (mean_osc, cv_osc, empties_osc) = measure(oscillatory);
+
+    // The settling config holds near its mean-field fixed point...
+    let (_, q_stable_star) = red_fixed_point(n as f64, bdp_pkts, &stable);
+    assert!(
+        (mean_stable - q_stable_star).abs() / q_stable_star < 0.45,
+        "stable config off its fixed point: {mean_stable:.1} vs {q_stable_star:.1}"
+    );
+    // ...without ever draining the link...
+    assert_eq!(
+        empties_stable, 0,
+        "stable config drained the queue {empties_stable} times"
+    );
+    assert!(
+        cv_stable < 0.4,
+        "flat-slope RED failed to settle: CV {cv_stable:.3}"
+    );
+    // ...while the predicted-unstable one limit-cycles: far larger relative
+    // swing and repeated full drains of the bottleneck.
+    assert!(mean_osc > 0.0, "oscillatory run starved the queue");
+    assert!(
+        cv_osc > 0.75 && cv_osc > 2.5 * cv_stable,
+        "oscillation ordering violated: CV {cv_osc:.3} vs {cv_stable:.3}"
+    );
+    assert!(
+        empties_osc > 10,
+        "oscillatory config never drained the queue ({empties_osc} empties)"
+    );
+}
+
+/// Deep-buffer regression: at 4·BDP of buffering, drop-tail builds a
+/// standing queue near the hard limit (bufferbloat — the latency collapse),
+/// while RED and RED+ECN at the *same* buffer depth keep the queue an order
+/// of magnitude lower at equal goodput.
+#[test]
+fn deep_buffer_droptail_bloats_but_red_and_ecn_do_not() {
+    let n = 50u32;
+    let rate: u64 = 150_000_000;
+    let rtt = SimDuration::from_millis(40);
+    let cap = 2000u32; // 4x the 500-packet BDP
+    let (t0, t1) = (6.0, 12.0);
+    let measure = |queue: QueueDiscipline| {
+        let sc = ensemble(n, rate, rtt, cap, SimDuration::from_secs(12), 11).with_queue(queue);
+        let r = run(&sc);
+        let q = series_mean(&r.bottleneck_queue_series, t0, t1);
+        let goodput = aggregate_goodput_bps(&r, t0, t1);
+        (q, goodput)
+    };
+    let red = RedParams::for_capacity(cap);
+    let (q_dt, bps_dt) = measure(QueueDiscipline::DropTail);
+    let (q_red, bps_red) = measure(QueueDiscipline::Red(red));
+    let (q_ecn, bps_ecn) = measure(QueueDiscipline::RedEcn(red));
+
+    // All three keep the pipe full — nothing collapses throughput...
+    for (label, bps) in [("droptail", bps_dt), ("red", bps_red), ("ecn", bps_ecn)] {
+        assert!(
+            bps > 0.75 * rate as f64,
+            "{label} goodput collapsed: {bps:.3e}"
+        );
+    }
+    // ...but drop-tail converts the whole buffer into standing latency:
+    // queueing delay alone exceeds the propagation RTT.
+    assert!(
+        q_dt > 0.5 * cap as f64,
+        "deep drop-tail queue unexpectedly low: {q_dt:.0}"
+    );
+    let pkt_time = 1500.0 * 8.0 / rate as f64;
+    assert!(
+        q_dt * pkt_time > rtt.as_secs_f64(),
+        "no bloat: {:.1} ms of queueing delay",
+        q_dt * pkt_time * 1e3
+    );
+    // AQM at the same depth holds the queue at its configured band instead
+    // of the hard limit.
+    for (label, q) in [("red", q_red), ("ecn", q_ecn)] {
+        assert!(
+            q < 0.35 * cap as f64 && q < 0.6 * q_dt,
+            "{label} failed to prevent the standing queue: {q:.0} (droptail {q_dt:.0})"
+        );
+    }
+}

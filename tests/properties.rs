@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use restricted_slow_start::{
     run, AppModel, CcAlgorithm, Flap, GilbertElliott, ImpairmentConfig, Jitter, OutageWindow,
-    RssConfig, Scenario, SimDuration, SimTime,
+    QueueDiscipline, RedParams, RssConfig, Scenario, SimDuration, SimTime,
 };
 
 fn arb_algo() -> impl Strategy<Value = CcAlgorithm> {
@@ -191,6 +191,64 @@ proptest! {
                 });
             }
             sc.web100_stride = 16;
+            sc.shards = Some(shards);
+            sc
+        };
+        let one = run(&mk(1)).to_json();
+        prop_assert_eq!(&one, &run(&mk(2)).to_json(), "2 shards diverged");
+        prop_assert_eq!(&one, &run(&mk(4)).to_json(), "4 shards diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        ..ProptestConfig::default()
+    })]
+
+    /// AQM bottlenecks never break the sharded executor's headline
+    /// guarantee: a run over a random RED or RED+ECN configuration is
+    /// byte-identical at 1, 2 and 4 shards — drops drawn from the hub RNG
+    /// and CE marks echoed back through the ACK stream included.
+    #[test]
+    fn aqm_runs_are_shard_invariant(
+        seed in 1u64..500,
+        cap in 30u32..120,
+        min_frac in 1u32..5,      // min_th = cap · frac/10
+        band_frac in 1u32..6,     // max_th = min_th + cap · frac/10, clamped
+        wq_milli in 1u32..60,
+        max_p_centi in 2u32..60,
+        gentle in any::<bool>(),
+        ecn in any::<bool>(),
+        flows in 2u32..5,
+    ) {
+        let min_th = cap as f64 * min_frac as f64 / 10.0;
+        let red = RedParams {
+            min_th,
+            max_th: (min_th + cap as f64 * band_frac as f64 / 10.0).min(cap as f64),
+            wq: wq_milli as f64 / 1000.0,
+            max_p: max_p_centi as f64 / 100.0,
+            gentle,
+        };
+        let queue = if ecn {
+            QueueDiscipline::RedEcn(red)
+        } else {
+            QueueDiscipline::Red(red)
+        };
+        let mk = |shards| {
+            let mut sc = Scenario::paper_testbed_standard()
+                .with_rate(20_000_000)
+                .with_rtt(SimDuration::from_millis(20))
+                .with_seed(seed)
+                .with_duration(SimDuration::from_millis(2500))
+                .with_access_delay(SimDuration::from_micros(500));
+            sc.path.router_queue_pkts = cap;
+            for i in 1..flows {
+                sc.flows.push(sc.flows[0]);
+                sc.flows[i as usize].start = SimTime::from_millis(30 * i as u64);
+            }
+            sc.web100_stride = 16;
+            sc = sc.with_queue(queue);
             sc.shards = Some(shards);
             sc
         };

@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use restricted_slow_start::{
     run, BurstLossDef, CcDef, FairnessDef, FlowDef, ImpairmentDef, ImpairmentsDef, JitterDef,
-    OutageDef, PathDef, RunReport, RunSpec, Scenario, ScenarioSpec, ShardsDef, SimDuration,
-    SweepSpec, TuningDef,
+    OutageDef, PathDef, QueueDef, RunReport, RunSpec, Scenario, ScenarioSpec, ShardsDef,
+    SimDuration, SweepSpec, TuningDef,
 };
 
 fn arb_cc() -> impl Strategy<Value = CcDef> {
@@ -135,6 +135,24 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     shared_sender_host: None,
                     stop_when_complete: Some(true),
                     red_bottleneck: None,
+                    queue: match (seed + i as u64) % 4 {
+                        0 => None,
+                        1 => Some(QueueDef::DropTail),
+                        2 => Some(QueueDef::Red {
+                            min_th: Some(10.0),
+                            max_th: None,
+                            w_q: Some(0.005),
+                            max_p: None,
+                            gentle: Some(true),
+                        }),
+                        _ => Some(QueueDef::RedEcn {
+                            min_th: None,
+                            max_th: Some(60.0),
+                            w_q: None,
+                            max_p: Some(0.2),
+                            gentle: None,
+                        }),
+                    },
                     sample_interval_ms: None,
                     web100_stride: Some(stride),
                     auto_rwnd: Some(true),
